@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation: the p_boot trade-off between instantaneous accuracy and
+ * fingerprint lifetime.
+ *
+ * Figure 4 alone suggests any p_boot in [100 ms, 1 s] is fine; but the
+ * rounding precision also sets how long a fingerprint survives drift
+ * (expiration ~ p_boot * f / eps, Section 4.4.2). This bench sweeps
+ * p_boot and reports both sides — the reason the paper settles on the
+ * largest value in the accuracy sweet spot (1 s).
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "core/tracker.hpp"
+#include "stats/cdf.hpp"
+#include "stats/clustering.hpp"
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Ablation: p_boot — accuracy now vs lifetime "
+                "later (us-east1) ===\n\n");
+
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 7400;
+    faas::Platform p(cfg);
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+
+    // One launch for the accuracy side...
+    core::LaunchOptions launch;
+    launch.instances = 600;
+    launch.disconnect_after = false;
+    const auto obs = core::launchAndObserve(p, svc, launch);
+    std::vector<std::uint64_t> oracle;
+    for (const auto id : obs.ids)
+        oracle.push_back(p.oracleHostOf(id));
+
+    // ...and 48 hours of tracking (one probe per host) for the
+    // lifetime side.
+    std::vector<faas::InstanceId> probes;
+    {
+        std::set<hw::HostId> seen;
+        for (const auto id : obs.ids) {
+            if (seen.insert(p.oracleHostOf(id)).second)
+                probes.push_back(id);
+        }
+    }
+    std::vector<core::FingerprintHistory> histories(probes.size());
+    for (int hour = 0; hour <= 48; ++hour) {
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+            faas::SandboxView sbx = p.sandbox(probes[i]);
+            histories[i].add(p.now(),
+                             core::readGen1Median(sbx, 15).tboot_s);
+        }
+        p.advance(sim::Duration::hours(1));
+    }
+
+    core::TextTable table;
+    table.header({"p_boot", "FMI", "precision", "recall",
+                  "median expiration", "10% expire by"});
+    for (const double p_boot : {0.01, 0.1, 0.3, 1.0, 3.0, 10.0, 100.0}) {
+        std::vector<std::uint64_t> keys;
+        for (const auto &reading : obs.readings) {
+            keys.push_back(core::fingerprintKey(
+                core::quantizeGen1(reading, p_boot)));
+        }
+        const auto pc = stats::comparePairs(keys, oracle);
+
+        std::vector<double> expirations_d;
+        for (const auto &history : histories) {
+            const auto exp_s = history.expirationSeconds(p_boot);
+            expirations_d.push_back(exp_s ? *exp_s / 86400.0 : 1e6);
+        }
+        const stats::EmpiricalCdf cdf(expirations_d);
+
+        auto days = [](double d) {
+            return d >= 1e5 ? std::string(">1000 d")
+                            : core::format("%.1f d", d);
+        };
+        table.row({core::format("%g s", p_boot),
+                   core::format("%.4f", pc.fmi()),
+                   core::format("%.4f", pc.precision()),
+                   core::format("%.4f", pc.recall()),
+                   days(cdf.quantile(0.5)), days(cdf.quantile(0.1))});
+    }
+    table.print();
+
+    std::printf("\ntakeaway: precision only starts to suffer beyond "
+                "~10 s, while lifetime\nscales linearly with p_boot — "
+                "hence the paper's choice of p_boot = 1 s, the\nlargest "
+                "value inside the near-perfect accuracy plateau.\n");
+    return 0;
+}

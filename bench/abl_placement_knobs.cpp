@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation: the two placement knobs DESIGN.md calls out — the helper
+ * chunk size (how aggressively the load balancer spreads a hot
+ * service) and the demand-window length — and their effect on the
+ * attack surface.
+ *
+ * Sweeps the knobs on the us-east1 profile and reports the primed
+ * footprint, the attacker's fleet occupancy, and victim coverage.
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+
+namespace {
+
+using namespace eaao;
+
+struct Outcome
+{
+    std::size_t primed_footprint; //!< hosts after priming one service
+    double occupancy;             //!< full campaign, fraction of fleet
+    double coverage;              //!< victim coverage
+};
+
+Outcome
+evaluate(const faas::DataCenterProfile &profile,
+         const faas::OrchestratorConfig &orch, std::uint64_t seed)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = profile;
+    cfg.orchestrator = orch;
+    cfg.seed = seed;
+    faas::Platform p(cfg);
+
+    const auto attacker = p.createAccount(0);
+    const auto victim = p.createAccount(1);
+
+    // Primed footprint of a single service.
+    const auto probe = p.deployService(attacker, faas::ExecEnv::Gen1);
+    core::PrimeOptions prime;
+    prime.keep_last_connected = false;
+    const auto launches = core::primeService(p, probe, prime);
+    std::set<std::uint64_t> footprint;
+    for (const auto &obs : launches) {
+        const auto hosts = obs.apparentHosts();
+        footprint.insert(hosts.begin(), hosts.end());
+    }
+    p.advance(sim::Duration::minutes(45));
+
+    // Full campaign and coverage.
+    const auto attack =
+        core::runOptimizedCampaign(p, attacker, core::CampaignConfig{});
+    const auto vsvc = p.deployService(victim, faas::ExecEnv::Gen1);
+    const auto vids = p.connect(vsvc, 100);
+    const auto cov =
+        core::measureCoverageOracle(p, attack.occupied_hosts, vids);
+
+    Outcome out;
+    out.primed_footprint = footprint.size();
+    out.occupancy = static_cast<double>(attack.occupied_hosts.size()) /
+                    static_cast<double>(p.fleet().size());
+    out.coverage = cov.coverage();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: placement knobs (us-east1) ===\n\n");
+
+    // ---- Helper chunk sweep. ----
+    std::printf("-- helper chunk (hosts added per hot launch) --\n");
+    core::TextTable chunk_table;
+    chunk_table.header({"helper_chunk", "primed footprint", "occupancy",
+                        "victim coverage"});
+    for (const std::uint32_t chunk : {0u, 15u, 35u, 55u, 90u, 140u}) {
+        faas::DataCenterProfile profile =
+            faas::DataCenterProfile::usEast1();
+        profile.helper_chunk = chunk;
+        const Outcome out =
+            evaluate(profile, faas::OrchestratorConfig{}, 710 + chunk);
+        chunk_table.row({core::format("%u", chunk),
+                         core::format("%zu", out.primed_footprint),
+                         core::percent(out.occupancy),
+                         core::percent(out.coverage)});
+    }
+    chunk_table.print();
+    std::printf("\nchunk 0 disables the load balancer entirely: the "
+                "optimized strategy\ndegenerates to the naive one "
+                "(base hosts only, low cross-account coverage).\n\n");
+
+    // ---- Demand window sweep. ----
+    std::printf("-- demand window (hotness memory) --\n");
+    core::TextTable window_table;
+    window_table.header({"window (min)", "primed footprint",
+                         "occupancy", "victim coverage"});
+    for (const int window_min : {5, 15, 30, 60}) {
+        faas::OrchestratorConfig orch;
+        orch.demand_window = sim::Duration::minutes(window_min);
+        const Outcome out = evaluate(faas::DataCenterProfile::usEast1(),
+                                     orch, 720 + window_min);
+        window_table.row({core::format("%d", window_min),
+                          core::format("%zu", out.primed_footprint),
+                          core::percent(out.occupancy),
+                          core::percent(out.coverage)});
+    }
+    window_table.print();
+    std::printf("\na window shorter than the 10-minute launch interval "
+                "never sees the\nprevious burst, so services never "
+                "turn hot — footprint and coverage\ncollapse to the "
+                "naive baseline. Windows >= the interval behave like "
+                "the\npaper's ~30-minute observation.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Figure 4: Gen 1 fingerprint accuracy (FMI / precision / recall) as a
+ * function of the T_boot rounding precision p_boot.
+ *
+ * Protocol (paper Section 4.4.1): in each data center, launch 800
+ * concurrent instances, record each instance's raw T_boot reading,
+ * generate the co-location ground truth with the scalable covert-
+ * channel methodology, then sweep p_boot and score the fingerprints
+ * with pair-counting metrics. Repeated across runs; we report mean and
+ * standard deviation.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "core/verify.hpp"
+#include "stats/clustering.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+constexpr std::uint32_t kInstances = 800;
+constexpr int kRunsPerDc = 3;
+
+struct RunData
+{
+    std::vector<eaao::core::Gen1Reading> readings;
+    std::vector<std::uint64_t> truth; // channel-verified clusters
+};
+
+RunData
+collectRun(const eaao::faas::DataCenterProfile &profile,
+           std::uint64_t seed)
+{
+    using namespace eaao;
+    faas::PlatformConfig cfg;
+    cfg.profile = profile;
+    cfg.seed = seed;
+    faas::Platform platform(cfg);
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+
+    core::LaunchOptions launch;
+    launch.instances = kInstances;
+    launch.disconnect_after = false;
+    const core::LaunchObservation obs =
+        core::launchAndObserve(platform, svc, launch);
+
+    channel::RngChannel chan(platform);
+    const core::VerifyResult verified = core::verifyScalable(
+        platform, chan, obs.ids, obs.fp_keys, obs.class_keys);
+
+    RunData run;
+    run.readings = obs.readings;
+    run.truth = verified.cluster_of;
+    return run;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace eaao;
+
+    const std::vector<double> p_boots = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                                         3e-2, 1e-1, 3e-1, 1.0,  3.0,
+                                         1e1,  3e1,  1e2,  3e2,  1e3};
+
+    const std::vector<faas::DataCenterProfile> dcs = {
+        faas::DataCenterProfile::usEast1(),
+        faas::DataCenterProfile::usCentral1(),
+        faas::DataCenterProfile::usWest1(),
+    };
+
+    std::printf("=== Figure 4: fingerprint accuracy vs p_boot "
+                "(%u instances, %d runs x %zu DCs) ===\n\n",
+                kInstances, kRunsPerDc, dcs.size());
+
+    // Collect all runs once; sweep p_boot offline over the readings.
+    std::vector<RunData> runs;
+    for (std::size_t d = 0; d < dcs.size(); ++d) {
+        for (int r = 0; r < kRunsPerDc; ++r)
+            runs.push_back(collectRun(dcs[d], 1000 + d * 17 + r));
+    }
+
+    core::TextTable table;
+    table.header({"p_boot", "FMI", "FMI(sd)", "precision", "prec(sd)",
+                  "recall", "rec(sd)"});
+
+    for (const double p_boot : p_boots) {
+        stats::OnlineStats fmi, precision, recall;
+        for (const RunData &run : runs) {
+            std::vector<std::uint64_t> keys;
+            keys.reserve(run.readings.size());
+            for (const auto &reading : run.readings) {
+                keys.push_back(core::fingerprintKey(
+                    core::quantizeGen1(reading, p_boot)));
+            }
+            const stats::PairConfusion pc =
+                stats::comparePairs(keys, run.truth);
+            fmi.add(pc.fmi());
+            precision.add(pc.precision());
+            recall.add(pc.recall());
+        }
+        table.row({core::format("%8.0e s", p_boot),
+                   core::format("%.4f", fmi.mean()),
+                   core::format("%.4f", fmi.stddev()),
+                   core::format("%.4f", precision.mean()),
+                   core::format("%.4f", precision.stddev()),
+                   core::format("%.4f", recall.mean()),
+                   core::format("%.4f", recall.stddev())});
+    }
+    table.print();
+
+    std::printf("\npaper shape: FMI ~0.9999 for 100 ms <= p_boot <= 1 s;"
+                "\n             recall degrades at small p_boot, "
+                "precision at large p_boot.\n");
+    return 0;
+}

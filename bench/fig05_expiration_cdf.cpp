@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Figure 5: CDF of the estimated Gen 1 fingerprint expiration time.
+ *
+ * Protocol (paper Section 4.4.2): launch 50 long-running instances per
+ * data center, record their hosts' fingerprints hourly for one week,
+ * and treat an instance restart as a new (unknown) host. Histories
+ * shorter than 24 hours are filtered out. Each history's T_boot drift
+ * is fitted with linear regression (reporting the r-value) and the
+ * expiration time is the predicted time to cross a rounding boundary
+ * at p_boot = 1 s.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/report.hpp"
+#include "core/tracker.hpp"
+#include "faas/platform.hpp"
+#include "sim/rng.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+constexpr int kInstances = 50;
+constexpr int kHours = 7 * 24;
+constexpr double kRestartProbPerHour = 0.009;
+constexpr double kPBoot = 1.0;
+
+struct DcResult
+{
+    std::string name;
+    std::size_t histories = 0;
+    double min_abs_r = 1.0;
+    std::vector<double> expiration_days;
+};
+
+DcResult
+runDataCenter(const eaao::faas::DataCenterProfile &profile,
+              std::uint64_t seed)
+{
+    using namespace eaao;
+    faas::PlatformConfig cfg;
+    cfg.profile = profile;
+    cfg.seed = seed;
+    faas::Platform platform(cfg);
+    sim::Rng churn(seed * 977 + 5);
+
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+
+    // Launch a full base-host load and keep one long-running probe per
+    // distinct host, so the histories cover ~75 hosts rather than the
+    // handful a 50-instance launch would occupy.
+    std::vector<faas::InstanceId> ids;
+    {
+        const auto all = platform.connect(svc, 800);
+        std::set<hw::HostId> hosts;
+        for (const auto id : all) {
+            if (hosts.insert(platform.oracleHostOf(id)).second)
+                ids.push_back(id);
+        }
+        if (ids.size() > kInstances)
+            ids.resize(kInstances);
+    }
+
+    // One open history per tracked slot; restarts close it and open a
+    // fresh one.
+    std::vector<core::FingerprintHistory> open(ids.size());
+    std::vector<core::FingerprintHistory> closed;
+
+    for (int hour = 0; hour <= kHours; ++hour) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            if (hour > 0 && churn.bernoulli(kRestartProbPerHour)) {
+                // The platform terminated and replaced this instance;
+                // conservatively treat the replacement as a new host.
+                closed.push_back(std::move(open[i]));
+                open[i] = core::FingerprintHistory();
+                ids[i] = platform.restartInstance(ids[i]);
+            }
+            faas::SandboxView sbx = platform.sandbox(ids[i]);
+            const core::Gen1Reading r = core::readGen1Median(sbx, 15);
+            open[i].add(platform.now(), r.tboot_s);
+        }
+        platform.advance(sim::Duration::hours(1));
+    }
+    for (auto &history : open)
+        closed.push_back(std::move(history));
+
+    DcResult result;
+    result.name = profile.name;
+    for (const auto &history : closed) {
+        if (history.span() < sim::Duration::hours(24))
+            continue;
+        ++result.histories;
+        const stats::LinearFit fit = history.fitDrift();
+        result.min_abs_r =
+            std::min(result.min_abs_r, std::fabs(fit.r_value));
+        const auto exp_s = history.expirationSeconds(kPBoot);
+        // A host whose drift is immeasurably small effectively never
+        // expires within the horizon; clamp for the CDF tail.
+        result.expiration_days.push_back(
+            exp_s ? *exp_s / 86400.0 : 1e6);
+    }
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Figure 5: CDF of estimated fingerprint expiration "
+                "time (p_boot = 1 s) ===\n\n");
+
+    const std::vector<faas::DataCenterProfile> dcs = {
+        faas::DataCenterProfile::usEast1(),
+        faas::DataCenterProfile::usCentral1(),
+        faas::DataCenterProfile::usWest1(),
+    };
+
+    std::vector<DcResult> results;
+    for (std::size_t d = 0; d < dcs.size(); ++d)
+        results.push_back(runDataCenter(dcs[d], 2100 + d));
+
+    core::TextTable table;
+    table.header({"days", results[0].name, results[1].name,
+                  results[2].name});
+    for (int day = 0; day <= 7; ++day) {
+        std::vector<std::string> row = {core::format("%d", day)};
+        for (const auto &result : results) {
+            const stats::EmpiricalCdf cdf(result.expiration_days);
+            row.push_back(core::format("%.3f",
+                                       cdf.at(static_cast<double>(day))));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    std::printf("\n");
+    core::TextTable meta;
+    meta.header({"data center", "histories(>=24h)", "min |r|",
+                 "t(10%% expired)"});
+    double mean_p10 = 0.0;
+    for (const auto &result : results) {
+        const stats::EmpiricalCdf cdf(result.expiration_days);
+        const double p10 = cdf.quantile(0.10);
+        mean_p10 += p10 / static_cast<double>(results.size());
+        meta.row({result.name, core::format("%zu", result.histories),
+                  core::format("%.5f", result.min_abs_r),
+                  core::format("%.2f d", p10)});
+    }
+    meta.print();
+    std::printf("\naverage time for 10%% of fingerprints to expire: "
+                "%.2f days (paper: ~2 days)\n"
+                "paper shape: T_boot drifts linearly (min |r| = 0.9997); "
+                "most fingerprints last multiple days.\n",
+                mean_p10);
+    return 0;
+}

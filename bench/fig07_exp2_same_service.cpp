@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 7 / Experiment 2: apparent-host footprint of repeated cold
+ * launches of the same service.
+ *
+ * Protocol (paper Section 5.1): launch 800 instances, disconnect, wait
+ * 45 minutes (so all idle instances are reaped and the service cools
+ * down), repeat six times. Apparent hosts come from Gen 1
+ * fingerprints; the cumulative curve stays nearly flat because the
+ * account keeps its base hosts. A second pass uses a freshly deployed
+ * service per launch (rebuilt images) and shows the same pattern.
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+
+namespace {
+
+void
+runVariant(eaao::faas::Platform &platform, eaao::faas::AccountId acct,
+           bool fresh_service_per_launch, const char *label)
+{
+    using namespace eaao;
+
+    faas::ServiceId svc =
+        platform.deployService(acct, faas::ExecEnv::Gen1);
+
+    core::TextTable table;
+    table.header({"launch", "apparent hosts", "cumulative"});
+    std::set<std::uint64_t> cumulative;
+    for (int launch = 1; launch <= 6; ++launch) {
+        if (fresh_service_per_launch && launch > 1) {
+            svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+            platform.redeployService(svc); // freshly built image
+        }
+        core::LaunchOptions opts;
+        const core::LaunchObservation obs =
+            core::launchAndObserve(platform, svc, opts);
+        const auto apparent = obs.apparentHosts();
+        cumulative.insert(apparent.begin(), apparent.end());
+        table.row({core::format("%d", launch),
+                   core::format("%zu", apparent.size()),
+                   core::format("%zu", cumulative.size())});
+        platform.advance(sim::Duration::minutes(45) - opts.hold);
+    }
+    std::printf("%s\n", label);
+    table.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Figure 7 / Experiment 2: repeated cold launches, "
+                "45-minute interval (us-east1) ===\n\n");
+
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 71;
+    faas::Platform platform(cfg);
+    const auto acct = platform.createAccount();
+
+    runVariant(platform, acct, false,
+               "-- same service in every launch --");
+    runVariant(platform, acct, true,
+               "-- freshly deployed service per launch (rebuilt "
+               "images) --");
+
+    std::printf("paper shape: ~75 apparent hosts per launch; the "
+                "cumulative count grows\nonly slightly (base hosts are "
+                "account-affine), in both variants.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 8 / Experiment 3: apparent-host footprint across accounts.
+ *
+ * Protocol (paper Section 5.1): six cold launches at 45-minute
+ * intervals, where launches 1-2 use Account 1, launches 3-4 use
+ * Account 2, and launches 5-6 use Account 3. The cumulative apparent
+ * host count forms a step pattern: a large jump whenever a new account
+ * first appears, minimal growth otherwise — different accounts use
+ * different base hosts.
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Figure 8 / Experiment 3: launches from three "
+                "accounts (us-east1) ===\n\n");
+
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 81;
+    faas::Platform platform(cfg);
+
+    // Three standard accounts; the platform assigns their home shards
+    // (hashed), which here land on three distinct shards.
+    const std::vector<faas::AccountId> accounts = {
+        platform.createAccount(0),
+        platform.createAccount(1),
+        platform.createAccount(2),
+    };
+    std::vector<faas::ServiceId> services;
+    for (const auto acct : accounts) {
+        services.push_back(
+            platform.deployService(acct, faas::ExecEnv::Gen1));
+    }
+
+    // Launch schedule: account of launch 1..6.
+    const int account_of_launch[6] = {0, 0, 1, 1, 2, 2};
+
+    core::TextTable table;
+    table.header({"launch", "account", "apparent hosts", "cumulative"});
+    std::set<std::uint64_t> cumulative;
+    for (int launch = 0; launch < 6; ++launch) {
+        const int a = account_of_launch[launch];
+        core::LaunchOptions opts;
+        const core::LaunchObservation obs =
+            core::launchAndObserve(platform, services[a], opts);
+        const auto apparent = obs.apparentHosts();
+        cumulative.insert(apparent.begin(), apparent.end());
+        table.row({core::format("%d", launch + 1),
+                   core::format("%d", a + 1),
+                   core::format("%zu", apparent.size()),
+                   core::format("%zu", cumulative.size())});
+        platform.advance(sim::Duration::minutes(45) - opts.hold);
+    }
+    table.print();
+
+    std::printf("\npaper shape: cumulative count steps up by roughly "
+                "one base-host set\nwhenever a launch introduces a new "
+                "account, and is nearly flat otherwise.\n");
+    return 0;
+}

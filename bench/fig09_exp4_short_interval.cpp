@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 9 / Experiment 4: repeated launches at a short interval
+ * trigger the load balancer and spill instances onto helper hosts.
+ *
+ * Protocol (paper Section 5.1): six launches of 800 instances at a
+ * 10-minute interval. Both the per-launch apparent host count and the
+ * cumulative count grow drastically over the first three launches and
+ * then saturate. Controls: a 2-minute interval barely adds hosts (few
+ * instances are reaped between launches, so few are created), and a
+ * 45-minute interval never leaves the base hosts.
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+
+namespace sim = eaao::sim;
+
+namespace {
+
+std::size_t
+runInterval(std::uint64_t seed, sim::Duration interval, bool print)
+{
+    using namespace eaao;
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = seed;
+    faas::Platform platform(cfg);
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+
+    core::TextTable table;
+    table.header({"launch", "apparent hosts", "cumulative"});
+    std::set<std::uint64_t> cumulative;
+    std::size_t first = 0;
+    for (int launch = 1; launch <= 6; ++launch) {
+        core::LaunchOptions opts;
+        opts.hold = sim::Duration::seconds(30);
+        const core::LaunchObservation obs =
+            core::launchAndObserve(platform, svc, opts);
+        const auto apparent = obs.apparentHosts();
+        cumulative.insert(apparent.begin(), apparent.end());
+        if (launch == 1)
+            first = cumulative.size();
+        table.row({core::format("%d", launch),
+                   core::format("%zu", apparent.size()),
+                   core::format("%zu", cumulative.size())});
+        if (launch < 6)
+            platform.advance(interval - opts.hold);
+    }
+    if (print)
+        table.print();
+    return cumulative.size() - first;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 9 / Experiment 4: launches at a 10-minute "
+                "interval (us-east1) ===\n\n");
+    runInterval(91, sim::Duration::minutes(10), true);
+
+    std::printf("\nextra hosts discovered after launch 1, by launch "
+                "interval:\n\n");
+    eaao::core::TextTable controls;
+    controls.header({"interval", "new hosts after 6 launches"});
+    const std::size_t at_2min =
+        runInterval(92, sim::Duration::minutes(2), false);
+    const std::size_t at_10min =
+        runInterval(91, sim::Duration::minutes(10), false);
+    const std::size_t at_45min =
+        runInterval(93, sim::Duration::minutes(45), false);
+    controls.row({"2 min", eaao::core::format("%zu", at_2min)});
+    controls.row({"10 min", eaao::core::format("%zu", at_10min)});
+    controls.row({"45 min", eaao::core::format("%zu", at_45min)});
+    controls.print();
+
+    std::printf("\npaper shape: drastic growth that saturates after "
+                "~3 launches at 10 min\n(+177 hosts); almost none at "
+                "2 min (+12) or beyond the 30-minute demand\nwindow "
+                "(45 min).\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 10 / Experiment 4 (episodes): helper-host footprints of
+ * different services overlap but differ.
+ *
+ * Protocol (paper Section 5.1): six episodes; each episode deploys a
+ * fresh service and launches it six times (800 instances, 10-minute
+ * interval). The helper footprint of an episode is the difference
+ * between the host footprint after the sixth launch and after the
+ * first (base) launch. The cumulative helper footprint keeps growing
+ * across episodes — each service uses some new helper hosts — while
+ * per-episode increments shrink, showing overlap.
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Figure 10 / Experiment 4 episodes: helper hosts "
+                "across services (us-east1) ===\n\n");
+
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 101;
+    faas::Platform platform(cfg);
+    const auto acct = platform.createAccount();
+
+    core::TextTable table;
+    table.header({"episode", "apparent helper hosts",
+                  "cumulative helper hosts"});
+    std::set<std::uint64_t> cumulative_helpers;
+
+    for (int episode = 1; episode <= 6; ++episode) {
+        const auto svc =
+            platform.deployService(acct, faas::ExecEnv::Gen1);
+
+        core::PrimeOptions prime;
+        prime.keep_last_connected = false;
+        const auto launches = primeService(platform, svc, prime);
+
+        const std::set<std::uint64_t> base =
+            launches.front().apparentHosts();
+        std::set<std::uint64_t> all;
+        for (const auto &obs : launches) {
+            const auto hosts = obs.apparentHosts();
+            all.insert(hosts.begin(), hosts.end());
+        }
+        std::set<std::uint64_t> helpers;
+        for (const auto key : all) {
+            if (base.count(key) == 0)
+                helpers.insert(key);
+        }
+        cumulative_helpers.insert(helpers.begin(), helpers.end());
+        table.row({core::format("%d", episode),
+                   core::format("%zu", helpers.size()),
+                   core::format("%zu", cumulative_helpers.size())});
+
+        // Cool-down between episodes so the next service starts cold.
+        platform.advance(sim::Duration::minutes(45));
+    }
+    table.print();
+
+    std::printf("\npaper shape: the cumulative helper footprint grows "
+                "after every episode,\nbut by less than the episode's "
+                "own helper count — helper sets of different\nservices "
+                "overlap without coinciding (Observation 6).\n");
+    return 0;
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Figure 11: victim-instance coverage of the optimized launching
+ * strategy (Strategy 2), sweeping the number of victim instances
+ * (Fig. 11a) and the victim container size (Fig. 11b).
+ *
+ * Protocol (paper Section 5.2): the attacker primes six services with
+ * six launches of 800 instances at a 10-minute interval, keeping the
+ * final launches connected. Each victim configuration then launches a
+ * fresh cold service; coverage is the fraction of victim instances
+ * co-located with at least one attacker instance. Repeated three
+ * times per (data center, victim account); we report mean and standard
+ * deviation, plus the attack's financial cost.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+constexpr int kRuns = 3;
+
+struct DcSetup
+{
+    eaao::faas::DataCenterProfile profile;
+    // Home shards of attacker / Account 2 / Account 3, matching the
+    // per-account accidents the paper observed (see DESIGN.md).
+    std::uint32_t shards[3];
+};
+
+struct SweepPoint
+{
+    const char *label;
+    std::uint32_t count;
+    eaao::faas::ContainerSize size;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Figure 11: victim instance coverage, optimized "
+                "strategy (%d runs each) ===\n\n", kRuns);
+
+    const std::vector<DcSetup> dcs = {
+        {faas::DataCenterProfile::usEast1(), {0, 1, 2}},
+        {faas::DataCenterProfile::usCentral1(), {0, 1, 0}},
+        {faas::DataCenterProfile::usWest1(), {0, 0, 1}},
+    };
+
+    const std::vector<SweepPoint> count_sweep = {
+        {"20", 20, faas::sizes::kSmall},
+        {"50", 50, faas::sizes::kSmall},
+        {"100", 100, faas::sizes::kSmall},
+        {"200", 200, faas::sizes::kSmall},
+    };
+    const std::vector<SweepPoint> size_sweep = {
+        {"Pico", 100, faas::sizes::kPico},
+        {"Small", 100, faas::sizes::kSmall},
+        {"Medium", 100, faas::sizes::kMedium},
+        {"Large", 100, faas::sizes::kLarge},
+    };
+
+    // coverage[dc][victim][sweep-index] -> stats over runs
+    std::map<std::string, std::vector<stats::OnlineStats>> table_a;
+    std::map<std::string, std::vector<stats::OnlineStats>> table_b;
+    std::map<std::string, stats::OnlineStats> any_coloc;
+    std::map<std::string, stats::OnlineStats> host_fraction;
+    stats::OnlineStats cost_stats;
+
+    for (const DcSetup &dc : dcs) {
+        for (int victim_idx = 0; victim_idx < 2; ++victim_idx) {
+            const std::string key =
+                dc.profile.name + " / Acc" +
+                std::to_string(victim_idx + 2);
+            table_a[key].resize(count_sweep.size());
+            table_b[key].resize(size_sweep.size());
+
+            for (int run = 0; run < kRuns; ++run) {
+                faas::PlatformConfig cfg;
+                cfg.profile = dc.profile;
+                cfg.seed = 11000 + sim::mix64(key.size() * 131 + run) %
+                                       100000;
+                faas::Platform platform(cfg);
+
+                const auto attacker =
+                    platform.createAccount(dc.shards[0]);
+                const auto victim = platform.createAccount(
+                    dc.shards[1 + victim_idx]);
+
+                const core::CampaignResult attack =
+                    core::runOptimizedCampaign(platform, attacker,
+                                               core::CampaignConfig{});
+                cost_stats.add(attack.cost_usd);
+                host_fraction[dc.profile.name].add(
+                    static_cast<double>(attack.occupied_hosts.size()) /
+                    static_cast<double>(platform.fleet().size()));
+
+                auto run_victim = [&](const SweepPoint &point,
+                                      stats::OnlineStats &acc) {
+                    const auto vsvc = platform.deployService(
+                        victim, faas::ExecEnv::Gen1, point.size);
+                    const auto vids =
+                        platform.connect(vsvc, point.count);
+                    const core::CoverageResult cov =
+                        core::measureCoverageOracle(
+                            platform, attack.occupied_hosts, vids);
+                    acc.add(cov.coverage());
+                    if (point.count == 100 &&
+                        point.size.vcpus ==
+                            faas::sizes::kSmall.vcpus) {
+                        any_coloc[key].add(
+                            cov.covered_instances > 0 ? 1.0 : 0.0);
+                    }
+                    platform.disconnectAll(vsvc);
+                    platform.advance(sim::Duration::minutes(16));
+                };
+
+                for (std::size_t i = 0; i < count_sweep.size(); ++i)
+                    run_victim(count_sweep[i], table_a[key][i]);
+                for (std::size_t i = 0; i < size_sweep.size(); ++i)
+                    run_victim(size_sweep[i], table_b[key][i]);
+            }
+        }
+    }
+
+    auto print_sweep =
+        [&](const char *title, const std::vector<SweepPoint> &sweep,
+            std::map<std::string, std::vector<stats::OnlineStats>> &t) {
+            std::printf("%s\n", title);
+            core::TextTable table;
+            std::vector<std::string> head = {"DC / victim"};
+            for (const auto &point : sweep) {
+                head.push_back(std::string(point.label));
+                head.push_back("(sd)");
+            }
+            table.header(head);
+            for (auto &[key, cells] : t) {
+                std::vector<std::string> row = {key};
+                for (const auto &acc : cells) {
+                    row.push_back(core::percent(acc.mean()));
+                    row.push_back(core::format("%.3f", acc.stddev()));
+                }
+                table.row(row);
+            }
+            table.print();
+            std::printf("\n");
+        };
+
+    print_sweep("-- Fig 11a: varying victim instance count (Small) --",
+                count_sweep, table_a);
+    print_sweep("-- Fig 11b: varying victim size (100 instances) --",
+                size_sweep, table_b);
+
+    std::printf("-- probability of co-locating with at least one "
+                "victim instance (default config) --\n");
+    core::TextTable anyt;
+    anyt.header({"DC / victim", "P(>=1 co-location)"});
+    for (const auto &[key, acc] : any_coloc)
+        anyt.row({key, core::percent(acc.mean(), 0)});
+    anyt.print();
+
+    std::printf("\n-- attacker host occupancy and cost --\n");
+    core::TextTable occ;
+    occ.header({"DC", "fraction of fleet occupied"});
+    for (const auto &[name, acc] : host_fraction)
+        occ.row({name, core::percent(acc.mean())});
+    occ.print();
+    std::printf("\naverage attack cost: %.1f USD per campaign "
+                "(paper: 23-27 USD)\n", cost_stats.mean());
+
+    std::printf("\npaper shape: ~98-100%% coverage in us-east1 and "
+                "us-west1, 61-90%% in the\nlarger and more dynamic "
+                "us-central1; coverage insensitive to victim count "
+                "and size;\n100%% probability of co-locating with at "
+                "least one victim instance.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 12: estimating the scale of each data center's Cloud Run-style
+ * cluster by exploring hosts with the optimized strategy.
+ *
+ * Protocol (paper Section 5.2): eight services from each of three
+ * accounts (24 services), each primed with four optimized launches
+ * (800 instances, 10-minute interval) — 96 launches per data center.
+ * The cumulative number of unique apparent hosts flattens out, so its
+ * final value estimates the cluster size.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Figure 12: cumulative unique apparent hosts "
+                "across 96 launches ===\n\n");
+
+    const std::vector<faas::DataCenterProfile> dcs = {
+        faas::DataCenterProfile::usEast1(),
+        faas::DataCenterProfile::usCentral1(),
+        faas::DataCenterProfile::usWest1(),
+    };
+
+    std::vector<core::ExplorationResult> results;
+    for (std::size_t d = 0; d < dcs.size(); ++d) {
+        faas::PlatformConfig cfg;
+        cfg.profile = dcs[d];
+        cfg.seed = 1200 + d;
+        faas::Platform platform(cfg);
+
+        std::vector<faas::AccountId> accounts;
+        for (std::uint32_t a = 0; a < 3; ++a) {
+            accounts.push_back(platform.createAccount(
+                a % platform.fleet().shardCount()));
+        }
+
+        core::PrimeOptions prime; // 800 instances, 10-minute interval
+        results.push_back(
+            core::exploreClusterSize(platform, accounts, 8, 4, prime));
+    }
+
+    core::TextTable table;
+    table.header({"launch", dcs[0].name, dcs[1].name, dcs[2].name});
+    for (std::size_t l = 0; l < 96; l += 8) {
+        std::vector<std::string> row = {
+            core::format("%zu", l + 1)};
+        for (const auto &result : results) {
+            row.push_back(core::format(
+                "%zu", l < result.cumulative_unique.size()
+                           ? result.cumulative_unique[l]
+                           : result.total));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> final_row = {"96"};
+    for (const auto &result : results)
+        final_row.push_back(core::format("%zu", result.total));
+    table.row(final_row);
+    table.print();
+
+    std::printf("\ntotal unique apparent hosts found: %zu (%s), %zu "
+                "(%s), %zu (%s)\npaper: 474 in us-east1, 1702 in "
+                "us-central1, 199 in us-west1 — the curves\nflatten, "
+                "so the totals estimate the cluster sizes.\n",
+                results[0].total, dcs[0].name.c_str(),
+                results[1].total, dcs[1].name.c_str(),
+                results[2].total, dcs[2].name.c_str());
+    return 0;
+}

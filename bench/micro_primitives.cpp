@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the library's primitives:
+ * fingerprint readings, quantization, covert-channel group tests,
+ * scalable-vs-pairwise verification scaling, and orchestrator
+ * placement throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "channel/covert.hpp"
+#include "core/fingerprint.hpp"
+#include "core/strategy.hpp"
+#include "core/verify.hpp"
+#include "faas/platform.hpp"
+
+namespace {
+
+using namespace eaao;
+
+faas::PlatformConfig
+baseConfig(std::uint64_t seed)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = seed;
+    return cfg;
+}
+
+void
+BM_ReadTimestamp(benchmark::State &state)
+{
+    faas::Platform platform(baseConfig(1));
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+    const auto ids = platform.connect(svc, 1);
+    faas::SandboxView sbx = platform.sandbox(ids[0]);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sbx.readTimestamp());
+    }
+}
+BENCHMARK(BM_ReadTimestamp);
+
+void
+BM_Gen1FingerprintReading(benchmark::State &state)
+{
+    faas::Platform platform(baseConfig(2));
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+    const auto ids = platform.connect(svc, 1);
+    faas::SandboxView sbx = platform.sandbox(ids[0]);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::readGen1(sbx));
+    }
+}
+BENCHMARK(BM_Gen1FingerprintReading);
+
+void
+BM_QuantizeAndKey(benchmark::State &state)
+{
+    core::Gen1Reading reading;
+    reading.cpu_model = "Intel Xeon CPU @ 2.00GHz";
+    reading.frequency_hz = 2.0e9;
+    reading.tboot_s = -123456.789;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::fingerprintKey(
+            core::quantizeGen1(reading, 1.0)));
+    }
+}
+BENCHMARK(BM_QuantizeAndKey);
+
+void
+BM_CTestGroup(benchmark::State &state)
+{
+    faas::Platform platform(baseConfig(3));
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+    const auto ids = platform.connect(svc, 800);
+    // One full host cohort (~11 instances).
+    const hw::HostId host = platform.oracleHostOf(ids[0]);
+    std::vector<faas::InstanceId> cohort;
+    for (const auto id : ids)
+        if (platform.oracleHostOf(id) == host)
+            cohort.push_back(id);
+    channel::RngChannel chan(platform);
+    const auto m =
+        static_cast<std::uint32_t>((cohort.size() + 2) / 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chan.run(cohort, m));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cohort.size()));
+}
+BENCHMARK(BM_CTestGroup);
+
+void
+BM_VerifyScalable(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    faas::Platform platform(baseConfig(4));
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+    core::LaunchOptions launch;
+    launch.instances = n;
+    launch.disconnect_after = false;
+    const auto obs = core::launchAndObserve(platform, svc, launch);
+    std::uint64_t tests = 0;
+    for (auto _ : state) {
+        channel::RngChannel chan(platform);
+        const auto result = core::verifyScalable(
+            platform, chan, obs.ids, obs.fp_keys, obs.class_keys);
+        tests = result.group_tests;
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["group_tests"] = static_cast<double>(tests);
+}
+BENCHMARK(BM_VerifyScalable)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+
+void
+BM_VerifyPairwise(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    faas::Platform platform(baseConfig(5));
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+    core::LaunchOptions launch;
+    launch.instances = n;
+    launch.disconnect_after = false;
+    const auto obs = core::launchAndObserve(platform, svc, launch);
+    channel::RngChannelConfig quick;
+    quick.trials = 6;
+    quick.detect_min = 3;
+    for (auto _ : state) {
+        channel::RngChannel chan(platform, quick);
+        benchmark::DoNotOptimize(
+            core::verifyPairwise(platform, chan, obs.ids));
+    }
+}
+BENCHMARK(BM_VerifyPairwise)->Arg(100)->Arg(200);
+
+void
+BM_PlacementScaleOut(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        faas::Platform platform(baseConfig(6));
+        const auto acct = platform.createAccount();
+        const auto svc =
+            platform.deployService(acct, faas::ExecEnv::Gen1);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(platform.connect(svc, n));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PlacementScaleOut)->Arg(100)->Arg(800);
+
+void
+BM_FleetConstruction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        faas::PlatformConfig cfg = baseConfig(7);
+        cfg.profile.host_count =
+            static_cast<std::uint32_t>(state.range(0));
+        faas::Platform platform(cfg);
+        benchmark::DoNotOptimize(platform.fleet().size());
+    }
+}
+BENCHMARK(BM_FleetConstruction)->Arg(520)->Arg(1850);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Section 4.5: accuracy of the Gen 2 fingerprint (kernel-refined host
+ * TSC frequency).
+ *
+ * Protocol: same setup as the Gen 1 accuracy evaluation — 800
+ * concurrent Gen 2 instances per data center, ground truth from the
+ * covert channel — but fingerprints are the refined frequency read
+ * inside the guest. The paper reports FMI 0.66 and precision 0.48
+ * (about 2.0 hosts share a fingerprint on average), but zero false
+ * negatives, which allows fully parallel Step-2 verification and no
+ * Step 3.
+ */
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "core/verify.hpp"
+#include "faas/platform.hpp"
+#include "stats/clustering.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+constexpr std::uint32_t kInstances = 800;
+constexpr int kRunsPerDc = 3;
+
+} // namespace
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Section 4.5: Gen 2 fingerprint accuracy "
+                "(%u instances, %d runs x 3 DCs) ===\n\n",
+                kInstances, kRunsPerDc);
+
+    const std::vector<faas::DataCenterProfile> dcs = {
+        faas::DataCenterProfile::usEast1(),
+        faas::DataCenterProfile::usCentral1(),
+        faas::DataCenterProfile::usWest1(),
+    };
+
+    stats::OnlineStats fmi, precision, recall, hosts_per_fp;
+    std::uint64_t total_fn = 0;
+    stats::OnlineStats waves_parallel, waves_serial;
+
+    for (std::size_t d = 0; d < dcs.size(); ++d) {
+        for (int run = 0; run < kRunsPerDc; ++run) {
+            faas::PlatformConfig cfg;
+            cfg.profile = dcs[d];
+            cfg.seed = 4500 + d * 31 + run;
+            faas::Platform platform(cfg);
+            const auto acct = platform.createAccount();
+            const auto svc =
+                platform.deployService(acct, faas::ExecEnv::Gen2);
+
+            core::LaunchOptions launch;
+            launch.instances = kInstances;
+            launch.disconnect_after = false;
+            const core::LaunchObservation obs =
+                core::launchAndObserve(platform, svc, launch);
+
+            std::vector<std::uint64_t> oracle;
+            for (const auto id : obs.ids)
+                oracle.push_back(platform.oracleHostOf(id));
+
+            const auto pc = stats::comparePairs(obs.fp_keys, oracle);
+            fmi.add(pc.fmi());
+            precision.add(pc.precision());
+            recall.add(pc.recall());
+            total_fn += pc.fn;
+
+            // Hosts per fingerprint (averaged over fingerprints).
+            std::map<std::uint64_t, std::set<std::uint64_t>> by_fp;
+            for (std::size_t i = 0; i < obs.fp_keys.size(); ++i)
+                by_fp[obs.fp_keys[i]].insert(oracle[i]);
+            double sum = 0.0;
+            for (const auto &[key, hosts] : by_fp)
+                sum += static_cast<double>(hosts.size());
+            hosts_per_fp.add(sum / static_cast<double>(by_fp.size()));
+
+            // Verification benefit: Gen 2 allows fully parallel Step 2
+            // and skips Step 3.
+            channel::RngChannel chan_par(platform);
+            core::VerifyOptions par;
+            par.no_false_negatives = true;
+            const auto vp = core::verifyScalable(
+                platform, chan_par, obs.ids, obs.fp_keys,
+                obs.class_keys, par);
+            waves_parallel.add(static_cast<double>(vp.waves));
+
+            channel::RngChannel chan_ser(platform);
+            core::VerifyOptions ser;
+            ser.parallelize = false;
+            const auto vs = core::verifyScalable(
+                platform, chan_ser, obs.ids, obs.fp_keys,
+                obs.class_keys, ser);
+            waves_serial.add(static_cast<double>(vs.waves));
+        }
+    }
+
+    core::TextTable table;
+    table.header({"metric", "measured", "paper"});
+    table.row({"FMI", core::format("%.3f", fmi.mean()), "0.66"});
+    table.row({"precision", core::format("%.3f", precision.mean()),
+               "0.48"});
+    table.row({"recall", core::format("%.3f", recall.mean()), "1.0"});
+    table.row({"false negatives (total)",
+               core::format("%llu",
+                            static_cast<unsigned long long>(total_fn)),
+               "0 (structural)"});
+    table.row({"avg hosts per fingerprint",
+               core::format("%.2f", hosts_per_fp.mean()), "2.0"});
+    table.row({"verification waves, parallel Step 2",
+               core::format("%.1f", waves_parallel.mean()), "-"});
+    table.row({"verification waves, serialized",
+               core::format("%.1f", waves_serial.mean()), "-"});
+    table.print();
+
+    std::printf("\npaper shape: low precision (multiple hosts share a "
+                "refined frequency) but\nzero false negatives, so "
+                "ground truth can still be generated efficiently\n"
+                "with fully-parallel Step 2 and no Step 3.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Section 5.2: the optimized launching strategy in the Gen 2
+ * environment (both attacker and victims run Gen 2 instances).
+ *
+ * The paper reports victim coverage of 87.3%/88.7% (us-east1),
+ * 40.7%/75.3% (us-central1) and 96.0%/97.3% (us-west1) for
+ * Accounts 2/3 — slightly below Gen 1 but still highly effective,
+ * with no significant sensitivity to victim count or size.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+constexpr int kRuns = 3;
+
+struct DcSetup
+{
+    eaao::faas::DataCenterProfile profile;
+    std::uint32_t shards[3];
+    const char *paper[2];
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Section 5.2: optimized strategy in the Gen 2 "
+                "environment (%d runs) ===\n\n", kRuns);
+
+    const std::vector<DcSetup> dcs = {
+        {faas::DataCenterProfile::usEast1(), {0, 1, 2},
+         {"87.3%", "88.7%"}},
+        {faas::DataCenterProfile::usCentral1(), {0, 1, 0},
+         {"40.7%", "75.3%"}},
+        {faas::DataCenterProfile::usWest1(), {0, 0, 1},
+         {"96.0%", "97.3%"}},
+    };
+
+    core::TextTable table;
+    table.header({"DC / victim", "coverage", "(sd)", "paper"});
+
+    for (const DcSetup &dc : dcs) {
+        for (int victim_idx = 0; victim_idx < 2; ++victim_idx) {
+            stats::OnlineStats coverage;
+            for (int run = 0; run < kRuns; ++run) {
+                faas::PlatformConfig cfg;
+                cfg.profile = dc.profile;
+                cfg.seed = 5300 + victim_idx * 53 + run;
+                faas::Platform platform(cfg);
+                const auto attacker =
+                    platform.createAccount(dc.shards[0]);
+                const auto victim = platform.createAccount(
+                    dc.shards[1 + victim_idx]);
+
+                core::CampaignConfig campaign;
+                campaign.env = faas::ExecEnv::Gen2;
+                const core::CampaignResult attack =
+                    core::runOptimizedCampaign(platform, attacker,
+                                               campaign);
+
+                const auto vsvc = platform.deployService(
+                    victim, faas::ExecEnv::Gen2);
+                const auto vids = platform.connect(vsvc, 100);
+                coverage.add(core::measureCoverageOracle(
+                                 platform, attack.occupied_hosts, vids)
+                                 .coverage());
+            }
+            table.row({dc.profile.name + " / Acc" +
+                           std::to_string(victim_idx + 2),
+                       core::percent(coverage.mean()),
+                       core::format("%.3f", coverage.stddev()),
+                       dc.paper[victim_idx]});
+        }
+    }
+    table.print();
+
+    std::printf("\npaper shape: the strategy transfers to Gen 2 — "
+                "high coverage in us-east1\nand us-west1, reduced in "
+                "the larger, more dynamic us-central1.\n");
+    return 0;
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Section 6: potential mitigations, evaluated end-to-end.
+ *
+ * For each defense we rerun the relevant attack primitive and report
+ * what breaks and what it costs:
+ *
+ *  1. Gen 1 trap-and-emulate rdtsc (+ optional cpuid masking): the
+ *     derived "boot time" becomes the container's start time, so
+ *     fingerprints stop clustering co-located instances — at the price
+ *     of ~50x slower timer accesses (with per-workload impact).
+ *  2. Gen 2 hardware TSC offsetting + scaling: the refined frequency
+ *     collapses to the nominal value; fingerprints lose all precision
+ *     at zero runtime overhead.
+ *  3. Co-location-resistant scheduling: accounts are confined to their
+ *     home shards; the optimized strategy's victim coverage collapses.
+ *  4. Contention-burst detection: large-scale covert-channel
+ *     verification lights up the provider's detector.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "channel/covert.hpp"
+#include "core/fingerprint.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "core/verify.hpp"
+#include "defense/detector.hpp"
+#include "defense/tsc_defense.hpp"
+#include "stats/clustering.hpp"
+
+namespace {
+
+using namespace eaao;
+
+faas::PlatformConfig
+baseConfig(std::uint64_t seed)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Fingerprint quality of a 400-instance launch vs the oracle. */
+stats::PairConfusion
+fingerprintQuality(faas::Platform &platform, faas::ExecEnv env)
+{
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, env);
+    core::LaunchOptions launch;
+    launch.instances = 400;
+    launch.disconnect_after = false;
+    const core::LaunchObservation obs =
+        core::launchAndObserve(platform, svc, launch);
+    std::vector<std::uint64_t> oracle;
+    for (const auto id : obs.ids)
+        oracle.push_back(platform.oracleHostOf(id));
+    return stats::comparePairs(obs.fp_keys, oracle);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section 6: mitigations ===\n\n");
+
+    // ---- 1. Gen 1 trap-and-emulate. ----
+    {
+        std::printf("-- Gen 1: trap-and-emulate rdtsc/rdtscp --\n");
+        core::TextTable table;
+        table.header({"defense", "FMI", "precision", "recall",
+                      "timer access"});
+
+        faas::Platform off(baseConfig(601));
+        const auto q_off = fingerprintQuality(off, faas::ExecEnv::Gen1);
+
+        faas::PlatformConfig cfg = baseConfig(602);
+        cfg.tsc_defense.gen1 = defense::Gen1TscPolicy::TrapEmulate;
+        faas::Platform on(cfg);
+        const auto q_on = fingerprintQuality(on, faas::ExecEnv::Gen1);
+
+        table.row({"native TSC", core::format("%.4f", q_off.fmi()),
+                   core::format("%.4f", q_off.precision()),
+                   core::format("%.4f", q_off.recall()),
+                   cfg.tsc_defense.native_timer_cost.str()});
+        table.row({"trap-and-emulate",
+                   core::format("%.4f", q_on.fmi()),
+                   core::format("%.4f", q_on.precision()),
+                   core::format("%.4f", q_on.recall()),
+                   cfg.tsc_defense.emulated_timer_cost.str()});
+        table.print();
+
+        std::printf("\ntimer-overhead impact per workload class "
+                    "(trap-and-emulate):\n\n");
+        core::TextTable impact;
+        impact.header({"workload", "timer calls/op", "base latency",
+                       "added latency"});
+        std::size_t count = 0;
+        const auto *profiles = defense::timerSensitiveWorkloads(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const double frac = defense::timerOverheadFraction(
+                cfg.tsc_defense, profiles[i]);
+            impact.row({profiles[i].name,
+                        core::format("%.0f",
+                                     profiles[i].timer_calls_per_op),
+                        profiles[i].base_op_latency.str(),
+                        core::percent(frac)});
+        }
+        impact.print();
+        std::printf("\npaper reference: Cassandra write latency "
+                    "reportedly improved 43%% when\nmoving OFF a "
+                    "trapping clock source — the same cost this "
+                    "defense reintroduces.\n\n");
+    }
+
+    // ---- 2. Gen 2 hardware TSC scaling. ----
+    {
+        std::printf("-- Gen 2: TSC offsetting + scaling --\n");
+        core::TextTable table;
+        table.header({"defense", "FMI", "precision",
+                      "distinct fingerprints"});
+
+        faas::Platform off(baseConfig(603));
+        const auto q_off = fingerprintQuality(off, faas::ExecEnv::Gen2);
+
+        faas::PlatformConfig cfg = baseConfig(604);
+        cfg.tsc_defense.gen2 = defense::Gen2TscPolicy::OffsetAndScale;
+        faas::Platform on(cfg);
+        const auto acct = on.createAccount();
+        const auto svc = on.deployService(acct, faas::ExecEnv::Gen2);
+        core::LaunchOptions launch;
+        launch.instances = 400;
+        launch.disconnect_after = false;
+        const auto obs = core::launchAndObserve(on, svc, launch);
+        std::vector<std::uint64_t> oracle;
+        for (const auto id : obs.ids)
+            oracle.push_back(on.oracleHostOf(id));
+        const auto q_on = stats::comparePairs(obs.fp_keys, oracle);
+        const std::size_t distinct = stats::distinctCount(obs.fp_keys);
+
+        table.row({"offset only", core::format("%.4f", q_off.fmi()),
+                   core::format("%.4f", q_off.precision()), "-"});
+        table.row({"offset + scale", core::format("%.4f", q_on.fmi()),
+                   core::format("%.4f", q_on.precision()),
+                   core::format("%zu (one per SKU)", distinct)});
+        table.print();
+        std::printf("\n");
+    }
+
+    // ---- 3. Co-location-resistant scheduling. ----
+    {
+        std::printf("-- scheduler: co-location-resistant placement "
+                    "(account isolation) --\n");
+        core::TextTable table;
+        table.header({"scheduling", "victim coverage",
+                      "attacker hosts", "helper relief"});
+        for (const bool isolate : {false, true}) {
+            faas::PlatformConfig cfg = baseConfig(605 + isolate);
+            cfg.orchestrator.isolate_accounts = isolate;
+            faas::Platform p(cfg);
+            const auto attacker = p.createAccount(0);
+            const auto victim = p.createAccount(1);
+            const auto attack = core::runOptimizedCampaign(
+                p, attacker, core::CampaignConfig{});
+            const auto vsvc =
+                p.deployService(victim, faas::ExecEnv::Gen1);
+            const auto vids = p.connect(vsvc, 100);
+            const auto cov = core::measureCoverageOracle(
+                p, attack.occupied_hosts, vids);
+            table.row(
+                {isolate ? "co-location-resistant" : "default",
+                 core::percent(cov.coverage()),
+                 core::format("%zu", attack.occupied_hosts.size()),
+                 isolate ? "home shard only (hot services overload it)"
+                         : "DC-wide helper hosts"});
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    // ---- 4. Contention-burst detection. ----
+    {
+        std::printf("-- provider-side contention detection --\n");
+        faas::Platform p(baseConfig(607));
+        const auto acct = p.createAccount();
+        const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+        core::LaunchOptions launch;
+        launch.instances = 800;
+        launch.disconnect_after = false;
+        const auto obs = core::launchAndObserve(p, svc, launch);
+
+        defense::ContentionDetector detector;
+        channel::RngChannel chan(p);
+        chan.attachDetector(&detector);
+        const auto verified = core::verifyScalable(
+            p, chan, obs.ids, obs.fp_keys, obs.class_keys);
+        const auto flagged = detector.flaggedHosts(p.now());
+        const auto implicated = detector.implicatedAccounts(p.now());
+
+        core::TextTable table;
+        table.header({"metric", "value"});
+        table.row({"verification group tests",
+                   core::format("%llu",
+                                static_cast<unsigned long long>(
+                                    verified.group_tests))});
+        table.row({"contention bursts observed",
+                   core::format("%llu",
+                                static_cast<unsigned long long>(
+                                    detector.totalBursts()))});
+        table.row({"hosts flagged",
+                   core::format("%zu", flagged.size())});
+        table.row({"accounts implicated",
+                   core::format("%zu", implicated.size())});
+        table.print();
+        std::printf("\nlarge-scale co-location verification is loud: "
+                    "every tested host shows a\ncontention burst, so a "
+                    "provider watching rarely-used shared resources "
+                    "can\nflag the verifying account within one "
+                    "detector window.\n");
+    }
+    return 0;
+}

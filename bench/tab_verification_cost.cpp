@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Section 4.3 cost comparison: scalable fingerprint-assisted
+ * verification vs conventional pairwise covert-channel testing (and
+ * SIE) for 800 concurrent instances.
+ *
+ * The paper's numbers: pairwise testing needs 319,600 serialized tests
+ * (~8.9 h at an optimistic 100 ms/test, ~645 USD of instance time);
+ * the Varadarajan-style memory-bus channel at several seconds per test
+ * costs far more; the scalable method finishes in ~1-2 minutes for
+ * ~1-3 USD. SIE cannot eliminate anything because every FaaS instance
+ * shares its host.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "core/verify.hpp"
+#include "faas/platform.hpp"
+#include "stats/clustering.hpp"
+
+namespace {
+
+constexpr std::uint32_t kInstances = 800;
+
+struct Setup
+{
+    std::unique_ptr<eaao::faas::Platform> platform;
+    eaao::core::LaunchObservation obs;
+
+    explicit Setup(std::uint64_t seed)
+    {
+        using namespace eaao;
+        faas::PlatformConfig cfg;
+        cfg.profile = faas::DataCenterProfile::usEast1();
+        cfg.seed = seed;
+        platform = std::make_unique<faas::Platform>(cfg);
+        const auto acct = platform->createAccount();
+        const auto svc =
+            platform->deployService(acct, faas::ExecEnv::Gen1);
+        core::LaunchOptions launch;
+        launch.instances = kInstances;
+        launch.disconnect_after = false;
+        obs = core::launchAndObserve(*platform, svc, launch);
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== Section 4.3: co-location verification cost for "
+                "%u instances (us-east1) ===\n\n", kInstances);
+
+    core::TextTable table;
+    table.header({"method", "tests", "wall time", "cost (USD)",
+                  "pairwise errors"});
+
+    // --- Scalable fingerprint-assisted verification. ---
+    {
+        Setup s(431);
+        channel::RngChannel chan(*s.platform);
+        const core::VerifyResult r = core::verifyScalable(
+            *s.platform, chan, s.obs.ids, s.obs.fp_keys,
+            s.obs.class_keys);
+        std::vector<std::uint64_t> oracle;
+        for (const auto id : s.obs.ids)
+            oracle.push_back(s.platform->oracleHostOf(id));
+        const auto pc = stats::comparePairs(r.cluster_of, oracle);
+        table.row({"scalable (ours)",
+                   core::format("%llu",
+                                static_cast<unsigned long long>(
+                                    r.group_tests)),
+                   r.elapsed.str(), core::format("%.2f", r.cost_usd),
+                   core::format("%llu",
+                                static_cast<unsigned long long>(
+                                    pc.fp + pc.fn))});
+    }
+
+    // --- Pairwise RNG channel at the paper's optimistic 100 ms/test. ---
+    {
+        Setup s(432);
+        channel::RngChannelConfig quick;
+        quick.trials = 6;
+        quick.detect_min = 3;
+        channel::RngChannel chan(*s.platform, quick);
+        const core::VerifyResult r =
+            core::verifyPairwise(*s.platform, chan, s.obs.ids);
+        std::vector<std::uint64_t> oracle;
+        for (const auto id : s.obs.ids)
+            oracle.push_back(s.platform->oracleHostOf(id));
+        const auto pc = stats::comparePairs(r.cluster_of, oracle);
+        table.row({"pairwise, 100 ms/test",
+                   core::format("%llu",
+                                static_cast<unsigned long long>(
+                                    r.group_tests)),
+                   r.elapsed.str(), core::format("%.0f", r.cost_usd),
+                   core::format("%llu",
+                                static_cast<unsigned long long>(
+                                    pc.fp + pc.fn))});
+    }
+
+    // --- Pairwise memory-bus channel (Varadarajan-style, 3 s/test). ---
+    {
+        Setup s(433);
+        channel::MemBusChannel chan(*s.platform);
+        const core::VerifyResult r =
+            core::verifyPairwiseMemBus(*s.platform, chan, s.obs.ids);
+        std::vector<std::uint64_t> oracle;
+        for (const auto id : s.obs.ids)
+            oracle.push_back(s.platform->oracleHostOf(id));
+        const auto pc = stats::comparePairs(r.cluster_of, oracle);
+        table.row({"pairwise, mem-bus 3 s/test",
+                   core::format("%llu",
+                                static_cast<unsigned long long>(
+                                    r.group_tests)),
+                   r.elapsed.str(), core::format("%.0f", r.cost_usd),
+                   core::format("%llu",
+                                static_cast<unsigned long long>(
+                                    pc.fp + pc.fn))});
+    }
+    table.print();
+
+    // --- SIE (Inci et al.) is ineffective in FaaS. ---
+    {
+        Setup s(434);
+        channel::RngChannel chan(*s.platform);
+        const auto survivors = core::singleInstanceElimination(
+            *s.platform, chan, s.obs.ids);
+        std::printf("\nSIE filtering: %zu of %u instances survive "
+                    "(paper: SIE removes nothing,\nsince the "
+                    "orchestrator co-locates instances of the same "
+                    "service).\n",
+                    survivors.size(), kInstances);
+    }
+
+    std::printf("\npaper reference: 319,600 pairwise tests, ~8.9 h, "
+                "~645 USD; even more with a\nseconds-long channel; "
+                "ours: ~1-2 min, ~1-3 USD, O(#hosts) tests.\n");
+    return 0;
+}

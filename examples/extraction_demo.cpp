@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Extraction-step demo: detecting victim activity from a co-located
+ * foothold (the threat-model capability the co-location attack feeds,
+ * paper Sections 2.1/3).
+ *
+ * After co-locating with the victim, the attacker's foothold instance
+ * probes shared-resource contention once per second. The victim's
+ * request bursts show up as busy intervals in the probe trace — the
+ * timing signal that secret-extracting side channels build on.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "channel/activity.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+#include "faas/workload.hpp"
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== extraction_demo: watching a victim from a "
+                "co-located foothold ===\n\n");
+
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 4242;
+    faas::Platform p(cfg);
+    const auto attacker = p.createAccount(0);
+    const auto victim = p.createAccount(1);
+
+    // Attacker co-locates (abridged: 3 services).
+    core::CampaignConfig campaign;
+    campaign.services = 3;
+    const core::CampaignResult attack =
+        core::runOptimizedCampaign(p, attacker, campaign);
+
+    // The victim's warm serving instance: route one request and see
+    // where it executes (the same instance keeps serving afterwards —
+    // most-recently-idled instances are reused first).
+    const auto vsvc = p.deployService(victim, faas::ExecEnv::Gen1);
+    const faas::InstanceId server =
+        p.orchestrator().routeRequest(vsvc, sim::Duration::millis(100));
+    const hw::HostId watched_host = p.oracleHostOf(server);
+    p.advance(sim::Duration::millis(200));
+
+    // Pick an attacker foothold on that host.
+    faas::InstanceId foothold = faas::kNoInstance;
+    for (const auto aid : attack.final_instances) {
+        if (p.oracleHostOf(aid) == watched_host) {
+            foothold = aid;
+            break;
+        }
+    }
+    if (foothold == faas::kNoInstance) {
+        std::printf("no co-location with this seed — rerun.\n");
+        return 1;
+    }
+    std::printf("foothold instance %llu shares host %u with the "
+                "victim\n\n",
+                static_cast<unsigned long long>(foothold),
+                watched_host);
+
+    // The victim's traffic arrives in bursts; the attacker watches.
+    // Schedule: 20 s quiet, 20 s busy, repeated.
+    sim::Rng rng(5);
+    channel::ActivityProbeConfig probe_cfg;
+    probe_cfg.background_rate = 0.02;
+    channel::ActivityProbe probe(p, foothold, probe_cfg);
+
+    std::printf("timeline (1 sample/s; '#' = busy, '.' = quiet; victim "
+                "bursts at 20-40 s and 60-80 s):\n\n  ");
+    std::string line;
+    int correct = 0, total = 0;
+    for (int second = 0; second < 100; ++second) {
+        const bool victim_active =
+            (second >= 20 && second < 40) ||
+            (second >= 60 && second < 80);
+        if (victim_active && second % 1 == 0) {
+            // One victim request per second during a burst.
+            p.orchestrator().routeRequest(vsvc,
+                                          sim::Duration::millis(900));
+        }
+        const auto sample = probe.sample();
+        line += sample.busy ? '#' : '.';
+        correct += (sample.busy == victim_active);
+        ++total;
+        p.advance(sim::Duration::seconds(1));
+        if (line.size() == 50) {
+            std::printf("%s\n  ", line.c_str());
+            line.clear();
+        }
+    }
+    std::printf("%s\n\n", line.c_str());
+    std::printf("detection agreement with ground truth: %d/%d "
+                "samples (%.0f%%)\n",
+                correct, total, 100.0 * correct / total);
+    std::printf("\nwith victim execution timing in hand, the attacker "
+                "schedules the actual\nside-channel extraction (cache, "
+                "TLB, port contention, ... — prior work cited\nby the "
+                "paper) precisely when the victim computes on "
+                "secrets.\n");
+    return 0;
+}

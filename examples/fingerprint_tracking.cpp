@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fingerprint tracking: following physical hosts across days.
+ *
+ * Demonstrates the part of the toolkit that pairwise covert channels
+ * cannot provide (Section 4.3's comparison): long-lived host identity.
+ * Tracks a handful of hosts hourly for four days, fits each host's
+ * T_boot drift, predicts when its rounded fingerprint will expire,
+ * and then checks the prediction against what actually happens.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/report.hpp"
+#include "core/tracker.hpp"
+#include "faas/platform.hpp"
+
+int
+main()
+{
+    using namespace eaao;
+
+    std::printf("=== fingerprint_tracking: host identity over days "
+                "===\n\n");
+
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 404;
+    faas::Platform p(cfg);
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+
+    // One probe per host, eight hosts.
+    const auto all = p.connect(svc, 100);
+    std::vector<faas::InstanceId> probes;
+    {
+        std::set<hw::HostId> hosts;
+        for (const auto id : all) {
+            if (hosts.insert(p.oracleHostOf(id)).second)
+                probes.push_back(id);
+            if (probes.size() == 8)
+                break;
+        }
+    }
+
+    constexpr double kPBoot = 1.0;
+    constexpr int kHours = 4 * 24;
+
+    std::vector<core::FingerprintHistory> histories(probes.size());
+    std::vector<std::int64_t> first_bucket(probes.size());
+    std::vector<int> observed_expiry_h(probes.size(), -1);
+
+    for (int hour = 0; hour <= kHours; ++hour) {
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+            faas::SandboxView sbx = p.sandbox(probes[i]);
+            const core::Gen1Reading r = core::readGen1Median(sbx, 15);
+            histories[i].add(p.now(), r.tboot_s);
+            const auto bucket = core::quantizeGen1(r, kPBoot).boot_bucket;
+            if (hour == 0) {
+                first_bucket[i] = bucket;
+            } else if (observed_expiry_h[i] < 0 &&
+                       bucket != first_bucket[i]) {
+                observed_expiry_h[i] = hour;
+            }
+        }
+        p.advance(sim::Duration::hours(1));
+    }
+
+    core::TextTable table;
+    table.header({"host", "drift/day", "|r|", "predicted expiry",
+                  "observed"});
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const auto fit = histories[i].fitDrift();
+        // Prediction from the first 24 hours only (fair forecast).
+        core::FingerprintHistory early;
+        for (std::size_t k = 0; k < 25 && k < histories[i].size(); ++k) {
+            early.add(sim::SimTime::fromSecondsF(
+                          histories[i].wallSeconds()[k]),
+                      histories[i].tbootSeconds()[k]);
+        }
+        const auto predicted = early.expirationSeconds(kPBoot);
+        std::string predicted_str = "never (within horizon)";
+        if (predicted && *predicted < 1e7) {
+            predicted_str = core::format(
+                "%.1f h after hour 24", *predicted / 3600.0);
+        }
+        table.row(
+            {core::format("#%zu", i),
+             core::format("%+.1f ms",
+                          fit.slope * 86400.0 * 1e3),
+             core::format("%.5f", std::fabs(fit.r_value)),
+             predicted_str,
+             observed_expiry_h[i] < 0
+                 ? std::string("stable all 4 days")
+                 : core::format("changed at hour %d",
+                                observed_expiry_h[i])});
+    }
+    table.print();
+
+    std::printf("\nreading the table: hosts drift linearly (|r| ~ 1, "
+                "Section 4.4.2); slow\ndrifters keep one fingerprint "
+                "for the whole window, fast drifters expire\nroughly "
+                "when the 24-hour forecast says they will.\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mitigation demo: the same fingerprinting pipeline run against a
+ * hardened platform (Section 6 defenses), showing what each knob
+ * buys and what it costs.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "defense/tsc_defense.hpp"
+#include "stats/clustering.hpp"
+
+namespace {
+
+using namespace eaao;
+
+/** Run the standard fingerprint pipeline; return pairwise quality. */
+stats::PairConfusion
+pipeline(const faas::PlatformConfig &cfg, faas::ExecEnv env,
+         std::string &sample_model)
+{
+    faas::Platform p(cfg);
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, env);
+    core::LaunchOptions launch;
+    launch.instances = 300;
+    launch.disconnect_after = false;
+    const core::LaunchObservation obs =
+        core::launchAndObserve(p, svc, launch);
+    sample_model = p.sandbox(obs.ids.front()).cpuModelName();
+    std::vector<std::uint64_t> oracle;
+    for (const auto id : obs.ids)
+        oracle.push_back(p.oracleHostOf(id));
+    return stats::comparePairs(obs.fp_keys, oracle);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== mitigation_demo: hardening the platform against "
+                "host fingerprinting ===\n\n");
+
+    core::TextTable table;
+    table.header({"configuration", "env", "cpuid shows", "FMI",
+                  "timer cost"});
+
+    auto add_row = [&table](const char *label, faas::ExecEnv env,
+                            const faas::PlatformConfig &cfg) {
+        std::string model;
+        faas::PlatformConfig local = cfg;
+        const auto quality = pipeline(local, env, model);
+        table.row({label, faas::toString(env), model,
+                   core::format("%.4f", quality.fmi()),
+                   env == faas::ExecEnv::Gen1
+                       ? cfg.tsc_defense.gen1TimerCost().str()
+                       : cfg.tsc_defense.native_timer_cost.str()});
+    };
+
+    faas::PlatformConfig base;
+    base.profile = faas::DataCenterProfile::usEast1();
+    base.seed = 66;
+    add_row("no defense", faas::ExecEnv::Gen1, base);
+    add_row("no defense", faas::ExecEnv::Gen2, base);
+
+    faas::PlatformConfig trap = base;
+    trap.seed = 67;
+    trap.tsc_defense.gen1 = defense::Gen1TscPolicy::TrapEmulate;
+    add_row("Gen1 trap-and-emulate", faas::ExecEnv::Gen1, trap);
+
+    faas::PlatformConfig masked = trap;
+    masked.seed = 68;
+    masked.tsc_defense.gen1_mask_cpuid = true;
+    add_row("  + cpuid masking", faas::ExecEnv::Gen1, masked);
+
+    faas::PlatformConfig scaled = base;
+    scaled.seed = 69;
+    scaled.tsc_defense.gen2 = defense::Gen2TscPolicy::OffsetAndScale;
+    add_row("Gen2 TSC offset+scale", faas::ExecEnv::Gen2, scaled);
+
+    table.print();
+
+    std::printf("\ntimer-cost consequences of trap-and-emulate "
+                "(Section 6):\n\n");
+    core::TextTable impact;
+    impact.header({"workload", "added latency"});
+    std::size_t count = 0;
+    const auto *profiles = defense::timerSensitiveWorkloads(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        impact.row({profiles[i].name,
+                    core::percent(defense::timerOverheadFraction(
+                        trap.tsc_defense, profiles[i]))});
+    }
+    impact.print();
+
+    std::printf("\nsummary: trap-and-emulate (or hardware TSC "
+                "scaling on Gen 2) destroys both\nfingerprints; the "
+                "Gen 1 variant taxes timer-heavy tenants, the Gen 2 "
+                "variant\nis free but needs hardware support — exactly "
+                "the trade-off the paper draws.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Placement study: reverse-engineering an unknown FaaS orchestrator
+ * the way Section 5.1 of the paper does it — using only the public
+ * tenant surface (deploy / connect / fingerprints), no oracle calls.
+ *
+ * Walks through the four experiments and prints the observations they
+ * support: base hosts, idle reaping, cross-account separation, and
+ * the helper-host load-balancing behaviour.
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+
+namespace {
+
+using namespace eaao;
+
+std::set<std::uint64_t>
+launchFootprint(faas::Platform &p, faas::ServiceId svc, std::uint32_t n)
+{
+    core::LaunchOptions opts;
+    opts.instances = n;
+    return core::launchAndObserve(p, svc, opts).apparentHosts();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== placement_study: black-box study of the "
+                "orchestrator ===\n\n");
+
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 2024;
+    faas::Platform p(cfg);
+
+    // ---- Experiment 1: how are instances distributed? ----
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+    const auto first = launchFootprint(p, svc, 800);
+    std::printf("Experiment 1: 800 instances -> %zu apparent hosts "
+                "(~%.1f instances/host).\n",
+                first.size(), 800.0 / static_cast<double>(first.size()));
+    std::printf("  => instances of a service share hosts, spread "
+                "near-uniformly (Obs 1).\n\n");
+
+    // ---- Experiment 2: is placement consistent across launches? ----
+    std::set<std::uint64_t> cumulative = first;
+    p.advance(sim::Duration::minutes(45));
+    for (int launch = 2; launch <= 4; ++launch) {
+        const auto hosts = launchFootprint(p, svc, 800);
+        cumulative.insert(hosts.begin(), hosts.end());
+        p.advance(sim::Duration::minutes(45));
+    }
+    std::printf("Experiment 2: four cold launches, cumulative "
+                "footprint %zu vs %zu per launch.\n",
+                cumulative.size(), first.size());
+    std::printf("  => the account has preferred 'base hosts' "
+                "(Obs 3).\n\n");
+
+    // ---- Experiment 3: do accounts share base hosts? ----
+    const auto other = p.createAccount();
+    const auto other_svc = p.deployService(other, faas::ExecEnv::Gen1);
+    const auto other_hosts = launchFootprint(p, other_svc, 800);
+    std::size_t overlap = 0;
+    for (const auto key : other_hosts)
+        overlap += cumulative.count(key);
+    std::printf("Experiment 3: a second account's 800 instances land "
+                "on %zu hosts,\n  only %zu shared with the first "
+                "account.\n",
+                other_hosts.size(), overlap);
+    std::printf("  => different accounts get different base hosts "
+                "(Obs 4).\n\n");
+    p.advance(sim::Duration::minutes(45));
+
+    // ---- Experiment 4: what does high demand do? ----
+    core::TextTable table;
+    table.header({"launch (10-min interval)", "apparent hosts",
+                  "cumulative"});
+    std::set<std::uint64_t> hot_cumulative;
+    for (int launch = 1; launch <= 6; ++launch) {
+        const auto hosts = launchFootprint(p, svc, 800);
+        hot_cumulative.insert(hosts.begin(), hosts.end());
+        table.row({core::format("%d", launch),
+                   core::format("%zu", hosts.size()),
+                   core::format("%zu", hot_cumulative.size())});
+        if (launch < 6)
+            p.advance(sim::Duration::minutes(10) -
+                      sim::Duration::seconds(30));
+    }
+    table.print();
+    std::printf("  => a service hot within ~30 minutes spills onto "
+                "'helper hosts'\n     beyond the base set, saturating "
+                "after ~3 launches (Obs 5).\n\n");
+
+    // ---- Idle reaping (Obs 2). ----
+    p.disconnectAll(svc);
+    int checkpoints[] = {1, 5, 13};
+    std::printf("idle survivors after disconnecting 800 instances:\n");
+    sim::SimTime last = p.now();
+    for (const int minutes : checkpoints) {
+        p.advance(sim::Duration::minutes(minutes) - (p.now() - last));
+        last = p.now();
+        // The tenant sees survivors as instances that still accept its
+        // connections; here we reconnect and count reused ids.
+        const auto ids = p.connect(svc, 1);
+        p.disconnectAll(svc);
+        std::printf("  t=%2d min: reconnect served by instance %llu\n",
+                    minutes,
+                    static_cast<unsigned long long>(ids.front()));
+    }
+    std::printf("  => idle instances persist ~2 minutes untouched and "
+                "are all reaped\n     by ~12-15 minutes (Obs 2); a "
+                "reconnect after that gets a fresh instance.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: stand up a simulated Cloud Run-style data center,
+ * deploy a service, launch instances, fingerprint their hosts, and
+ * verify co-location — the library's core loop in ~80 lines.
+ */
+
+#include <cstdio>
+
+#include "channel/covert.hpp"
+#include "core/fingerprint.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "core/verify.hpp"
+#include "stats/clustering.hpp"
+
+int
+main()
+{
+    using namespace eaao;
+
+    // 1. One simulated data center (us-east1 preset, fixed seed).
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 42;
+    faas::Platform platform(cfg);
+
+    // 2. A tenant deploys a Gen 1 service and opens 200 connections;
+    //    the platform autoscales to 200 container instances.
+    const faas::AccountId account = platform.createAccount();
+    const faas::ServiceId service =
+        platform.deployService(account, faas::ExecEnv::Gen1);
+
+    core::LaunchOptions launch;
+    launch.instances = 200;
+    launch.disconnect_after = false; // keep them for the covert channel
+    const core::LaunchObservation obs =
+        core::launchAndObserve(platform, service, launch);
+
+    std::printf("launched %zu instances; %zu apparent hosts "
+                "(distinct fingerprints)\n",
+                obs.ids.size(), obs.apparentHosts().size());
+
+    // 3. Inspect one instance's sandbox: what the attacker code sees.
+    faas::SandboxView sandbox = platform.sandbox(obs.ids.front());
+    const core::Gen1Reading reading = core::readGen1(sandbox);
+    std::printf("first instance: model='%s'  reported f=%.2f GHz  "
+                "derived T_boot=%.3f s\n",
+                reading.cpu_model.c_str(), reading.frequency_hz / 1e9,
+                reading.tboot_s);
+
+    // 4. Verify co-location at scale with the covert channel.
+    channel::RngChannel chan(platform);
+    const core::VerifyResult verified = core::verifyScalable(
+        platform, chan, obs.ids, obs.fp_keys, obs.class_keys);
+
+    std::printf("verified %zu clusters (hosts) with %llu group tests "
+                "in %s (cost: %.2f USD)\n",
+                verified.clusterCount(),
+                static_cast<unsigned long long>(verified.group_tests),
+                verified.elapsed.str().c_str(), verified.cost_usd);
+
+    // 5. Score the fingerprints against the verified ground truth.
+    const stats::PairConfusion pc =
+        stats::comparePairs(obs.fp_keys, verified.cluster_of);
+    std::printf("fingerprint quality: precision=%.4f recall=%.4f "
+                "FMI=%.4f\n",
+                pc.precision(), pc.recall(), pc.fmi());
+
+    // 6. The bill so far.
+    std::printf("account spend: %.2f USD\n",
+                platform.accountSpendUsd(account));
+    return 0;
+}

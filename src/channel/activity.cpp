@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the activity probe.
+ */
+
+#include "channel/activity.hpp"
+
+#include "support/logging.hpp"
+
+namespace eaao::channel {
+
+ActivityProbe::ActivityProbe(faas::Platform &platform,
+                             faas::InstanceId foothold,
+                             const ActivityProbeConfig &cfg)
+    : platform_(&platform), foothold_(foothold), cfg_(cfg)
+{
+    EAAO_ASSERT(platform.instanceInfo(foothold).state !=
+                    faas::InstanceState::Terminated,
+                "foothold instance is gone");
+}
+
+ActivitySample
+ActivityProbe::sample()
+{
+    const hw::HostId host = platform_->oracleHostOf(foothold_);
+    sim::Rng &rng = platform_->measurementRng();
+
+    // Ground truth: requests executing right now on this host, outside
+    // the foothold itself.
+    std::uint32_t executing = 0;
+    const auto &orch = platform_->orchestrator();
+    for (std::size_t i = 0; i < orch.instanceCount(); ++i) {
+        const auto &inst = orch.instance(i);
+        if (inst.host != host || inst.id == foothold_ ||
+            inst.state == faas::InstanceState::Terminated) {
+            continue;
+        }
+        executing += inst.in_flight;
+    }
+
+    ActivitySample s;
+    s.when = platform_->now();
+    for (std::uint32_t r = 0; r < executing; ++r) {
+        if (rng.bernoulli(cfg_.per_request_detect_prob))
+            ++s.level;
+    }
+    if (rng.bernoulli(cfg_.background_rate))
+        ++s.level;
+    s.busy = s.level >= cfg_.busy_threshold;
+    return s;
+}
+
+std::vector<ActivitySample>
+ActivityProbe::watch(sim::Duration interval, sim::Duration span)
+{
+    EAAO_ASSERT(interval.ns() > 0, "non-positive sampling interval");
+    std::vector<ActivitySample> trace;
+    const sim::SimTime end = platform_->now() + span;
+    while (platform_->now() < end) {
+        trace.push_back(sample());
+        platform_->advance(interval);
+    }
+    return trace;
+}
+
+} // namespace eaao::channel

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Activity observation from a co-located foothold.
+ *
+ * The threat model's final capability (paper Section 3): "once
+ * co-located with the victim, the attacker can detect when the victim
+ * program is running". A foothold instance repeatedly measures
+ * contention on its host's shared resources; execution of any other
+ * tenant's requests on the same host raises the observed level.
+ *
+ * This models detection of *activity*, not extraction of secrets —
+ * extraction is delegated to the prior side-channel work the paper
+ * cites.
+ */
+
+#ifndef EAAO_CHANNEL_ACTIVITY_HPP
+#define EAAO_CHANNEL_ACTIVITY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "faas/platform.hpp"
+#include "faas/types.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::channel {
+
+/** Tuning of the activity probe. */
+struct ActivityProbeConfig
+{
+    /** Probability of sensing each concurrently-executing request. */
+    double per_request_detect_prob = 0.9;
+
+    /** Mean spurious activity events per sample (background). */
+    double background_rate = 0.05;
+
+    /** Decision threshold: samples at/above this level read "busy". */
+    std::uint32_t busy_threshold = 1;
+};
+
+/** One activity sample. */
+struct ActivitySample
+{
+    sim::SimTime when;
+    std::uint32_t level = 0; //!< contention units observed
+    bool busy = false;       //!< level >= threshold
+};
+
+/**
+ * Contention probe run from one attacker foothold instance.
+ */
+class ActivityProbe
+{
+  public:
+    ActivityProbe(faas::Platform &platform, faas::InstanceId foothold,
+                  const ActivityProbeConfig &cfg = {});
+
+    /**
+     * Take one sample now: the observed level reflects the in-flight
+     * requests of co-located instances other than the foothold itself
+     * (plus noise). Does not advance time.
+     */
+    ActivitySample sample();
+
+    /**
+     * Sample every @p interval for @p span (advancing virtual time);
+     * returns the trace.
+     */
+    std::vector<ActivitySample> watch(sim::Duration interval,
+                                      sim::Duration span);
+
+  private:
+    faas::Platform *platform_;
+    faas::InstanceId foothold_;
+    ActivityProbeConfig cfg_;
+};
+
+} // namespace eaao::channel
+
+#endif // EAAO_CHANNEL_ACTIVITY_HPP

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Implementation of the covert channels.
+ */
+
+#include "channel/covert.hpp"
+
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace eaao::channel {
+
+RngChannel::RngChannel(faas::Platform &platform,
+                       const RngChannelConfig &cfg)
+    : platform_(&platform), cfg_(cfg)
+{
+    EAAO_ASSERT(cfg_.detect_min <= cfg_.trials,
+                "detection threshold exceeds trial count");
+}
+
+sim::Duration
+RngChannel::testDuration() const
+{
+    return sim::Duration::nanos(cfg_.trial_duration.ns() *
+                                static_cast<std::int64_t>(cfg_.trials));
+}
+
+std::vector<GroupTestResult>
+RngChannel::runConcurrent(
+    const std::vector<std::vector<faas::InstanceId>> &groups,
+    std::uint32_t m)
+{
+    EAAO_ASSERT(m >= 2, "contention threshold must be at least 2");
+
+    // Pressure map: how many instances (across all concurrent groups)
+    // hammer the RNG of each host.
+    std::unordered_map<hw::HostId, std::uint32_t> pressure;
+    for (const auto &group : groups) {
+        for (const faas::InstanceId id : group) {
+            EAAO_ASSERT(platform_->instanceInfo(id).state ==
+                            faas::InstanceState::Active,
+                        "covert-channel test needs a live connection");
+            ++pressure[platform_->oracleHostOf(id)];
+        }
+    }
+
+    // Provider-side detection: hosts with >= 2 simultaneous
+    // pressurers show a contention burst.
+    if (detector_ != nullptr) {
+        std::unordered_map<hw::HostId, std::vector<faas::AccountId>>
+            parties;
+        for (const auto &group : groups) {
+            for (const faas::InstanceId id : group) {
+                parties[platform_->oracleHostOf(id)].push_back(
+                    platform_->instanceInfo(id).account);
+            }
+        }
+        for (const auto &[host, accounts] : parties) {
+            if (accounts.size() >= 2) {
+                detector_->recordBurst(platform_->now(), host, accounts,
+                                       cfg_.trials);
+            }
+        }
+    }
+
+    sim::Rng &rng = platform_->measurementRng();
+    std::vector<GroupTestResult> results(groups.size());
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        results[g].positive.assign(groups[g].size(), false);
+        for (std::size_t i = 0; i < groups[g].size(); ++i) {
+            const hw::HostId host =
+                platform_->oracleHostOf(groups[g][i]);
+            const std::uint32_t co_units = pressure[host];
+            std::uint32_t hits = 0;
+            for (std::uint32_t t = 0; t < cfg_.trials; ++t) {
+                // The instance's own unit is always visible; each other
+                // unit is observed with high probability; background
+                // activity occasionally injects spurious units.
+                std::uint32_t units = 1;
+                for (std::uint32_t u = 1; u < co_units; ++u) {
+                    if (rng.bernoulli(cfg_.unit_detect_prob))
+                        ++units;
+                }
+                if (rng.bernoulli(cfg_.background_prob))
+                    units += 1 + static_cast<std::uint32_t>(
+                                     rng.uniformInt(2ULL));
+                if (units >= m)
+                    ++hits;
+            }
+            results[g].positive[i] = hits >= cfg_.detect_min;
+        }
+        ++tests_run_;
+    }
+
+    platform_->advance(testDuration());
+    return results;
+}
+
+GroupTestResult
+RngChannel::run(const std::vector<faas::InstanceId> &group,
+                std::uint32_t m)
+{
+    return runConcurrent({group}, m).front();
+}
+
+MemBusChannel::MemBusChannel(faas::Platform &platform,
+                             const MemBusChannelConfig &cfg)
+    : platform_(&platform), cfg_(cfg)
+{
+}
+
+bool
+MemBusChannel::testPair(faas::InstanceId a, faas::InstanceId b)
+{
+    sim::Rng &rng = platform_->measurementRng();
+    const bool same =
+        platform_->oracleHostOf(a) == platform_->oracleHostOf(b);
+    platform_->advance(cfg_.test_duration);
+    ++tests_run_;
+    if (same)
+        return rng.bernoulli(cfg_.true_positive_prob);
+    return rng.bernoulli(cfg_.false_positive_prob);
+}
+
+} // namespace eaao::channel

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Covert channels for co-location testing.
+ *
+ * The primary channel contends on the host's hardware random number
+ * generator (after Evtyushkin & Ponomarev): each participating instance
+ * hammers rdrand, contributing one unit of contention; every instance
+ * simultaneously measures the contention level it observes. Because the
+ * RNG is otherwise rarely used, background false positives are below 1%
+ * per trial, and a 30-of-60 trial majority rule makes group decisions
+ * essentially noise-free.
+ *
+ * A slower memory-bus pairwise channel (after Wu et al. / Varadarajan
+ * et al.) is provided as the conventional baseline of Section 4.3.
+ */
+
+#ifndef EAAO_CHANNEL_COVERT_HPP
+#define EAAO_CHANNEL_COVERT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "defense/detector.hpp"
+#include "faas/platform.hpp"
+#include "faas/types.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::channel {
+
+/** Tuning of the RNG-contention channel. */
+struct RngChannelConfig
+{
+    std::uint32_t trials = 60;          //!< measurements per test
+    std::uint32_t detect_min = 30;      //!< positive trials to confirm
+    sim::Duration trial_duration = sim::Duration::millis(16);
+    double background_prob = 0.008;     //!< spurious contention / trial
+    double unit_detect_prob = 0.97;     //!< per-unit observation prob.
+};
+
+/** Outcome of one group test. */
+struct GroupTestResult
+{
+    /** Per input instance: did it observe contention >= threshold? */
+    std::vector<bool> positive;
+};
+
+/**
+ * The n-instance covert-channel test primitive CTest of Section 4.3.
+ */
+class RngChannel
+{
+  public:
+    explicit RngChannel(faas::Platform &platform,
+                        const RngChannelConfig &cfg = {});
+
+    /**
+     * Run several group tests *concurrently*: the instances of all
+     * groups pressure the shared RNG at the same time, so instances in
+     * different groups that share a host contaminate each other — this
+     * is exactly why Step 2 of the verification methodology serializes
+     * tests that could share hosts.
+     *
+     * Advances virtual time by testDuration() once for the whole batch.
+     *
+     * @param groups Instance-id lists, one per test.
+     * @param m Contention threshold in units (paper: m = 2).
+     * @return One result per group, parallel to @p groups.
+     */
+    std::vector<GroupTestResult>
+    runConcurrent(const std::vector<std::vector<faas::InstanceId>> &groups,
+                  std::uint32_t m);
+
+    /** Convenience: run a single group test. */
+    GroupTestResult run(const std::vector<faas::InstanceId> &group,
+                        std::uint32_t m);
+
+    /** Wall time one test (or concurrent batch) occupies. */
+    sim::Duration testDuration() const;
+
+    /** Number of group tests executed so far. */
+    std::uint64_t testsRun() const { return tests_run_; }
+
+    /** Configuration in force. */
+    const RngChannelConfig &config() const { return cfg_; }
+
+    /**
+     * Attach a provider-side contention detector: every host that sees
+     * simultaneous pressure from >= 2 parties during a test batch is
+     * reported as a burst (Section 6 detection mitigation).
+     */
+    void attachDetector(defense::ContentionDetector *detector)
+    {
+        detector_ = detector;
+    }
+
+  private:
+    faas::Platform *platform_;
+    RngChannelConfig cfg_;
+    std::uint64_t tests_run_ = 0;
+    defense::ContentionDetector *detector_ = nullptr;
+};
+
+/** Tuning of the conventional pairwise memory-bus channel. */
+struct MemBusChannelConfig
+{
+    sim::Duration test_duration = sim::Duration::seconds(3);
+    double true_positive_prob = 0.98;
+    double false_positive_prob = 0.02;
+};
+
+/**
+ * Pairwise memory-bus contention tester (the conventional baseline).
+ */
+class MemBusChannel
+{
+  public:
+    explicit MemBusChannel(faas::Platform &platform,
+                           const MemBusChannelConfig &cfg = {});
+
+    /**
+     * Test whether two instances are co-located. Advances virtual time
+     * by the per-test duration (tests must be serialized).
+     */
+    bool testPair(faas::InstanceId a, faas::InstanceId b);
+
+    /** Number of pairwise tests executed so far. */
+    std::uint64_t testsRun() const { return tests_run_; }
+
+    /** Wall time one pairwise test occupies. */
+    sim::Duration testDuration() const { return cfg_.test_duration; }
+
+  private:
+    faas::Platform *platform_;
+    MemBusChannelConfig cfg_;
+    std::uint64_t tests_run_ = 0;
+};
+
+} // namespace eaao::channel
+
+#endif // EAAO_CHANNEL_COVERT_HPP

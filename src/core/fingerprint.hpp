@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Host fingerprinting (paper Section 4).
+ *
+ * Gen 1: fingerprint = (CPU model string, host boot time T_boot rounded
+ * to precision p_boot). T_boot = T_wall - tsc / f (Eq. 4.1), where f is
+ * either the reported TSC frequency (method 1, default) or a measured
+ * frequency (method 2).
+ *
+ * Gen 2: TSC offsetting hides the host boot time, but the guest can
+ * read the kernel-refined host TSC frequency (1 kHz granularity), which
+ * is host-stable and rarely collides across hosts.
+ */
+
+#ifndef EAAO_CORE_FINGERPRINT_HPP
+#define EAAO_CORE_FINGERPRINT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "faas/sandbox.hpp"
+
+namespace eaao::core {
+
+/** A raw Gen 1 measurement, before rounding. */
+struct Gen1Reading
+{
+    std::string cpu_model;      //!< from cpuid
+    double frequency_hz = 0.0;  //!< the f used in Eq. 4.1
+    double tboot_s = 0.0;       //!< derived boot time, s since epoch
+    double wall_s = 0.0;        //!< when the measurement was taken
+};
+
+/**
+ * Take a Gen 1 reading using the *reported* TSC frequency (method 1):
+ * the labeled base frequency parsed from the CPU model string.
+ *
+ * Asserts if the model string carries no labeled frequency (e.g. when
+ * invoked inside a Gen 2 sandbox, whose cpuid is virtualized).
+ */
+Gen1Reading readGen1(faas::SandboxView &sandbox);
+
+/**
+ * Take a Gen 1 reading using a caller-supplied frequency (e.g. one
+ * obtained from the method-2 measured estimator).
+ */
+Gen1Reading readGen1WithFrequency(faas::SandboxView &sandbox,
+                                  double frequency_hz);
+
+/**
+ * Noise-robust Gen 1 reading: repeat the measurement @p reps times and
+ * keep the median derived boot time. The median suppresses the heavy
+ * tail of sentry-scheduling delays, which matters when tracking T_boot
+ * drift over days (Section 4.4.2).
+ */
+Gen1Reading readGen1Median(faas::SandboxView &sandbox,
+                           std::uint32_t reps = 15);
+
+/** A rounded, comparable Gen 1 fingerprint. */
+struct Gen1Fingerprint
+{
+    std::string cpu_model;
+    std::int64_t boot_bucket = 0; //!< llround(tboot / p_boot)
+
+    bool operator==(const Gen1Fingerprint &) const = default;
+};
+
+/** Round a reading at precision @p p_boot_s (seconds). */
+Gen1Fingerprint quantizeGen1(const Gen1Reading &reading, double p_boot_s);
+
+/** Stable 64-bit key for map/set use. */
+std::uint64_t fingerprintKey(const Gen1Fingerprint &fp);
+
+/** A Gen 2 fingerprint: the refined host TSC frequency. */
+struct Gen2Fingerprint
+{
+    std::int64_t refined_khz = 0;
+
+    bool operator==(const Gen2Fingerprint &) const = default;
+};
+
+/** Read the Gen 2 fingerprint (requires a Gen 2 sandbox). */
+Gen2Fingerprint readGen2(faas::SandboxView &sandbox);
+
+/** Stable 64-bit key for map/set use. */
+std::uint64_t fingerprintKey(const Gen2Fingerprint &fp);
+
+} // namespace eaao::core
+
+#endif // EAAO_CORE_FINGERPRINT_HPP

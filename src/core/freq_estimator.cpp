@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Implementation of the TSC frequency estimators.
+ */
+
+#include "core/freq_estimator.hpp"
+
+#include "hw/cpu_sku.hpp"
+#include "stats/summary.hpp"
+
+namespace eaao::core {
+
+double
+reportedFrequencyHz(faas::SandboxView &sandbox)
+{
+    return hw::SkuCatalog::labeledFrequencyHz(sandbox.cpuModelName());
+}
+
+FrequencyEstimate
+measuredFrequencyHz(faas::SandboxView &sandbox, sim::Duration interval,
+                    std::uint32_t reps)
+{
+    const auto samples = sandbox.measureTscFrequency(interval, reps);
+    stats::OnlineStats acc;
+    for (const double s : samples)
+        acc.add(s);
+
+    FrequencyEstimate est;
+    est.mean_hz = acc.mean();
+    est.stddev_hz = acc.stddev();
+    est.reps = acc.count();
+    return est;
+}
+
+} // namespace eaao::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TSC frequency estimators (paper Section 4.2).
+ *
+ * Method 1 ("reported"): take the labeled base frequency from the CPU
+ * model string. Slightly wrong by a constant per-host error, causing
+ * linear T_boot drift (Eq. 4.2) and fingerprint expiration.
+ *
+ * Method 2 ("measured"): read the TSC twice a known wall-clock interval
+ * apart and divide. Drift-free, but on ~10% of hosts the measurement
+ * scatters by 10 kHz - MHz, producing false negatives; this is why the
+ * paper (and this library) defaults to method 1.
+ */
+
+#ifndef EAAO_CORE_FREQ_ESTIMATOR_HPP
+#define EAAO_CORE_FREQ_ESTIMATOR_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "faas/sandbox.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::core {
+
+/** Result of a measured-frequency estimation. */
+struct FrequencyEstimate
+{
+    double mean_hz = 0.0;
+    double stddev_hz = 0.0;
+    std::size_t reps = 0;
+
+    /**
+     * Is this estimate stable enough to base a fingerprint on? The
+     * threshold reflects the paper's split between hosts with <100 Hz
+     * deviation and "problematic" hosts at 10 kHz and beyond.
+     */
+    bool stable(double max_stddev_hz = 1000.0) const
+    {
+        return stddev_hz <= max_stddev_hz;
+    }
+};
+
+/**
+ * Method 1: reported TSC frequency for a sandbox (labeled frequency of
+ * the cpuid model string). Returns 0 if unavailable (Gen 2 stub model).
+ */
+double reportedFrequencyHz(faas::SandboxView &sandbox);
+
+/**
+ * Method 2: measure the TSC frequency against the wall clock.
+ *
+ * @param sandbox The instance to measure in.
+ * @param interval Wall-clock gap between the two TSC reads per rep.
+ * @param reps Number of repetitions (paper: 10).
+ */
+FrequencyEstimate measuredFrequencyHz(
+    faas::SandboxView &sandbox,
+    sim::Duration interval = sim::Duration::millis(100),
+    std::uint32_t reps = 10);
+
+} // namespace eaao::core
+
+#endif // EAAO_CORE_FREQ_ESTIMATOR_HPP

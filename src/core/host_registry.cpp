@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Implementation of the host registry.
+ */
+
+#include "core/host_registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace eaao::core {
+
+double
+TrackedHost::predictedTBoot(double wall_s) const
+{
+    return last_tboot_s + drift_per_s * (wall_s - last_wall_s);
+}
+
+HostRegistry::HostRegistry(const HostRegistryConfig &cfg) : cfg_(cfg)
+{
+    EAAO_ASSERT(cfg.p_boot_s > 0.0, "non-positive precision");
+    EAAO_ASSERT(cfg.tolerance_buckets >= 0, "negative tolerance");
+}
+
+const std::vector<TrackedHostId> *
+HostRegistry::candidates(const std::string &model) const
+{
+    const auto it = by_model_.find(model);
+    return it == by_model_.end() ? nullptr : &it->second;
+}
+
+std::optional<TrackedHostId>
+HostRegistry::match(const Gen1Reading &reading) const
+{
+    const auto *ids = candidates(reading.cpu_model);
+    if (ids == nullptr)
+        return std::nullopt;
+    const auto bucket = static_cast<std::int64_t>(
+        std::llround(reading.tboot_s / cfg_.p_boot_s));
+
+    std::optional<TrackedHostId> best;
+    std::int64_t best_distance = 0;
+    for (const TrackedHostId id : *ids) {
+        const TrackedHost &host = hosts_[id];
+        const auto predicted_bucket = static_cast<std::int64_t>(
+            std::llround(host.predictedTBoot(reading.wall_s) /
+                         cfg_.p_boot_s));
+        const std::int64_t distance =
+            std::llabs(bucket - predicted_bucket);
+        if (distance > cfg_.tolerance_buckets)
+            continue;
+        if (!best || distance < best_distance) {
+            best = id;
+            best_distance = distance;
+        }
+    }
+    return best;
+}
+
+std::pair<TrackedHostId, bool>
+HostRegistry::observe(const Gen1Reading &reading)
+{
+    if (const auto found = match(reading)) {
+        TrackedHost &host = hosts_[*found];
+        // Histories must be appended in time order; replays of stale
+        // readings only refresh the last-seen bookkeeping.
+        if (host.history.size() == 0 ||
+            reading.wall_s >= host.last_wall_s) {
+            host.history.add(sim::SimTime::fromSecondsF(reading.wall_s),
+                             reading.tboot_s);
+            host.last_tboot_s = reading.tboot_s;
+            host.last_wall_s = reading.wall_s;
+            // Fitting a slope over a near-zero time span would divide
+            // measurement noise by epsilon; require a real baseline.
+            if (host.history.size() >= 2 &&
+                host.history.span() >= sim::Duration::minutes(10)) {
+                host.drift_per_s = host.history.fitDrift().slope;
+            }
+        }
+        return {*found, false};
+    }
+
+    TrackedHost host;
+    host.id = static_cast<TrackedHostId>(hosts_.size());
+    host.cpu_model = reading.cpu_model;
+    host.history.add(sim::SimTime::fromSecondsF(reading.wall_s),
+                     reading.tboot_s);
+    host.last_tboot_s = reading.tboot_s;
+    host.last_wall_s = reading.wall_s;
+    by_model_[host.cpu_model].push_back(host.id);
+    hosts_.push_back(std::move(host));
+    return {hosts_.back().id, true};
+}
+
+const TrackedHost &
+HostRegistry::host(TrackedHostId id) const
+{
+    EAAO_ASSERT(id < hosts_.size(), "bad tracked-host id ", id);
+    return hosts_[id];
+}
+
+std::optional<double>
+HostRegistry::expirationSeconds(TrackedHostId id) const
+{
+    const TrackedHost &tracked = host(id);
+    if (tracked.history.size() < 2)
+        return std::nullopt;
+    return tracked.history.expirationSeconds(cfg_.p_boot_s);
+}
+
+std::vector<TrackedHostId>
+HostRegistry::staleHosts(double wall_s) const
+{
+    std::vector<TrackedHostId> stale;
+    for (const TrackedHost &tracked : hosts_) {
+        if (tracked.last_wall_s < wall_s)
+            stale.push_back(tracked.id);
+    }
+    return stale;
+}
+
+std::string
+HostRegistry::serialize() const
+{
+    std::ostringstream out;
+    out << "eaao-host-registry v1 " << cfg_.p_boot_s << ' '
+        << cfg_.tolerance_buckets << '\n';
+    for (const TrackedHost &host : hosts_) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "%.9f %.6f %.12e|",
+                      host.last_tboot_s, host.last_wall_s,
+                      host.drift_per_s);
+        out << buf << host.cpu_model << '\n';
+    }
+    return out.str();
+}
+
+std::optional<HostRegistry>
+HostRegistry::deserialize(const std::string &text,
+                          const HostRegistryConfig &cfg)
+{
+    std::istringstream in(text);
+    std::string header, version;
+    double p_boot = 0.0;
+    std::int64_t tolerance = 0;
+    if (!(in >> header >> version >> p_boot >> tolerance) ||
+        header != "eaao-host-registry" || version != "v1" ||
+        p_boot <= 0.0 || tolerance < 0) {
+        return std::nullopt;
+    }
+    HostRegistryConfig effective = cfg;
+    effective.p_boot_s = p_boot;
+    effective.tolerance_buckets = tolerance;
+    HostRegistry registry(effective);
+
+    std::string line;
+    std::getline(in, line); // rest of the header line
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto bar = line.find('|');
+        if (bar == std::string::npos)
+            return std::nullopt;
+        double tboot = 0.0, wall = 0.0, slope = 0.0;
+        if (std::sscanf(line.c_str(), "%lf %lf %lf", &tboot, &wall,
+                        &slope) != 3) {
+            return std::nullopt;
+        }
+        TrackedHost host;
+        host.id = static_cast<TrackedHostId>(registry.hosts_.size());
+        host.cpu_model = line.substr(bar + 1);
+        if (host.cpu_model.empty())
+            return std::nullopt;
+        host.last_tboot_s = tboot;
+        host.last_wall_s = wall;
+        host.drift_per_s = slope;
+        host.history.add(sim::SimTime::fromSecondsF(wall), tboot);
+        registry.by_model_[host.cpu_model].push_back(host.id);
+        registry.hosts_.push_back(std::move(host));
+    }
+    return registry;
+}
+
+} // namespace eaao::core

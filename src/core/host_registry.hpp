@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Drift-aware physical-host registry.
+ *
+ * The strategic advantage of fingerprints over pairwise covert
+ * channels (paper Section 4.3) is *identity over time*: the attacker
+ * can recognize a host across launches, days apart, despite T_boot
+ * drift and fingerprint expiration. The registry is the attacker-side
+ * database that makes this operational:
+ *
+ *  - observations (Gen 1 readings) are matched to known hosts using
+ *    drift-extrapolated bucket comparison;
+ *  - each host keeps a FingerprintHistory, so its drift slope and
+ *    expiration forecast improve with every observation;
+ *  - the registry serializes to a line-based text format, surviving
+ *    between attack sessions.
+ */
+
+#ifndef EAAO_CORE_HOST_REGISTRY_HPP
+#define EAAO_CORE_HOST_REGISTRY_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/tracker.hpp"
+
+namespace eaao::core {
+
+/** Attacker-assigned identifier of a tracked host. */
+using TrackedHostId = std::uint32_t;
+
+/** One tracked host. */
+struct TrackedHost
+{
+    TrackedHostId id = 0;
+    std::string cpu_model;
+    FingerprintHistory history;
+
+    /** Last observation. */
+    double last_tboot_s = 0.0;
+    double last_wall_s = 0.0;
+
+    /** Best known drift slope (0 until >= 2 observations). */
+    double drift_per_s = 0.0;
+
+    /** Extrapolated T_boot at wall time @p wall_s. */
+    double predictedTBoot(double wall_s) const;
+};
+
+/** Registry tuning. */
+struct HostRegistryConfig
+{
+    double p_boot_s = 1.0;            //!< matching precision
+    std::int64_t tolerance_buckets = 1; //!< slack around the prediction
+};
+
+/**
+ * The host database.
+ */
+class HostRegistry
+{
+  public:
+    explicit HostRegistry(const HostRegistryConfig &cfg = {});
+
+    /**
+     * Match-or-insert: find the tracked host this reading belongs to
+     * (drift-extrapolated), append the observation to its history, or
+     * register a new host if nothing matches.
+     *
+     * @return (host id, true if newly registered).
+     */
+    std::pair<TrackedHostId, bool> observe(const Gen1Reading &reading);
+
+    /**
+     * Match without inserting.
+     * @return The tracked host id, or nullopt if unknown.
+     */
+    std::optional<TrackedHostId>
+    match(const Gen1Reading &reading) const;
+
+    /** Number of tracked hosts. */
+    std::size_t size() const { return hosts_.size(); }
+
+    /** Access a tracked host. */
+    const TrackedHost &host(TrackedHostId id) const;
+
+    /**
+     * Expiration forecast for a host (seconds after its last
+     * observation), per Section 4.4.2; nullopt when drift is
+     * negligible or the history is too short.
+     */
+    std::optional<double> expirationSeconds(TrackedHostId id) const;
+
+    /**
+     * Hosts not observed since @p wall_s (candidates for re-discovery
+     * before their fingerprints drift too far).
+     */
+    std::vector<TrackedHostId> staleHosts(double wall_s) const;
+
+    /**
+     * Serialize to a line-based text format (one host per line:
+     * id, model, slope, last observation).
+     */
+    std::string serialize() const;
+
+    /**
+     * Reconstruct a registry from serialize() output. Histories are
+     * collapsed to the last observation plus the fitted slope — enough
+     * to keep matching across sessions.
+     *
+     * @return nullopt on malformed input.
+     */
+    static std::optional<HostRegistry>
+    deserialize(const std::string &text,
+                const HostRegistryConfig &cfg = {});
+
+  private:
+    /** Candidate ids whose model matches. */
+    const std::vector<TrackedHostId> *
+    candidates(const std::string &model) const;
+
+    HostRegistryConfig cfg_;
+    std::vector<TrackedHost> hosts_;
+    std::map<std::string, std::vector<TrackedHostId>> by_model_;
+};
+
+} // namespace eaao::core
+
+#endif // EAAO_CORE_HOST_REGISTRY_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Implementation of the repeat-attack planner.
+ */
+
+#include "core/repeat_attack.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace eaao::core {
+
+namespace {
+
+std::uint64_t
+modelHash(const std::string &model)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : model) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+RepeatAttackPlanner::RepeatAttackPlanner(double p_boot_s,
+                                         std::int64_t tolerance_buckets)
+    : p_boot_s_(p_boot_s), tolerance_buckets_(tolerance_buckets)
+{
+    EAAO_ASSERT(p_boot_s > 0.0, "non-positive precision");
+    EAAO_ASSERT(tolerance_buckets >= 0, "negative tolerance");
+}
+
+void
+RepeatAttackPlanner::recordVictimHost(const Gen1Reading &reading,
+                                      double drift_per_s)
+{
+    RecordedHost host;
+    host.cpu_model = reading.cpu_model;
+    host.tboot_s = reading.tboot_s;
+    host.record_wall_s = reading.wall_s;
+    host.drift_per_s = drift_per_s;
+    by_model_[modelHash(host.cpu_model)].push_back(hosts_.size());
+    hosts_.push_back(std::move(host));
+}
+
+bool
+RepeatAttackPlanner::matches(const Gen1Reading &reading) const
+{
+    const auto it = by_model_.find(modelHash(reading.cpu_model));
+    if (it == by_model_.end())
+        return false;
+    const auto bucket = static_cast<std::int64_t>(
+        std::llround(reading.tboot_s / p_boot_s_));
+    for (const std::size_t idx : it->second) {
+        const RecordedHost &host = hosts_[idx];
+        // Extrapolate the recorded T_boot to the reading's instant.
+        const double elapsed = reading.wall_s - host.record_wall_s;
+        const double predicted =
+            host.tboot_s + host.drift_per_s * elapsed;
+        const auto predicted_bucket = static_cast<std::int64_t>(
+            std::llround(predicted / p_boot_s_));
+        if (std::llabs(bucket - predicted_bucket) <= tolerance_buckets_)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::size_t>
+RepeatAttackPlanner::focusIndices(
+    const std::vector<Gen1Reading> &readings) const
+{
+    std::vector<std::size_t> focus;
+    for (std::size_t i = 0; i < readings.size(); ++i) {
+        if (matches(readings[i]))
+            focus.push_back(i);
+    }
+    return focus;
+}
+
+} // namespace eaao::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Repeat-attack optimization (paper Section 5.2, "Potential attack
+ * optimizations").
+ *
+ * When the attacker intends to repeatedly target services of the same
+ * victim account, the fingerprints of hosts that held victim instances
+ * during the first attack identify the victim's likely base hosts. In
+ * subsequent attacks the attacker can focus side-channel extraction on
+ * its own instances whose fingerprints match the recorded set, instead
+ * of monitoring every occupied host.
+ *
+ * Matching is drift-tolerant: the recorded T_boot is extrapolated with
+ * the tracked drift slope (Section 4.4.2) before comparing buckets.
+ */
+
+#ifndef EAAO_CORE_REPEAT_ATTACK_HPP
+#define EAAO_CORE_REPEAT_ATTACK_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::core {
+
+/** One remembered victim host. */
+struct RecordedHost
+{
+    std::string cpu_model;
+    double tboot_s = 0.0;      //!< derived boot time at record instant
+    double record_wall_s = 0.0; //!< when the record was taken
+    double drift_per_s = 0.0;  //!< fitted slope, if a history exists
+};
+
+/**
+ * Store of victim-host fingerprints across attacks.
+ */
+class RepeatAttackPlanner
+{
+  public:
+    /**
+     * @param p_boot_s Rounding precision used for matching.
+     * @param tolerance_buckets Extra +-buckets accepted around the
+     *        drift-extrapolated position (measurement noise and
+     *        slope-estimate error).
+     */
+    explicit RepeatAttackPlanner(double p_boot_s = 1.0,
+                                 std::int64_t tolerance_buckets = 2);
+
+    /**
+     * Remember a host observed to carry victim instances.
+     *
+     * @param reading A reading taken on that host (attacker-side,
+     *        from a co-located attacker instance).
+     * @param drift_per_s Fitted T_boot drift, if the attacker tracked
+     *        this host (0 = assume negligible drift).
+     */
+    void recordVictimHost(const Gen1Reading &reading,
+                          double drift_per_s = 0.0);
+
+    /** Number of remembered hosts. */
+    std::size_t size() const { return hosts_.size(); }
+
+    /**
+     * Does @p reading (taken now, on some attacker instance) match a
+     * remembered victim host?
+     */
+    bool matches(const Gen1Reading &reading) const;
+
+    /**
+     * Select the focus set: indices of @p readings that match
+     * remembered victim hosts. Extraction effort concentrates there.
+     */
+    std::vector<std::size_t>
+    focusIndices(const std::vector<Gen1Reading> &readings) const;
+
+  private:
+    double p_boot_s_;
+    std::int64_t tolerance_buckets_;
+    std::vector<RecordedHost> hosts_;
+    /** model-hash -> recorded indices (fast candidate lookup). */
+    std::map<std::uint64_t, std::vector<std::size_t>> by_model_;
+};
+
+} // namespace eaao::core
+
+#endif // EAAO_CORE_REPEAT_ATTACK_HPP

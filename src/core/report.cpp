@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Implementation of table rendering.
+ */
+
+#include "core/report.hpp"
+
+#include <cstdarg>
+
+namespace eaao::core {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    // Column widths from content.
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            widths[c] = std::max(widths[c], cells[c].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto render = [&widths](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            line += cell;
+            if (c + 1 < widths.size())
+                line += std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        out += render(header_);
+        std::size_t total = 0;
+        for (const std::size_t w : widths)
+            total += w + 2;
+        out += std::string(total > 2 ? total - 2 : total, '-');
+        out += '\n';
+    }
+    for (const auto &r : rows_)
+        out += render(r);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+TextTable::csv() const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (const char c : cell) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    auto render = [&escape](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                line += ',';
+            line += escape(cells[c]);
+        }
+        line += '\n';
+        return line;
+    };
+    std::string out;
+    if (!header_.empty())
+        out += render(header_);
+    for (const auto &r : rows_)
+        out += render(r);
+    return out;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+std::string
+percent(double fraction, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace eaao::core

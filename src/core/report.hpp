@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table rendering shared by the benches and examples.
+ */
+
+#ifndef EAAO_CORE_REPORT_HPP
+#define EAAO_CORE_REPORT_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace eaao::core {
+
+/**
+ * A simple fixed-layout text table: collect rows of strings, then
+ * print with per-column widths derived from the content.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table to stdout. */
+    void print() const;
+
+    /** Render the table into a string. */
+    std::string str() const;
+
+    /**
+     * Render as RFC-4180-style CSV (quoting cells that contain
+     * commas, quotes or newlines) — for piping bench output into
+     * plotting scripts.
+     */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style helper returning std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a ratio as a percentage string, e.g. "97.7%". */
+std::string percent(double fraction, int decimals = 1);
+
+} // namespace eaao::core
+
+#endif // EAAO_CORE_REPORT_HPP

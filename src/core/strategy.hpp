@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Instance-launching strategies and attack campaigns (paper Section 5).
+ *
+ * Strategy 1 (naive): launch many instances from cold services; they
+ * land on the attacker's base hosts and rarely meet the victim.
+ *
+ * Strategy 2 (optimized): prime each attacker service into a
+ * high-demand state by repeatedly launching ~800 instances at ~10-minute
+ * intervals; the load balancer then spreads instances over helper hosts
+ * across the data center. Multiple services multiply the helper
+ * footprint. The final launch is kept connected to hold the hosts.
+ */
+
+#ifndef EAAO_CORE_STRATEGY_HPP
+#define EAAO_CORE_STRATEGY_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "channel/covert.hpp"
+#include "core/fingerprint.hpp"
+#include "faas/platform.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::core {
+
+/** One measured launch: instances plus their fingerprints. */
+struct LaunchObservation
+{
+    std::vector<faas::InstanceId> ids;
+    std::vector<Gen1Reading> readings;     //!< raw Gen 1 readings (empty
+                                           //!< for Gen 2 services)
+    std::vector<std::uint64_t> fp_keys;    //!< quantized fingerprint keys
+    std::vector<std::uint64_t> class_keys; //!< parallel class per inst.
+                                           //!< (CPU model / Gen 2 key)
+
+    /** Distinct fingerprint keys = apparent hosts of this launch. */
+    std::set<std::uint64_t> apparentHosts() const;
+};
+
+/** Options for one measured launch. */
+struct LaunchOptions
+{
+    std::uint32_t instances = 800;
+    sim::Duration hold = sim::Duration::seconds(30);
+    double p_boot_s = 1.0;
+    bool disconnect_after = true;
+};
+
+/**
+ * Launch @p opts.instances concurrent instances of @p service, collect
+ * each instance's host fingerprint, hold the connections for
+ * @p opts.hold, and optionally disconnect.
+ */
+LaunchObservation launchAndObserve(faas::Platform &platform,
+                                   faas::ServiceId service,
+                                   const LaunchOptions &opts);
+
+/** Options for priming one service (Strategy 2). */
+struct PrimeOptions
+{
+    std::uint32_t launches = 6;
+    sim::Duration interval = sim::Duration::minutes(10);
+    LaunchOptions launch;
+    bool keep_last_connected = true;
+};
+
+/**
+ * Prime a single service: repeated launches at the configured interval.
+ * @return One observation per launch.
+ */
+std::vector<LaunchObservation> primeService(faas::Platform &platform,
+                                            faas::ServiceId service,
+                                            const PrimeOptions &opts);
+
+/** Result of a full attacker campaign. */
+struct CampaignResult
+{
+    std::vector<faas::ServiceId> services;
+    /** Instances still connected at the end (the attack footholds). */
+    std::vector<faas::InstanceId> final_instances;
+    std::vector<std::uint64_t> final_fp_keys;
+    std::vector<std::uint64_t> final_class_keys;
+    /** Oracle: hosts holding at least one attacker instance. */
+    std::set<hw::HostId> occupied_hosts;
+    /** Attacker-visible: distinct fingerprints across the campaign. */
+    std::set<std::uint64_t> apparent_hosts;
+    double cost_usd = 0.0;
+};
+
+/** Configuration of the optimized campaign. */
+struct CampaignConfig
+{
+    std::uint32_t services = 6;
+    PrimeOptions prime;
+    faas::ExecEnv env = faas::ExecEnv::Gen1;
+    faas::ContainerSize size = faas::sizes::kSmall;
+};
+
+/**
+ * Strategy 2: deploy @p cfg.services services under @p attacker and
+ * prime them in interleaved rounds; final launches stay connected.
+ */
+CampaignResult runOptimizedCampaign(faas::Platform &platform,
+                                    faas::AccountId attacker,
+                                    const CampaignConfig &cfg);
+
+/**
+ * Strategy 1: deploy services and launch each once from a cold state,
+ * keeping the instances connected.
+ */
+CampaignResult runNaiveCampaign(faas::Platform &platform,
+                                faas::AccountId attacker,
+                                std::uint32_t services,
+                                std::uint32_t instances_per_service,
+                                faas::ExecEnv env = faas::ExecEnv::Gen1,
+                                faas::ContainerSize size =
+                                    faas::sizes::kSmall);
+
+/** Victim-instance coverage measurement. */
+struct CoverageResult
+{
+    std::uint32_t victim_instances = 0;
+    std::uint32_t covered_instances = 0;
+
+    double
+    coverage() const
+    {
+        return victim_instances == 0
+                   ? 0.0
+                   : static_cast<double>(covered_instances) /
+                         static_cast<double>(victim_instances);
+    }
+};
+
+/**
+ * Oracle coverage: fraction of victim instances whose physical host
+ * also hosts an attacker instance.
+ */
+CoverageResult measureCoverageOracle(
+    const faas::Platform &platform,
+    const std::set<hw::HostId> &attacker_hosts,
+    const std::vector<faas::InstanceId> &victim_ids);
+
+/**
+ * Covert-channel coverage, as the paper measures it: one attacker
+ * representative per apparent host plus all victim instances are
+ * verified together with the scalable method; a victim instance counts
+ * as covered when its verified cluster contains an attacker
+ * representative.
+ */
+CoverageResult measureCoverageViaChannel(
+    faas::Platform &platform, channel::RngChannel &chan,
+    const CampaignResult &attack,
+    const std::vector<faas::InstanceId> &victim_ids,
+    const std::vector<std::uint64_t> &victim_fp_keys,
+    const std::vector<std::uint64_t> &victim_class_keys);
+
+/**
+ * Drift-tolerant apparent-host counter.
+ *
+ * Over a multi-hour exploration, hosts with large reported-frequency
+ * error drift across T_boot rounding boundaries and would be counted
+ * as several apparent hosts. Readings whose rounded T_boot lands next
+ * to an already-seen bucket of the same CPU model are treated as the
+ * same host (the attacker tracks fingerprints across expirations,
+ * Section 5.2).
+ */
+class ApparentHostCounter
+{
+  public:
+    explicit ApparentHostCounter(double p_boot_s = 1.0)
+        : p_boot_s_(p_boot_s)
+    {
+    }
+
+    /** Record a reading; returns true if it revealed a new host. */
+    bool add(const Gen1Reading &reading);
+
+    /** Distinct hosts seen so far. */
+    std::size_t count() const { return count_; }
+
+  private:
+    double p_boot_s_;
+    std::size_t count_ = 0;
+    std::map<std::uint64_t, std::set<std::int64_t>> buckets_by_model_;
+};
+
+/** Cumulative host-discovery curve (Fig. 12). */
+struct ExplorationResult
+{
+    /** Cumulative distinct apparent hosts after each launch. */
+    std::vector<std::size_t> cumulative_unique;
+    std::size_t total = 0;
+};
+
+/**
+ * Estimate the data-center size: prime @p services_per_account fresh
+ * services per account with @p launches_per_service optimized launches
+ * each, accumulating distinct fingerprints across all launches.
+ */
+ExplorationResult exploreClusterSize(
+    faas::Platform &platform,
+    const std::vector<faas::AccountId> &accounts,
+    std::uint32_t services_per_account,
+    std::uint32_t launches_per_service, const PrimeOptions &prime);
+
+} // namespace eaao::core
+
+#endif // EAAO_CORE_STRATEGY_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fingerprint tracking over time (paper Section 4.4.2).
+ *
+ * Because method-1 fingerprints use a slightly-wrong frequency, the
+ * derived T_boot drifts linearly with real-world time (Eq. 4.2). A
+ * FingerprintHistory accumulates (wall time, T_boot) observations for
+ * one host, fits the drift line, validates linearity via the r-value,
+ * and predicts when the rounded fingerprint will expire (cross a
+ * rounding boundary).
+ */
+
+#ifndef EAAO_CORE_TRACKER_HPP
+#define EAAO_CORE_TRACKER_HPP
+
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/regression.hpp"
+
+namespace eaao::core {
+
+/**
+ * Time series of derived boot times for one (apparent) host.
+ */
+class FingerprintHistory
+{
+  public:
+    /** Record one observation. */
+    void add(sim::SimTime when, double tboot_s);
+
+    /** Number of observations. */
+    std::size_t size() const { return wall_s_.size(); }
+
+    /** Time span covered by the history. */
+    sim::Duration span() const;
+
+    /**
+     * Fit T_boot as a linear function of wall time. Requires >= 2
+     * observations.
+     */
+    stats::LinearFit fitDrift() const;
+
+    /**
+     * Estimated time (seconds after the last observation) until the
+     * fingerprint rounded at @p p_boot_s changes value.
+     *
+     * @return nullopt when the drift is too small to ever cross a
+     *         boundary within any practical horizon (|slope| < 1e-12).
+     */
+    std::optional<double> expirationSeconds(double p_boot_s) const;
+
+    /** Raw observation access (for plotting/benches). */
+    const std::vector<double> &wallSeconds() const { return wall_s_; }
+    const std::vector<double> &tbootSeconds() const { return tboot_s_; }
+
+  private:
+    std::vector<double> wall_s_;
+    std::vector<double> tboot_s_;
+};
+
+} // namespace eaao::core
+
+#endif // EAAO_CORE_TRACKER_HPP

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Instance co-location verification (paper Section 4.3).
+ *
+ * The scalable method groups instances by fingerprint, verifies each
+ * group with (ideally) a single adjustable-threshold covert-channel
+ * test, recursively refines groups whose fingerprints turned out to be
+ * false positives, and finishes with one all-representatives test that
+ * surfaces false negatives across groups. Best case: O(M) tests for M
+ * occupied hosts.
+ *
+ * Conventional baselines: O(N^2) pairwise covert-channel testing and
+ * Single Instance Elimination (SIE), which the paper shows is
+ * ineffective in FaaS because every instance shares its host.
+ */
+
+#ifndef EAAO_CORE_VERIFY_HPP
+#define EAAO_CORE_VERIFY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/covert.hpp"
+#include "faas/platform.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::core {
+
+/** Options of the scalable verifier. */
+struct VerifyOptions
+{
+    /** Base contention threshold for small tests (paper: m = 2). */
+    std::uint32_t m = 2;
+
+    /**
+     * Maximum adjustable threshold: a group of up to this many
+     * instances can be confirmed in one test (raise threshold /
+     * reduce per-instance pressure, Section 4.3).
+     */
+    std::uint32_t m_max = 16;
+
+    /**
+     * Run group tests of different parallel classes concurrently
+     * (classes guaranteed to live on disjoint hosts, e.g. distinct CPU
+     * models in Gen 1, distinct fingerprints in Gen 2).
+     */
+    bool parallelize = true;
+
+    /**
+     * The fingerprints cannot produce false negatives (Gen 2): skip the
+     * cross-group representative test entirely.
+     */
+    bool no_false_negatives = false;
+};
+
+/** Outcome of a verification run. */
+struct VerifyResult
+{
+    /** Cluster label per input index; same label = verified co-located. */
+    std::vector<std::uint64_t> cluster_of;
+
+    /** Covert-channel group tests executed. */
+    std::uint64_t group_tests = 0;
+
+    /** Serialized rounds (wall-clock units of one test each). */
+    std::uint64_t waves = 0;
+
+    /** Wall-clock time the verification occupied. */
+    sim::Duration elapsed;
+
+    /** Billing for keeping the instances active throughout. */
+    double cost_usd = 0.0;
+
+    /** Number of distinct clusters (verified hosts). */
+    std::size_t clusterCount() const;
+};
+
+/**
+ * Fingerprint-assisted scalable verification.
+ *
+ * @param platform The data center.
+ * @param chan The group-test covert channel.
+ * @param ids Instances under test (must be active).
+ * @param fp_keys Fingerprint key per instance (same order as ids).
+ * @param parallel_class Class id per instance; instances of different
+ *        classes are guaranteed host-disjoint, so their tests can run
+ *        concurrently. Pass an empty vector to serialize everything.
+ * @param opts Options.
+ */
+VerifyResult verifyScalable(faas::Platform &platform,
+                            channel::RngChannel &chan,
+                            const std::vector<faas::InstanceId> &ids,
+                            const std::vector<std::uint64_t> &fp_keys,
+                            const std::vector<std::uint64_t> &parallel_class,
+                            const VerifyOptions &opts = {});
+
+/**
+ * Conventional O(N^2) pairwise verification over a pairwise channel.
+ * Tests are serialized to avoid interference.
+ */
+VerifyResult verifyPairwise(faas::Platform &platform,
+                            channel::RngChannel &pair_channel,
+                            const std::vector<faas::InstanceId> &ids);
+
+/**
+ * Pairwise verification over the slow memory-bus channel (Varadarajan
+ * et al. style; several seconds per test).
+ */
+VerifyResult verifyPairwiseMemBus(faas::Platform &platform,
+                                  channel::MemBusChannel &chan,
+                                  const std::vector<faas::InstanceId> &ids);
+
+/**
+ * Single Instance Elimination (Inci et al.): one simultaneous test of
+ * all instances; instances that observe no contention are eliminated.
+ *
+ * @return Indices (into @p ids) of the surviving instances. In FaaS
+ *         this typically returns everything (Section 4.3).
+ */
+std::vector<std::size_t> singleInstanceElimination(
+    faas::Platform &platform, channel::RngChannel &chan,
+    const std::vector<faas::InstanceId> &ids, std::uint32_t m = 2);
+
+} // namespace eaao::core
+
+#endif // EAAO_CORE_VERIFY_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Implementation of the contention-anomaly detector.
+ */
+
+#include "defense/detector.hpp"
+
+#include <algorithm>
+
+namespace eaao::defense {
+
+ContentionDetector::ContentionDetector(const DetectorConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+void
+ContentionDetector::recordBurst(sim::SimTime when, hw::HostId host,
+                                const std::vector<faas::AccountId>
+                                    &accounts,
+                                std::uint32_t events)
+{
+    expire(when);
+    events_.push_back(BurstEvent{when, host, accounts, events});
+    counts_[host] += events;
+    total_ += events;
+}
+
+void
+ContentionDetector::expire(sim::SimTime now)
+{
+    const sim::SimTime cutoff = now - cfg_.window;
+    while (!events_.empty() && events_.front().when < cutoff) {
+        auto it = counts_.find(events_.front().host);
+        if (it != counts_.end()) {
+            it->second -= std::min(it->second, events_.front().events);
+            if (it->second == 0)
+                counts_.erase(it);
+        }
+        events_.pop_front();
+    }
+}
+
+std::vector<hw::HostId>
+ContentionDetector::flaggedHosts(sim::SimTime now)
+{
+    expire(now);
+    std::vector<hw::HostId> flagged;
+    for (const auto &[host, count] : counts_) {
+        if (count >= cfg_.burst_threshold)
+            flagged.push_back(host);
+    }
+    std::sort(flagged.begin(), flagged.end());
+    return flagged;
+}
+
+std::set<faas::AccountId>
+ContentionDetector::implicatedAccounts(sim::SimTime now)
+{
+    const auto flagged = flaggedHosts(now);
+    std::set<hw::HostId> flagged_set(flagged.begin(), flagged.end());
+    std::set<faas::AccountId> accounts;
+    for (const auto &event : events_) {
+        if (flagged_set.count(event.host) == 0)
+            continue;
+        accounts.insert(event.accounts.begin(), event.accounts.end());
+    }
+    return accounts;
+}
+
+} // namespace eaao::defense

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Contention-anomaly detection (paper Section 6, "detect and stop
+ * ongoing side-channel attacks" after CloudRadar / Hunger et al.).
+ *
+ * The provider monitors per-host contention bursts on rarely-used
+ * shared resources (the hardware RNG). Co-location verification
+ * necessarily hammers that resource, so a sliding-window burst counter
+ * flags hosts under test — forcing the attacker to slow down or risk
+ * exposure.
+ */
+
+#ifndef EAAO_DEFENSE_DETECTOR_HPP
+#define EAAO_DEFENSE_DETECTOR_HPP
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "faas/types.hpp"
+#include "hw/host.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::defense {
+
+/** Tuning of the provider-side contention detector. */
+struct DetectorConfig
+{
+    /** Sliding window length. */
+    sim::Duration window = sim::Duration::minutes(10);
+
+    /**
+     * Bursts within the window needed to flag a host. A burst is one
+     * covert-channel test interval during which >= 2 parties pressured
+     * the RNG simultaneously.
+     */
+    std::uint32_t burst_threshold = 20;
+
+    /** Background bursts per host per hour (benign noise floor). */
+    double background_bursts_per_hour = 0.5;
+};
+
+/** One recorded contention burst. */
+struct BurstEvent
+{
+    sim::SimTime when;
+    hw::HostId host;
+    std::vector<faas::AccountId> accounts; //!< parties involved
+    std::uint32_t events = 1;              //!< contention intervals
+};
+
+/**
+ * Sliding-window burst detector over the whole fleet.
+ */
+class ContentionDetector
+{
+  public:
+    explicit ContentionDetector(const DetectorConfig &cfg = {});
+
+    /**
+     * Record contention on @p host at @p when. @p events is the number
+     * of distinct contention intervals observed (a covert-channel test
+     * contends once per trial).
+     */
+    void recordBurst(sim::SimTime when, hw::HostId host,
+                     const std::vector<faas::AccountId> &accounts,
+                     std::uint32_t events = 1);
+
+    /** Hosts currently over the threshold (as of @p now). */
+    std::vector<hw::HostId> flaggedHosts(sim::SimTime now);
+
+    /**
+     * Accounts implicated on currently-flagged hosts — the provider's
+     * abuse-team shortlist.
+     */
+    std::set<faas::AccountId> implicatedAccounts(sim::SimTime now);
+
+    /** Total bursts ever recorded. */
+    std::uint64_t totalBursts() const { return total_; }
+
+    /** Configuration in force. */
+    const DetectorConfig &config() const { return cfg_; }
+
+  private:
+    /** Drop events older than the window. */
+    void expire(sim::SimTime now);
+
+    DetectorConfig cfg_;
+    std::deque<BurstEvent> events_;
+    std::unordered_map<hw::HostId, std::uint32_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace eaao::defense
+
+#endif // EAAO_DEFENSE_DETECTOR_HPP

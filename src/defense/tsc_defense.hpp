@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TSC-based mitigations (paper Section 6).
+ *
+ * Both fingerprints exploit the fact that the TSC value (Gen 1) or its
+ * frequency (Gen 2) is shared between host and untrusted container.
+ * The countermeasures mask one or both:
+ *
+ *  - Gen 1 trap-and-emulate: the host disables rdtsc/rdtscp in Ring 3
+ *    (CR4.TSD); the kernel emulates them against a per-container
+ *    virtual clock. Fingerprinting breaks (the derived "boot time" is
+ *    the container's start), but every high-precision timer access now
+ *    costs a kernel round-trip.
+ *  - Gen 2 hardware TSC offsetting + scaling: the VM sees a counter
+ *    that starts at VM boot AND ticks at exactly the advertised
+ *    nominal rate; the kernel-refined frequency exported to the guest
+ *    is the nominal value. No overhead, but requires hardware support.
+ */
+
+#ifndef EAAO_DEFENSE_TSC_DEFENSE_HPP
+#define EAAO_DEFENSE_TSC_DEFENSE_HPP
+
+#include "sim/time.hpp"
+
+namespace eaao::defense {
+
+/** Gen 1 (container) TSC policy. */
+enum class Gen1TscPolicy {
+    Native,      //!< rdtsc reads the host counter (default; exploitable)
+    TrapEmulate, //!< CR4.TSD: kernel emulates a per-container clock
+};
+
+/** Gen 2 (VM) TSC policy. */
+enum class Gen2TscPolicy {
+    OffsetOnly,    //!< TSC offsetting (default; frequency leaks)
+    OffsetAndScale //!< offsetting + scaling: frequency masked too
+};
+
+/** Platform-wide TSC defense configuration. */
+struct TscDefenseConfig
+{
+    Gen1TscPolicy gen1 = Gen1TscPolicy::Native;
+    Gen2TscPolicy gen2 = Gen2TscPolicy::OffsetOnly;
+
+    /**
+     * Also virtualize cpuid for Gen 1 containers (hide the host CPU
+     * model). Independently useful: the model string both narrows
+     * fingerprint search and feeds the reported-frequency method.
+     */
+    bool gen1_mask_cpuid = false;
+
+    /** Native userspace rdtsc + clock_gettime (vDSO) cost. */
+    sim::Duration native_timer_cost = sim::Duration::nanos(25);
+
+    /** Cost of a trapped-and-emulated timer access (kernel entry). */
+    sim::Duration emulated_timer_cost = sim::Duration::nanos(1200);
+
+    /** Effective timer-access cost for a Gen 1 container. */
+    sim::Duration
+    gen1TimerCost() const
+    {
+        return gen1 == Gen1TscPolicy::TrapEmulate ? emulated_timer_cost
+                                                  : native_timer_cost;
+    }
+};
+
+/**
+ * First-order workload-impact model for slower timer accesses.
+ *
+ * Applications differ wildly in timer intensity; the end-to-end
+ * overhead of trap-and-emulate is (timer calls per op) x (extra cost
+ * per call) relative to the op's service time. The profiles below
+ * follow the application classes Section 6 calls out.
+ */
+struct WorkloadProfile
+{
+    const char *name;
+    double timer_calls_per_op;
+    sim::Duration base_op_latency;
+};
+
+/** Fractional latency increase for @p workload under @p cfg. */
+double timerOverheadFraction(const TscDefenseConfig &cfg,
+                             const WorkloadProfile &workload);
+
+/** The four timer-sensitive application classes of Section 6. */
+const WorkloadProfile *timerSensitiveWorkloads(std::size_t &count);
+
+} // namespace eaao::defense
+
+#endif // EAAO_DEFENSE_TSC_DEFENSE_HPP

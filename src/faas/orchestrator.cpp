@@ -1,0 +1,763 @@
+/**
+ * @file
+ * Implementation of the orchestrator.
+ */
+
+#include "faas/orchestrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/distributions.hpp"
+#include "support/logging.hpp"
+
+namespace eaao::faas {
+
+Orchestrator::Orchestrator(Fleet &fleet, sim::EventQueue &eq,
+                           const OrchestratorConfig &cfg,
+                           const DataCenterProfile &profile,
+                           const PricingModel &pricing, sim::Rng rng)
+    : fleet_(fleet), eq_(eq), cfg_(cfg), profile_(profile),
+      pricing_(pricing), rng_(rng)
+{
+    host_vcpus_used_.assign(fleet_.size(), 0.0);
+    host_mem_used_gb_.assign(fleet_.size(), 0.0);
+    acct_load_.resize(fleet_.size());
+    svc_load_.resize(fleet_.size());
+}
+
+AccountId
+Orchestrator::createAccount(std::optional<std::uint32_t> shard,
+                            std::uint32_t quota_per_service)
+{
+    AccountRecord acct;
+    acct.id = static_cast<AccountId>(accounts_.size());
+    acct.quota_per_service = quota_per_service;
+    if (shard) {
+        EAAO_ASSERT(*shard < fleet_.shardCount(), "bad shard ", *shard);
+        acct.shard = *shard;
+    } else {
+        acct.shard = static_cast<std::uint32_t>(
+            sim::mix64(acct.id * 0x9e3779b97f4a7c15ULL + 17) %
+            fleet_.shardCount());
+    }
+    sim::Rng stream = rng_.fork(0x8a5e000000000000ULL + acct.id);
+    acct.base_order =
+        buildBaseOrder(acct, profile_.base_order_jitter, stream);
+    accounts_.push_back(std::move(acct));
+    return accounts_.back().id;
+}
+
+ServiceId
+Orchestrator::deployService(AccountId account, ExecEnv env,
+                            ContainerSize size)
+{
+    EAAO_ASSERT(account < accounts_.size(), "bad account ", account);
+    ServiceRecord svc;
+    svc.id = static_cast<ServiceId>(services_.size());
+    svc.account = account;
+    svc.env = env;
+    svc.size = size;
+    svc.helper_seed =
+        sim::mix64(0x5e1fbeef00000000ULL + svc.id * 2654435761ULL);
+    svc.helper_order =
+        buildHelperOrder(accounts_[account].shard, svc.helper_seed);
+    svc.spill_order = buildSpillOrder(accounts_[account].shard,
+                                      sim::mix64(svc.helper_seed));
+    services_.push_back(std::move(svc));
+    return services_.back().id;
+}
+
+void
+Orchestrator::redeployService(ServiceId service)
+{
+    EAAO_ASSERT(service < services_.size(), "bad service ", service);
+    // A fresh container image does not change the account-affine
+    // placement behaviour the paper observed (Experiment 2 variant), so
+    // preferences and demand history are retained.
+}
+
+std::uint32_t
+Orchestrator::hotness(const ServiceRecord &svc) const
+{
+    const sim::SimTime cutoff = eq_.now() - cfg_.demand_window;
+    std::uint32_t h = 0;
+    for (const auto &[when, n] : svc.bursts) {
+        if (when >= cutoff && n >= cfg_.hot_burst_min)
+            ++h;
+    }
+    return std::min(h, cfg_.hotness_cap);
+}
+
+void
+Orchestrator::setAccountQuota(AccountId account,
+                              std::uint32_t quota_per_service)
+{
+    EAAO_ASSERT(account < accounts_.size(), "bad account ", account);
+    accounts_[account].quota_per_service = quota_per_service;
+}
+
+std::vector<InstanceId>
+Orchestrator::scaleOut(ServiceId service, std::uint32_t n)
+{
+    EAAO_ASSERT(service < services_.size(), "bad service ", service);
+    ServiceRecord &svc = services_[service];
+    AccountRecord &acct = accounts_[svc.account];
+
+    // Per-service concurrency quota: the platform refuses to scale a
+    // service beyond the account's cap.
+    if (n > acct.quota_per_service) {
+        warn("service ", service, " clamped to quota ",
+             acct.quota_per_service, " (requested ", n, ")");
+        n = acct.quota_per_service;
+    }
+
+    // Hotness is judged from *prior* demand within the window; the
+    // current burst does not count toward its own placement.
+    const std::uint32_t h = hotness(svc);
+    refreshPreferences(svc, acct);
+
+    // Prune expired bursts and record this one.
+    const sim::SimTime cutoff = eq_.now() - cfg_.demand_window;
+    while (!svc.bursts.empty() && svc.bursts.front().first < cutoff)
+        svc.bursts.pop_front();
+    svc.bursts.emplace_back(eq_.now(), n);
+
+    // Reuse idle instances first (most-recently idled first).
+    while (svc.active.size() < n && !svc.idle.empty()) {
+        const InstanceId id = svc.idle.back();
+        svc.idle.pop_back();
+        InstanceRecord &inst = instances_[id];
+        EAAO_ASSERT(inst.state == InstanceState::Idle,
+                    "non-idle instance on idle list");
+        if (inst.reap_event != 0) {
+            eq_.cancel(inst.reap_event);
+            inst.reap_event = 0;
+        }
+        inst.state = InstanceState::Active;
+        inst.state_since = eq_.now();
+        svc.active.push_back(id);
+        if (trace_ != nullptr) {
+            trace_->record(PlacementEvent{eq_.now(), id, svc.id,
+                                          inst.account, inst.host,
+                                          PlacementReason::Reuse});
+        }
+    }
+
+    // Create the shortfall.
+    while (svc.active.size() < n)
+        createInstance(svc, h);
+
+    return svc.active;
+}
+
+void
+Orchestrator::disconnectAll(ServiceId service)
+{
+    EAAO_ASSERT(service < services_.size(), "bad service ", service);
+    ServiceRecord &svc = services_[service];
+    std::vector<InstanceId> still_busy;
+    for (const InstanceId id : svc.active) {
+        InstanceRecord &inst = instances_[id];
+        if (inst.in_flight > 0) {
+            // A request is mid-flight; the instance idles when its
+            // last request completes.
+            still_busy.push_back(id);
+            continue;
+        }
+        settleActiveTime(inst);
+        inst.state = InstanceState::Idle;
+        inst.state_since = eq_.now();
+        svc.idle.push_back(id);
+        scheduleReap(inst);
+    }
+    svc.active = std::move(still_busy);
+}
+
+void
+Orchestrator::setMaxConcurrency(ServiceId service, std::uint32_t limit)
+{
+    EAAO_ASSERT(service < services_.size(), "bad service ", service);
+    EAAO_ASSERT(limit >= 1, "concurrency limit must be positive");
+    services_[service].max_concurrency = limit;
+}
+
+InstanceId
+Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
+{
+    EAAO_ASSERT(service < services_.size(), "bad service ", service);
+    EAAO_ASSERT(service_time.ns() > 0, "non-positive service time");
+    ServiceRecord &svc = services_[service];
+
+    // 1. An active instance with spare concurrency.
+    InstanceRecord *target = nullptr;
+    for (const InstanceId id : svc.active) {
+        InstanceRecord &inst = instances_[id];
+        if (inst.in_flight < svc.max_concurrency &&
+            (target == nullptr || inst.in_flight < target->in_flight)) {
+            target = &inst;
+        }
+    }
+
+    // 2. Wake an idle instance (most recently idled first).
+    if (target == nullptr && !svc.idle.empty()) {
+        const InstanceId id = svc.idle.back();
+        svc.idle.pop_back();
+        InstanceRecord &inst = instances_[id];
+        if (inst.reap_event != 0) {
+            eq_.cancel(inst.reap_event);
+            inst.reap_event = 0;
+        }
+        inst.state = InstanceState::Active;
+        inst.state_since = eq_.now();
+        svc.active.push_back(id);
+        target = &inst;
+    }
+
+    // 3. Scale out by one instance.
+    if (target == nullptr) {
+        const std::uint32_t h = hotness(svc);
+        noteRequestCreation(svc);
+        const InstanceId id = createInstance(svc, h);
+        target = &instances_[id];
+    }
+
+    ++target->in_flight;
+    ++svc.requests_served;
+    const InstanceId id = target->id;
+    eq_.scheduleAfter(service_time, [this, id] { completeRequest(id); });
+    return id;
+}
+
+void
+Orchestrator::completeRequest(InstanceId id)
+{
+    InstanceRecord &inst = instances_[id];
+    if (inst.state == InstanceState::Terminated)
+        return; // instance died with the request in flight
+    EAAO_ASSERT(inst.in_flight > 0, "completion without request");
+    --inst.in_flight;
+    if (inst.in_flight > 0 || inst.state != InstanceState::Active)
+        return;
+    // Last request done: the instance releases its CPU and idles.
+    ServiceRecord &svc = services_[inst.service];
+    auto &act = svc.active;
+    const auto it = std::find(act.begin(), act.end(), id);
+    EAAO_ASSERT(it != act.end(), "active instance missing from list");
+    act.erase(it);
+    settleActiveTime(inst);
+    inst.state = InstanceState::Idle;
+    inst.state_since = eq_.now();
+    svc.idle.push_back(id);
+    scheduleReap(inst);
+}
+
+void
+Orchestrator::noteRequestCreation(ServiceRecord &svc)
+{
+    // Aggregate request-driven scale-out into the same demand signal
+    // launches produce: >= hot_burst_min creations within 5 minutes
+    // count as one high-demand burst.
+    const sim::SimTime now = eq_.now();
+    svc.request_creations.push_back(now);
+    const sim::SimTime cutoff = now - sim::Duration::minutes(5);
+    while (!svc.request_creations.empty() &&
+           svc.request_creations.front() < cutoff) {
+        svc.request_creations.pop_front();
+    }
+    if (svc.request_creations.size() >= cfg_.hot_burst_min) {
+        svc.bursts.emplace_back(
+            now, static_cast<std::uint32_t>(
+                     svc.request_creations.size()));
+        svc.request_creations.clear();
+    }
+}
+
+InstanceId
+Orchestrator::restartInstance(InstanceId id)
+{
+    EAAO_ASSERT(id < instances_.size(), "bad instance ", id);
+    InstanceRecord &old_inst = instances_[id];
+    EAAO_ASSERT(old_inst.state != InstanceState::Terminated,
+                "restarting a terminated instance");
+    ServiceRecord &svc = services_[old_inst.service];
+    const bool was_active = old_inst.state == InstanceState::Active;
+    if (!was_active) {
+        auto &idle = svc.idle;
+        idle.erase(std::find(idle.begin(), idle.end(), id));
+    }
+    terminate(old_inst);
+    const std::uint32_t h = hotness(svc);
+    const InstanceId fresh = createInstance(svc, h);
+    if (!was_active) {
+        // createInstance places the replacement on the active list; an
+        // idle predecessor yields an idle replacement.
+        InstanceRecord &inst = instances_[fresh];
+        auto &act = svc.active;
+        act.erase(std::find(act.begin(), act.end(), fresh));
+        settleActiveTime(inst);
+        inst.state = InstanceState::Idle;
+        inst.state_since = eq_.now();
+        svc.idle.push_back(fresh);
+        scheduleReap(inst);
+    }
+    return fresh;
+}
+
+const InstanceRecord &
+Orchestrator::instance(InstanceId id) const
+{
+    EAAO_ASSERT(id < instances_.size(), "bad instance ", id);
+    return instances_[id];
+}
+
+const ServiceRecord &
+Orchestrator::service(ServiceId id) const
+{
+    EAAO_ASSERT(id < services_.size(), "bad service ", id);
+    return services_[id];
+}
+
+const AccountRecord &
+Orchestrator::account(AccountId id) const
+{
+    EAAO_ASSERT(id < accounts_.size(), "bad account ", id);
+    return accounts_[id];
+}
+
+double
+Orchestrator::accountSpendUsd(AccountId id) const
+{
+    EAAO_ASSERT(id < accounts_.size(), "bad account ", id);
+    double usd = accounts_[id].spend_usd;
+    // Add the bill still running on currently-active instances.
+    for (const auto &inst : instances_) {
+        if (inst.account == id && inst.state == InstanceState::Active) {
+            const double s = (eq_.now() - inst.state_since).secondsF();
+            usd += s * pricing_.usdPerActiveSecond(inst.size);
+        }
+    }
+    return usd;
+}
+
+InstanceId
+Orchestrator::createInstance(ServiceRecord &svc, std::uint32_t h)
+{
+    AccountRecord &acct = accounts_[svc.account];
+    PlacementReason reason = PlacementReason::ColdBase;
+    const hw::HostId host = pickHost(svc, acct, h, reason);
+
+    InstanceRecord inst;
+    inst.id = static_cast<InstanceId>(instances_.size());
+    inst.service = svc.id;
+    inst.account = svc.account;
+    inst.host = host;
+    inst.size = svc.size;
+    inst.env = svc.env;
+    inst.state = InstanceState::Active;
+    inst.created_at = eq_.now();
+    inst.state_since = eq_.now();
+    if (svc.env == ExecEnv::Gen2) {
+        // TSC offsetting: the hypervisor snapshots the host TSC at VM
+        // boot so the guest sees a counter that starts near zero.
+        inst.vm_tsc_offset = fleet_.host(host).tsc().idealRead(eq_.now());
+    }
+
+    // Startup time is billable (creations dominate the attack cost).
+    double startup = svc.env == ExecEnv::Gen1
+                         ? cfg_.startup_billable_s_gen1
+                         : cfg_.startup_billable_s_gen2;
+    // Creation slows as the service nears the 1000-instance limit
+    // (the paper launched 800 per burst to dodge exactly this).
+    const std::size_t svc_live = svc.active.size() + svc.idle.size();
+    if (svc_live > cfg_.creation_slowdown_threshold) {
+        const double excess = static_cast<double>(
+            svc_live - cfg_.creation_slowdown_threshold);
+        startup *= 1.0 + cfg_.creation_slowdown_factor * excess / 200.0;
+    }
+    inst.active_seconds += startup;
+    acct.spend_usd += startup * pricing_.usdPerActiveSecond(inst.size);
+
+    host_vcpus_used_[host] += inst.size.vcpus;
+    host_mem_used_gb_[host] += inst.size.memory_gb;
+    ++acct_load_[host][inst.account];
+    ++svc_load_[host][inst.service];
+    ++acct.live_count;
+
+    svc.active.push_back(inst.id);
+    instances_.push_back(inst);
+    if (trace_ != nullptr) {
+        trace_->record(PlacementEvent{eq_.now(), inst.id, svc.id,
+                                      inst.account, host, reason});
+    }
+    return inst.id;
+}
+
+hw::HostId
+Orchestrator::pickHost(const ServiceRecord &svc, const AccountRecord &acct,
+                       std::uint32_t h, PlacementReason &reason) const
+{
+    if (h > 0) {
+        // Hot service: the load balancer relieves the base hosts by
+        // spreading new instances over helper hosts as well (Obs 5).
+        if (auto host = pickHelperHost(svc, acct, h)) {
+            reason = PlacementReason::HotHelper;
+            return *host;
+        }
+        if (auto host = pickBaseHost(svc, acct)) {
+            reason = PlacementReason::ColdBase;
+            return *host;
+        }
+    } else {
+        // Dynamic data centers leak a fraction of cold placements off
+        // the base hosts (us-central1, §5.1/§5.2).
+        if (profile_.cold_spill_fraction > 0.0 &&
+            rng_.bernoulli(profile_.cold_spill_fraction)) {
+            if (auto host = pickSpillHost(svc)) {
+                reason = PlacementReason::ColdSpill;
+                return *host;
+            }
+        }
+        if (auto host = pickBaseHost(svc, acct)) {
+            reason = PlacementReason::ColdBase;
+            return *host;
+        }
+        // Cold overflow: demand beyond the home shard's capacity spills
+        // into the helper layer.
+        if (auto host = pickHelperHost(svc, acct, 1)) {
+            reason = PlacementReason::ColdOverflow;
+            return *host;
+        }
+    }
+    EAAO_FATAL("data center out of capacity for service ", svc.id);
+}
+
+std::optional<hw::HostId>
+Orchestrator::pickBaseHost(const ServiceRecord &svc,
+                           const AccountRecord &acct) const
+{
+    const auto &order = acct.base_order;
+    if (order.empty())
+        return std::nullopt;
+
+    // Demand-sized prefix: spread the account's live instances over
+    // ceil(demand / spread_target) base hosts (Obs 1: ~10.7 per host).
+    auto prefix = static_cast<std::size_t>(std::ceil(
+        static_cast<double>(acct.live_count + 1) / cfg_.spread_target));
+    prefix = std::clamp<std::size_t>(prefix, 1, order.size());
+
+    while (true) {
+        const hw::HostId *best = nullptr;
+        std::uint32_t best_load = 0;
+        for (std::size_t i = 0; i < prefix; ++i) {
+            const hw::HostId hid = order[i];
+            if (!hasCapacity(hid, svc.size))
+                continue;
+            const auto &loads = acct_load_[hid];
+            const auto it = loads.find(acct.id);
+            const std::uint32_t load = it == loads.end() ? 0 : it->second;
+            if (best == nullptr || load < best_load) {
+                best = &order[i];
+                best_load = load;
+            }
+        }
+        if (best != nullptr)
+            return *best;
+        if (prefix == order.size())
+            return std::nullopt; // home shard is full
+        prefix = std::min(prefix * 2, order.size());
+    }
+}
+
+std::optional<hw::HostId>
+Orchestrator::pickHelperHost(const ServiceRecord &svc,
+                             const AccountRecord &acct,
+                             std::uint32_t h) const
+{
+    const auto &helpers = svc.helper_order;
+    if (helpers.empty())
+        return std::nullopt;
+
+    // Demand-sized base prefix (the load balancer relieves these hosts
+    // but keeps using them)...
+    auto base_prefix = static_cast<std::size_t>(std::ceil(
+        static_cast<double>(acct.live_count + 1) / cfg_.spread_target));
+    base_prefix =
+        std::clamp<std::size_t>(base_prefix, 1, acct.base_order.size());
+    // ...plus a helper prefix that grows with hotness and saturates.
+    auto helper_prefix = static_cast<std::size_t>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(h) *
+                                    profile_.helper_chunk,
+                                helpers.size()));
+
+    while (true) {
+        const hw::HostId *best = nullptr;
+        std::uint32_t best_load = 0;
+        auto consider = [&](const hw::HostId &hid) {
+            if (!hasCapacity(hid, svc.size))
+                return;
+            const auto &loads = svc_load_[hid];
+            const auto it = loads.find(svc.id);
+            const std::uint32_t load =
+                it == loads.end() ? 0 : it->second;
+            if (best == nullptr || load < best_load) {
+                best = &hid;
+                best_load = load;
+            }
+        };
+        for (std::size_t i = 0; i < base_prefix; ++i)
+            consider(acct.base_order[i]);
+        for (std::size_t i = 0; i < helper_prefix; ++i)
+            consider(helpers[i]);
+        if (best != nullptr)
+            return *best;
+        if (helper_prefix == helpers.size())
+            return std::nullopt;
+        helper_prefix = std::min(helper_prefix * 2, helpers.size());
+    }
+}
+
+std::optional<hw::HostId>
+Orchestrator::pickSpillHost(const ServiceRecord &svc) const
+{
+    // Leaked cold placements go to a small, service-specific random
+    // set of hosts (NOT the popular helper layer): leaks of different
+    // accounts therefore almost never collide, matching the paper's 0%
+    // naive cross-account result in us-central1 — while a victim's own
+    // leaks escape a same-shard attacker (the 81% case).
+    const auto &order = svc.spill_order;
+    if (order.empty())
+        return std::nullopt;
+
+    const double live =
+        static_cast<double>(svc.active.size() + svc.idle.size());
+    auto prefix = static_cast<std::size_t>(std::ceil(
+        (live * profile_.cold_spill_fraction + 1.0) /
+        cfg_.spread_target));
+    prefix = std::clamp<std::size_t>(prefix, 1, order.size());
+
+    while (true) {
+        const hw::HostId *best = nullptr;
+        std::uint32_t best_load = 0;
+        for (std::size_t i = 0; i < prefix; ++i) {
+            const hw::HostId hid = order[i];
+            if (!hasCapacity(hid, svc.size))
+                continue;
+            const auto &loads = svc_load_[hid];
+            const auto it = loads.find(svc.id);
+            const std::uint32_t load = it == loads.end() ? 0 : it->second;
+            if (best == nullptr || load < best_load) {
+                best = &order[i];
+                best_load = load;
+            }
+        }
+        if (best != nullptr)
+            return *best;
+        if (prefix == order.size())
+            return std::nullopt;
+        prefix = std::min(prefix * 2, order.size());
+    }
+}
+
+void
+Orchestrator::scheduleReap(InstanceRecord &inst)
+{
+    // Idle lifetime: a ~2-minute hold, then an exponential tail, capped
+    // at the documented 15-minute maximum (Fig. 6 / Obs 2).
+    double tail_s = rng_.exponential(cfg_.idle_reap_mean_s);
+    const double max_tail_s =
+        (cfg_.idle_max - cfg_.idle_hold).secondsF();
+    tail_s = std::min(tail_s, max_tail_s);
+    const sim::Duration delay =
+        cfg_.idle_hold + sim::Duration::fromSecondsF(tail_s);
+    const InstanceId id = inst.id;
+    inst.reap_event = eq_.scheduleAfter(delay, [this, id] { reap(id); });
+}
+
+void
+Orchestrator::reap(InstanceId id)
+{
+    InstanceRecord &inst = instances_[id];
+    inst.reap_event = 0;
+    if (inst.state != InstanceState::Idle)
+        return;
+    ServiceRecord &svc = services_[inst.service];
+    auto &idle = svc.idle;
+    idle.erase(std::find(idle.begin(), idle.end(), id));
+    terminate(inst);
+}
+
+void
+Orchestrator::terminate(InstanceRecord &inst)
+{
+    EAAO_ASSERT(inst.state != InstanceState::Terminated,
+                "double termination");
+    settleActiveTime(inst);
+    if (inst.reap_event != 0) {
+        eq_.cancel(inst.reap_event);
+        inst.reap_event = 0;
+    }
+    ServiceRecord &svc = services_[inst.service];
+    if (inst.state == InstanceState::Active) {
+        auto &act = svc.active;
+        const auto it = std::find(act.begin(), act.end(), inst.id);
+        if (it != act.end())
+            act.erase(it);
+    }
+    // Callers handling Idle instances remove them from svc.idle.
+
+    AccountRecord &acct = accounts_[inst.account];
+    host_vcpus_used_[inst.host] -= inst.size.vcpus;
+    host_mem_used_gb_[inst.host] -= inst.size.memory_gb;
+    auto &acct_loads = acct_load_[inst.host];
+    if (--acct_loads[inst.account] == 0)
+        acct_loads.erase(inst.account);
+    auto &svc_loads = svc_load_[inst.host];
+    if (--svc_loads[inst.service] == 0)
+        svc_loads.erase(inst.service);
+    EAAO_ASSERT(acct.live_count > 0, "live-count underflow");
+    --acct.live_count;
+
+    inst.state = InstanceState::Terminated;
+    inst.state_since = eq_.now();
+    inst.terminated_at = eq_.now();
+    inst.in_flight = 0; // in-flight requests die with the instance
+}
+
+void
+Orchestrator::settleActiveTime(InstanceRecord &inst)
+{
+    if (inst.state != InstanceState::Active)
+        return;
+    const double s = (eq_.now() - inst.state_since).secondsF();
+    inst.active_seconds += s;
+    accounts_[inst.account].spend_usd +=
+        s * pricing_.usdPerActiveSecond(inst.size);
+}
+
+bool
+Orchestrator::hasCapacity(hw::HostId host, const ContainerSize &size) const
+{
+    const hw::HostMachine &machine = fleet_.host(host);
+    const double usable_vcpus = static_cast<double>(machine.vcpus()) *
+                                cfg_.host_usable_fraction;
+    const double usable_mem_gb =
+        machine.memoryGb() * cfg_.host_usable_memory_fraction;
+    return host_vcpus_used_[host] + size.vcpus <= usable_vcpus &&
+           host_mem_used_gb_[host] + size.memory_gb <= usable_mem_gb;
+}
+
+std::vector<hw::HostId>
+Orchestrator::buildBaseOrder(const AccountRecord &acct, double jitter,
+                             sim::Rng &rng) const
+{
+    const auto &members = fleet_.shardHosts(acct.shard);
+    struct Keyed
+    {
+        double key;
+        hw::HostId host;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(members.size());
+    for (const hw::HostId hid : members) {
+        const double key = static_cast<double>(fleet_.popularityRank(hid)) +
+                           (jitter > 0.0 ? rng.normal(0.0, jitter) : 0.0);
+        keyed.push_back({key, hid});
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const Keyed &a, const Keyed &b) {
+                  if (a.key != b.key)
+                      return a.key < b.key;
+                  return a.host < b.host;
+              });
+    std::vector<hw::HostId> order;
+    order.reserve(keyed.size());
+    for (const auto &k : keyed)
+        order.push_back(k.host);
+    return order;
+}
+
+std::vector<hw::HostId>
+Orchestrator::buildHelperOrder(std::uint32_t home_shard,
+                               std::uint64_t seed) const
+{
+    // Helper candidates: every host outside the home shard, ordered by
+    // within-shard popularity with per-service jitter. The front of
+    // every helper list thus interleaves the popular hosts of all
+    // shards (which is what makes the optimized strategy cover victim
+    // base hosts so well), while the jitter keeps helper sets of
+    // different services overlapping-but-distinct (Observation 6).
+    sim::Rng stream(seed);
+    struct Keyed
+    {
+        double key;
+        hw::HostId host;
+    };
+    std::vector<Keyed> keyed;
+    for (hw::HostId hid = 0; hid < fleet_.size(); ++hid) {
+        // Co-location-resistant scheduling flips the candidate set:
+        // helpers may only come from the account's own shard.
+        if (cfg_.isolate_accounts
+                ? fleet_.shardOf(hid) != home_shard
+                : fleet_.shardOf(hid) == home_shard)
+            continue;
+        const double key =
+            static_cast<double>(fleet_.popularityRank(hid)) +
+            stream.normal(0.0, profile_.helper_order_jitter);
+        keyed.push_back({key, hid});
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const Keyed &a, const Keyed &b) {
+                  if (a.key != b.key)
+                      return a.key < b.key;
+                  return a.host < b.host;
+              });
+    std::vector<hw::HostId> out;
+    out.reserve(keyed.size());
+    for (const auto &k : keyed)
+        out.push_back(k.host);
+    return out;
+}
+
+std::vector<hw::HostId>
+Orchestrator::buildSpillOrder(std::uint32_t home_shard,
+                              std::uint64_t seed) const
+{
+    std::vector<hw::HostId> out;
+    for (hw::HostId hid = 0; hid < fleet_.size(); ++hid) {
+        const bool home = fleet_.shardOf(hid) == home_shard;
+        if (cfg_.isolate_accounts ? home : !home)
+            out.push_back(hid);
+    }
+    sim::Rng stream(seed);
+    for (std::size_t i = out.size(); i > 1; --i) {
+        const std::size_t j =
+            stream.uniformInt(static_cast<std::uint64_t>(i));
+        std::swap(out[i - 1], out[j]);
+    }
+    return out;
+}
+
+void
+Orchestrator::refreshPreferences(ServiceRecord &svc, AccountRecord &acct)
+{
+    sim::Rng stream = rng_.fork(sim::mix64(eq_.now().ns()) ^
+                                (svc.id * 0x9e3779b97f4a7c15ULL));
+    if (profile_.per_launch_jitter > 0.0) {
+        // Dynamic placement (us-central1): re-jitter the base order and
+        // regenerate the helper permutation each launch.
+        acct.base_order =
+            buildBaseOrder(acct, profile_.per_launch_jitter, stream);
+        svc.helper_seed = stream();
+        svc.helper_order = buildHelperOrder(acct.shard, svc.helper_seed);
+        svc.spill_order =
+            buildSpillOrder(acct.shard, sim::mix64(svc.helper_seed));
+    } else if (profile_.base_launch_jitter > 0.0) {
+        // Static data centers still rotate a few borderline hosts in
+        // and out of the base prefix between launches (Fig. 7).
+        acct.base_order =
+            buildBaseOrder(acct, profile_.base_launch_jitter, stream);
+    }
+}
+
+} // namespace eaao::faas

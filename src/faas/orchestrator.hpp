@@ -1,0 +1,343 @@
+/**
+ * @file
+ * The FaaS orchestrator: container-instance lifecycle and placement.
+ *
+ * Implements the placement behaviours the paper reverse-engineered on
+ * Cloud Run (Observations 1-6, Section 5.1):
+ *
+ *  - Obs 1: instances of a service spread near-uniformly over the hosts
+ *    used (cold placement targets ~10.7 instances/host).
+ *  - Obs 2: idle instances survive ~2 minutes untouched, then are reaped
+ *    gradually; practically all are gone by ~12 minutes.
+ *  - Obs 3/4: an account's instances prefer a stable set of *base hosts*
+ *    in the account's home shard; different accounts get different base
+ *    hosts (different shards, usually).
+ *  - Obs 5: a service that saw high demand within the past ~30 minutes
+ *    is "hot"; newly-created instances of a hot service are placed on
+ *    *helper hosts* outside the base set, in growing chunks that
+ *    saturate after ~3 hot launches.
+ *  - Obs 6: helper lists are per-service, popularity-biased, and overlap
+ *    across services.
+ */
+
+#ifndef EAAO_FAAS_ORCHESTRATOR_HPP
+#define EAAO_FAAS_ORCHESTRATOR_HPP
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "faas/fleet.hpp"
+#include "faas/trace.hpp"
+#include "faas/pricing.hpp"
+#include "faas/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace eaao::faas {
+
+/** Tunables of the orchestrator; defaults reproduce the paper's curves. */
+struct OrchestratorConfig
+{
+    /** Target concurrent instances per host for cold spreading. */
+    double spread_target = 10.7;
+
+    /** Minimum burst size that counts toward service hotness. */
+    std::uint32_t hot_burst_min = 100;
+
+    /** Demand-window length for hotness (paper: ~30 minutes). */
+    sim::Duration demand_window = sim::Duration::minutes(30);
+
+    /** Hotness saturates after this many hot launches. */
+    std::uint32_t hotness_cap = 3;
+
+    /** Idle instances are never reaped before this age. */
+    sim::Duration idle_hold = sim::Duration::minutes(2);
+
+    /** Mean of the exponential reap delay after the hold, seconds. */
+    double idle_reap_mean_s = 150.0;
+
+    /** Hard upper bound on idle lifetime (paper: 15 minutes). */
+    sim::Duration idle_max = sim::Duration::minutes(15);
+
+    /** Fraction of a host's vcpus available to user containers. */
+    double host_usable_fraction = 0.85;
+
+    /** Fraction of a host's memory available to user containers. */
+    double host_usable_memory_fraction = 0.85;
+
+    /**
+     * Creation slows as a service approaches the 1000-instance limit
+     * (the paper's reason for launching 800): startup time scales by
+     * 1 + slowdown_factor * excess/200 beyond this threshold.
+     */
+    std::uint32_t creation_slowdown_threshold = 800;
+    double creation_slowdown_factor = 3.0;
+
+    /** Billable startup seconds per created Gen 1 instance. */
+    double startup_billable_s_gen1 = 1.5;
+
+    /** Billable startup seconds per created Gen 2 instance (slower). */
+    double startup_billable_s_gen2 = 4.0;
+
+    /**
+     * Co-location-resistant scheduling (Section 6, after Azar et al.):
+     * confine each account — including its load-balancing helper
+     * placements — to its home shard. Cross-account co-location
+     * becomes impossible at the price of fleet fragmentation (a hot
+     * service can no longer relieve pressure DC-wide).
+     */
+    bool isolate_accounts = false;
+};
+
+/** One container instance's bookkeeping record. */
+struct InstanceRecord
+{
+    InstanceId id = kNoInstance;
+    ServiceId service = 0;
+    AccountId account = 0;
+    hw::HostId host = 0;
+    ContainerSize size = sizes::kSmall;
+    ExecEnv env = ExecEnv::Gen1;
+    InstanceState state = InstanceState::Active;
+    std::uint32_t in_flight = 0; //!< requests currently executing
+    sim::SimTime created_at;
+    sim::SimTime state_since;
+    double active_seconds = 0.0;            //!< billed active time
+    std::uint64_t vm_tsc_offset = 0;        //!< Gen 2 TSC offset
+    std::optional<sim::SimTime> terminated_at;
+    sim::EventId reap_event = 0;
+};
+
+/** A deployed service (function). */
+struct ServiceRecord
+{
+    ServiceId id = 0;
+    AccountId account = 0;
+    ExecEnv env = ExecEnv::Gen1;
+    ContainerSize size = sizes::kSmall;
+    /** Requests one instance serves concurrently (Cloud Run default
+     *  in the paper's setup: one connection per instance). */
+    std::uint32_t max_concurrency = 1;
+    std::vector<hw::HostId> helper_order;    //!< helper preference list
+    std::vector<hw::HostId> spill_order;     //!< cold-leak destinations
+    std::deque<std::pair<sim::SimTime, std::uint32_t>> bursts;
+    /** Creation instants from the request path (burst aggregation). */
+    std::deque<sim::SimTime> request_creations;
+    std::vector<InstanceId> active;
+    std::vector<InstanceId> idle;
+    std::uint64_t helper_seed = 0;           //!< for dynamic regeneration
+    std::uint64_t requests_served = 0;
+};
+
+/** A tenant account. */
+struct AccountRecord
+{
+    AccountId id = 0;
+    std::uint32_t shard = 0;
+    std::vector<hw::HostId> base_order;      //!< jittered popularity order
+    std::uint32_t live_count = 0;            //!< active+idle instances
+    double spend_usd = 0.0;
+
+    /**
+     * Per-service concurrent-instance quota. Established accounts get
+     * the platform default (1000); freshly created accounts are capped
+     * (e.g. 10) until they demonstrate sustained usage — the cost the
+     * paper identifies for multi-account attack scaling (§5.2).
+     */
+    std::uint32_t quota_per_service = 1000;
+};
+
+/**
+ * The orchestrator. Owns all accounts, services and instances of one
+ * data center and implements scale-out/scale-in and idle reaping on the
+ * shared event queue.
+ */
+class Orchestrator
+{
+  public:
+    /**
+     * @param fleet The physical fleet (not owned).
+     * @param eq Event queue driving virtual time (not owned).
+     * @param cfg Tunables.
+     * @param profile The data-center profile (copied).
+     * @param pricing Billing rates.
+     * @param rng Root stream; children are forked per purpose.
+     */
+    Orchestrator(Fleet &fleet, sim::EventQueue &eq,
+                 const OrchestratorConfig &cfg,
+                 const DataCenterProfile &profile,
+                 const PricingModel &pricing, sim::Rng rng);
+
+    /**
+     * Register a new account.
+     * @param shard Optional home shard; defaults to hashing the id.
+     * @param quota_per_service Concurrent-instance cap per service.
+     */
+    AccountId createAccount(std::optional<std::uint32_t> shard = {},
+                            std::uint32_t quota_per_service = 1000);
+
+    /** Provider-side quota change (sustained-usage promotion). */
+    void setAccountQuota(AccountId account,
+                         std::uint32_t quota_per_service);
+
+    /** Deploy a service under @p account. */
+    ServiceId deployService(AccountId account, ExecEnv env,
+                            ContainerSize size);
+
+    /**
+     * Redeploy a service with a freshly built container image (used by
+     * the paper's Experiment 2 variant). Demand history is retained, as
+     * observed on Cloud Run.
+     */
+    void redeployService(ServiceId service);
+
+    /**
+     * Scale the service to @p n concurrently-active instances: reuse all
+     * idle instances first, then create the shortfall via placement.
+     *
+     * @return Ids of the n instances now serving connections.
+     */
+    std::vector<InstanceId> scaleOut(ServiceId service, std::uint32_t n);
+
+    /** Disconnect everything: all active instances become idle. */
+    void disconnectAll(ServiceId service);
+
+    /**
+     * Route one incoming request to the service (autoscaling,
+     * Section 2.2): prefer an active instance with spare concurrency,
+     * else wake an idle instance, else create one through the normal
+     * placement path. The instance is occupied for @p service_time;
+     * when its last in-flight request completes it goes idle and
+     * releases its CPU.
+     *
+     * @return Id of the serving instance.
+     */
+    InstanceId routeRequest(ServiceId service,
+                            sim::Duration service_time);
+
+    /** Set a service's per-instance concurrency limit. */
+    void setMaxConcurrency(ServiceId service, std::uint32_t limit);
+
+    /**
+     * Terminate an instance and create a replacement through the normal
+     * placement path (used to model instance churn of long-running
+     * deployments). @return the replacement's id.
+     */
+    InstanceId restartInstance(InstanceId id);
+
+    /** Look up an instance record. */
+    const InstanceRecord &instance(InstanceId id) const;
+
+    /** Look up a service record. */
+    const ServiceRecord &service(ServiceId id) const;
+
+    /** Look up an account record. */
+    const AccountRecord &account(AccountId id) const;
+
+    /** Number of instances ever created. */
+    std::size_t instanceCount() const { return instances_.size(); }
+
+    /** Total spend of an account so far, USD (includes running bill). */
+    double accountSpendUsd(AccountId id) const;
+
+    /** Pricing model in force. */
+    const PricingModel &pricing() const { return pricing_; }
+
+    /** Attach an optional placement-trace collector (nullptr detaches). */
+    void attachTrace(PlacementTrace *trace) { trace_ = trace; }
+
+    /** Configuration in force. */
+    const OrchestratorConfig &config() const { return cfg_; }
+
+  private:
+    /** Current hotness level of a service (0 = cold). */
+    std::uint32_t hotness(const ServiceRecord &svc) const;
+
+    /** Create one instance of @p svc; returns its id. */
+    InstanceId createInstance(ServiceRecord &svc, std::uint32_t hotness);
+
+    /** Pick a host for a new instance, reporting the path taken. */
+    hw::HostId pickHost(const ServiceRecord &svc,
+                        const AccountRecord &acct, std::uint32_t hotness,
+                        PlacementReason &reason) const;
+
+    /** Cold path: least-loaded base host within the demand prefix. */
+    std::optional<hw::HostId> pickBaseHost(const ServiceRecord &svc,
+                                           const AccountRecord &acct)
+        const;
+
+    /**
+     * Hot path: least-loaded host among the demand-sized base prefix
+     * plus the hotness-sized helper prefix (the load balancer relieves
+     * the base hosts without abandoning them).
+     */
+    std::optional<hw::HostId> pickHelperHost(const ServiceRecord &svc,
+                                             const AccountRecord &acct,
+                                             std::uint32_t hotness) const;
+
+    /** Dynamic-DC cold spill: a random host off the base set. */
+    std::optional<hw::HostId> pickSpillHost(const ServiceRecord &svc)
+        const;
+
+    /** Schedule the idle-reap event for an instance. */
+    void scheduleReap(InstanceRecord &inst);
+
+    /** Reap callback: terminate if still idle. */
+    void reap(InstanceId id);
+
+    /** Request-completion callback. */
+    void completeRequest(InstanceId id);
+
+    /** Track request-path creations; aggregate surges into bursts. */
+    void noteRequestCreation(ServiceRecord &svc);
+
+    /** Terminate an instance (any non-terminated state). */
+    void terminate(InstanceRecord &inst);
+
+    /** Move an instance out of Active, crediting billing. */
+    void settleActiveTime(InstanceRecord &inst);
+
+    /** Capacity check for one more instance of @p size on @p host. */
+    bool hasCapacity(hw::HostId host, const ContainerSize &size) const;
+
+    /** Build/refresh the per-account base order. */
+    std::vector<hw::HostId> buildBaseOrder(const AccountRecord &acct,
+                                           double jitter,
+                                           sim::Rng &rng) const;
+
+    /** Build/refresh a per-service helper order. */
+    std::vector<hw::HostId> buildHelperOrder(std::uint32_t home_shard,
+                                             std::uint64_t seed) const;
+
+    /** Build/refresh a per-service cold-spill order (uniform random). */
+    std::vector<hw::HostId> buildSpillOrder(std::uint32_t home_shard,
+                                            std::uint64_t seed) const;
+
+    /** Apply per-launch dynamism (us-central1 style), if configured. */
+    void refreshPreferences(ServiceRecord &svc, AccountRecord &acct);
+
+    Fleet &fleet_;
+    sim::EventQueue &eq_;
+    OrchestratorConfig cfg_;
+    DataCenterProfile profile_;
+    PricingModel pricing_;
+    mutable sim::Rng rng_;
+
+    PlacementTrace *trace_ = nullptr;
+    std::vector<AccountRecord> accounts_;
+    std::vector<ServiceRecord> services_;
+    std::vector<InstanceRecord> instances_;
+
+    std::vector<double> host_vcpus_used_;
+    std::vector<double> host_mem_used_gb_;
+    /** per-host instance count by account (live instances). */
+    std::vector<std::unordered_map<AccountId, std::uint32_t>> acct_load_;
+    /** per-host instance count by service (live instances). */
+    std::vector<std::unordered_map<ServiceId, std::uint32_t>> svc_load_;
+};
+
+} // namespace eaao::faas
+
+#endif // EAAO_FAAS_ORCHESTRATOR_HPP

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Platform facade: one simulated FaaS data center.
+ *
+ * Bundles the event queue, the physical fleet, the orchestrator and the
+ * RNG streams, and exposes both the attacker-visible surface (deploy,
+ * connect, sandbox) and an explicitly-labeled oracle surface that tests
+ * and benches use for ground truth.
+ */
+
+#ifndef EAAO_FAAS_PLATFORM_HPP
+#define EAAO_FAAS_PLATFORM_HPP
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "defense/tsc_defense.hpp"
+#include "faas/fleet.hpp"
+#include "faas/orchestrator.hpp"
+#include "faas/pricing.hpp"
+#include "faas/sandbox.hpp"
+#include "faas/types.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace eaao::faas {
+
+/** Everything needed to stand up one data center. */
+struct PlatformConfig
+{
+    DataCenterProfile profile = DataCenterProfile::usEast1();
+    OrchestratorConfig orchestrator;
+    hw::TscConfig tsc;
+    hw::TimingNoiseConfig timing;
+    PricingModel pricing;
+    defense::TscDefenseConfig tsc_defense;
+    std::uint64_t seed = 1;
+
+    /** Simulation epoch ("now" when the platform comes up). */
+    sim::SimTime epoch = sim::SimTime::fromNanos(0);
+};
+
+/**
+ * One simulated data center running a Cloud Run-style FaaS platform.
+ */
+class Platform
+{
+  public:
+    explicit Platform(const PlatformConfig &cfg);
+
+    Platform(const Platform &) = delete;
+    Platform &operator=(const Platform &) = delete;
+
+    /** @name Attacker/tenant-visible surface
+     *  @{ */
+
+    /** Register an account. @p shard pins the home shard (tests only);
+     *  @p quota_per_service models the new-account instance cap. */
+    AccountId createAccount(std::optional<std::uint32_t> shard = {},
+                            std::uint32_t quota_per_service = 1000);
+
+    /** Provider-side quota promotion after sustained usage. */
+    void setAccountQuota(AccountId account,
+                         std::uint32_t quota_per_service);
+
+    /** Deploy a service. */
+    ServiceId deployService(AccountId account, ExecEnv env,
+                            ContainerSize size = sizes::kSmall);
+
+    /** Redeploy with a freshly built image. */
+    void redeployService(ServiceId service);
+
+    /**
+     * Establish @p n concurrent connections: the platform autoscales
+     * the service to n active instances (reusing idle ones first).
+     * @return ids of the instances now holding the connections.
+     */
+    std::vector<InstanceId> connect(ServiceId service, std::uint32_t n);
+
+    /** Drop all connections; instances go idle and will be reaped. */
+    void disconnectAll(ServiceId service);
+
+    /** Obtain the sandboxed view inside an instance. */
+    SandboxView sandbox(InstanceId id);
+
+    /** Current virtual time. */
+    sim::SimTime now() const { return eq_.now(); }
+
+    /** Advance virtual time, firing platform events (reaping etc.). */
+    void advance(sim::Duration d);
+
+    /** Total spend of an account so far, USD. */
+    double accountSpendUsd(AccountId id) const;
+
+    /** @} */
+
+    /** @name Oracle surface (ground truth for validation only)
+     *  @{ */
+
+    /** Physical host an instance runs on. */
+    hw::HostId oracleHostOf(InstanceId id) const;
+
+    /** Instance record (state, billing, placement). */
+    const InstanceRecord &instanceInfo(InstanceId id) const;
+
+    /** When an instance received SIGTERM, if it has. */
+    std::optional<sim::SimTime> terminatedAt(InstanceId id) const;
+
+    /** Terminate-and-replace an instance (models platform churn). */
+    InstanceId restartInstance(InstanceId id);
+
+    /** @} */
+
+    /** Physical fleet (covert-channel pressure bookkeeping needs it). */
+    Fleet &fleet() { return *fleet_; }
+    const Fleet &fleet() const { return *fleet_; }
+
+    /** Data-center profile. */
+    const DataCenterProfile &profile() const { return cfg_.profile; }
+
+    /** Full platform configuration (sandboxes consult the defenses). */
+    const PlatformConfig &config() const { return cfg_; }
+
+    /** Orchestrator (experiment drivers inspect its records). */
+    Orchestrator &orchestrator() { return *orch_; }
+    const Orchestrator &orchestrator() const { return *orch_; }
+
+    /** Event queue. */
+    sim::EventQueue &clock() { return eq_; }
+
+    /** Stream for measurement noise draws (sandbox operations). */
+    sim::Rng &measurementRng() { return meas_rng_; }
+
+  private:
+    PlatformConfig cfg_;
+    sim::EventQueue eq_;
+    sim::Rng root_rng_;
+    sim::Rng meas_rng_;
+    std::unique_ptr<Fleet> fleet_;
+    std::unique_ptr<Orchestrator> orch_;
+};
+
+} // namespace eaao::faas
+
+#endif // EAAO_FAAS_PLATFORM_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Cloud Run-style pricing model (paper Section 4.3).
+ *
+ * Cost of a standard instance: N * t * (Rcpu * vcpus + Rmem * memory_gb),
+ * where t is the *active* time in seconds — idle instances are free.
+ * Rates default to the paper's published us-east1/us-central1/us-west1
+ * values: Rcpu = 0.0024 cents per vCPU-second, Rmem = 0.00025 cents per
+ * GB-second.
+ */
+
+#ifndef EAAO_FAAS_PRICING_HPP
+#define EAAO_FAAS_PRICING_HPP
+
+#include "faas/types.hpp"
+
+namespace eaao::faas {
+
+/** Billing rates in USD per resource-second. */
+struct PricingModel
+{
+    double cpu_usd_per_vcpu_s = 0.0024 / 100.0;  //!< ¢0.0024/vCPU-s
+    double mem_usd_per_gb_s = 0.00025 / 100.0;   //!< ¢0.00025/GB-s
+
+    /** USD per active second for one instance of @p size. */
+    double
+    usdPerActiveSecond(const ContainerSize &size) const
+    {
+        return cpu_usd_per_vcpu_s * size.vcpus +
+               mem_usd_per_gb_s * size.memory_gb;
+    }
+
+    /** Total cost for @p n instances active for @p seconds each. */
+    double
+    usdFor(const ContainerSize &size, double n, double seconds) const
+    {
+        return n * seconds * usdPerActiveSecond(size);
+    }
+};
+
+} // namespace eaao::faas
+
+#endif // EAAO_FAAS_PRICING_HPP

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Implementation of placement tracing.
+ */
+
+#include "faas/trace.hpp"
+
+namespace eaao::faas {
+
+const char *
+toString(PlacementReason reason)
+{
+    switch (reason) {
+      case PlacementReason::ColdBase:
+        return "cold-base";
+      case PlacementReason::HotHelper:
+        return "hot-helper";
+      case PlacementReason::ColdSpill:
+        return "cold-spill";
+      case PlacementReason::ColdOverflow:
+        return "cold-overflow";
+      case PlacementReason::Reuse:
+        return "reuse";
+    }
+    return "?";
+}
+
+std::size_t
+PlacementTrace::countByReason(PlacementReason reason) const
+{
+    std::size_t n = 0;
+    for (const auto &event : events_)
+        n += (event.reason == reason);
+    return n;
+}
+
+} // namespace eaao::faas

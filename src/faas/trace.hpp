@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Placement tracing: an optional observer recording every placement
+ * decision the orchestrator takes, with its reason.
+ *
+ * Used by experiments that validate the placement model (which path
+ * produced a host: base, helper, spill, overflow, reuse) and handy for
+ * debugging new data-center profiles.
+ */
+
+#ifndef EAAO_FAAS_TRACE_HPP
+#define EAAO_FAAS_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "faas/types.hpp"
+#include "hw/host.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::faas {
+
+/** Which placement path produced an instance's host. */
+enum class PlacementReason {
+    ColdBase,     //!< base-host prefix (cold service)
+    HotHelper,    //!< base+helper spread (hot service)
+    ColdSpill,    //!< dynamic-DC cold leak
+    ColdOverflow, //!< home shard full, spilled to helpers while cold
+    Reuse,        //!< an idle instance was reconnected/rewoken
+};
+
+/** Render a PlacementReason for reports. */
+const char *toString(PlacementReason reason);
+
+/** One recorded placement decision. */
+struct PlacementEvent
+{
+    sim::SimTime when;
+    InstanceId instance = kNoInstance;
+    ServiceId service = 0;
+    AccountId account = 0;
+    hw::HostId host = 0;
+    PlacementReason reason = PlacementReason::ColdBase;
+};
+
+/**
+ * Collector of placement events.
+ */
+class PlacementTrace
+{
+  public:
+    /** Record one event. */
+    void
+    record(const PlacementEvent &event)
+    {
+        events_.push_back(event);
+    }
+
+    /** All events, in order. */
+    const std::vector<PlacementEvent> &events() const { return events_; }
+
+    /** Number of events with the given reason. */
+    std::size_t countByReason(PlacementReason reason) const;
+
+    /** Drop all recorded events. */
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<PlacementEvent> events_;
+};
+
+} // namespace eaao::faas
+
+#endif // EAAO_FAAS_TRACE_HPP

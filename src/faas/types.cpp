@@ -1,0 +1,36 @@
+/**
+ * @file
+ * String renderings for FaaS value types.
+ */
+
+#include "faas/types.hpp"
+
+namespace eaao::faas {
+
+const char *
+toString(ExecEnv env)
+{
+    switch (env) {
+      case ExecEnv::Gen1:
+        return "Gen1";
+      case ExecEnv::Gen2:
+        return "Gen2";
+    }
+    return "?";
+}
+
+const char *
+toString(InstanceState state)
+{
+    switch (state) {
+      case InstanceState::Active:
+        return "Active";
+      case InstanceState::Idle:
+        return "Idle";
+      case InstanceState::Terminated:
+        return "Terminated";
+    }
+    return "?";
+}
+
+} // namespace eaao::faas

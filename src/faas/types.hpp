@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared identifiers and configuration value types for the FaaS platform.
+ */
+
+#ifndef EAAO_FAAS_TYPES_HPP
+#define EAAO_FAAS_TYPES_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace eaao::faas {
+
+/** Identifier of a platform account (tenant). */
+using AccountId = std::uint32_t;
+
+/** Identifier of a deployed service (function). */
+using ServiceId = std::uint32_t;
+
+/** Identifier of a container instance. */
+using InstanceId = std::uint64_t;
+
+/** Sentinel for "no instance". */
+inline constexpr InstanceId kNoInstance = ~0ULL;
+
+/**
+ * Execution environment generation (paper Section 2.3).
+ */
+enum class ExecEnv {
+    Gen1, //!< gVisor-style Linux container, no hardware virtualization
+    Gen2, //!< lightweight VM with TSC offsetting
+};
+
+/** Render an ExecEnv for reports. */
+const char *toString(ExecEnv env);
+
+/**
+ * Container resource specification (paper Table 1).
+ */
+struct ContainerSize
+{
+    const char *name;  //!< human-readable label
+    double vcpus;      //!< CPU request
+    double memory_gb;  //!< memory request
+};
+
+/** The four evaluation sizes of Table 1. */
+namespace sizes {
+
+inline constexpr ContainerSize kPico{"Pico", 0.25, 0.25};
+inline constexpr ContainerSize kSmall{"Small", 1.0, 0.5};
+inline constexpr ContainerSize kMedium{"Medium", 2.0, 1.0};
+inline constexpr ContainerSize kLarge{"Large", 4.0, 4.0};
+
+} // namespace sizes
+
+/** Lifecycle state of a container instance. */
+enum class InstanceState {
+    Active,     //!< serving at least one connection/request
+    Idle,       //!< no connections; minimally billed; reapable
+    Terminated, //!< destroyed by the orchestrator
+};
+
+/** Render an InstanceState for reports. */
+const char *toString(InstanceState state);
+
+} // namespace eaao::faas
+
+#endif // EAAO_FAAS_TYPES_HPP

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Implementation of the request workload generators.
+ */
+
+#include "faas/workload.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace eaao::faas {
+
+namespace {
+
+/** Shared mutable run state captured by the event closures. */
+struct RunState
+{
+    WorkloadStats stats;
+    std::uint32_t in_flight = 0;
+};
+
+/** Issue one request and track statistics. */
+void
+issue(Platform &platform, ServiceId service, sim::Duration service_time,
+      const std::shared_ptr<RunState> &state)
+{
+    const InstanceId id =
+        platform.orchestrator().routeRequest(service, service_time);
+    ++state->stats.requests;
+    state->stats.instances_used.insert(id);
+    ++state->in_flight;
+    state->stats.peak_concurrent =
+        std::max(state->stats.peak_concurrent, state->in_flight);
+    platform.clock().scheduleAfter(service_time, [state] {
+        --state->in_flight;
+    });
+}
+
+} // namespace
+
+WorkloadStats
+driveLoad(Platform &platform, ServiceId service, const LoadSpec &spec,
+          sim::Rng &rng)
+{
+    EAAO_ASSERT(spec.rps > 0.0, "non-positive arrival rate");
+    EAAO_ASSERT(spec.span.ns() > 0, "empty load span");
+
+    auto state = std::make_shared<RunState>();
+    const sim::SimTime start = platform.now();
+    const sim::SimTime end = start + spec.span;
+    const double span_s = spec.span.secondsF();
+
+    // Pre-roll the arrival instants (thinning for the ramp), then
+    // schedule them; service times are drawn per arrival.
+    const double max_rate =
+        spec.peak_rps > spec.rps ? spec.peak_rps : spec.rps;
+    double t = 0.0;
+    while (true) {
+        t += rng.exponential(1.0 / max_rate);
+        if (t >= span_s)
+            break;
+        if (spec.peak_rps > spec.rps) {
+            const double rate_at =
+                spec.rps + (spec.peak_rps - spec.rps) * (t / span_s);
+            if (!rng.bernoulli(rate_at / max_rate))
+                continue; // thinned out
+        }
+        const sim::Duration service_time = sim::Duration::fromSecondsF(
+            std::max(1e-4, rng.exponential(
+                               spec.mean_service_time.secondsF())));
+        platform.clock().scheduleAt(
+            start + sim::Duration::fromSecondsF(t),
+            [&platform, service, service_time, state] {
+                issue(platform, service, service_time, state);
+            });
+    }
+
+    platform.clock().runUntil(end);
+    return state->stats;
+}
+
+WorkloadStats
+floodRequests(Platform &platform, ServiceId service, std::uint32_t count,
+              sim::Duration service_time, sim::Duration spacing,
+              sim::Rng &rng)
+{
+    (void)rng; // kept for interface symmetry / future jitter
+    auto state = std::make_shared<RunState>();
+    const sim::SimTime start = platform.now();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        platform.clock().scheduleAt(
+            start + spacing * static_cast<std::int64_t>(i),
+            [&platform, service, service_time, state] {
+                issue(platform, service, service_time, state);
+            });
+    }
+    platform.clock().runUntil(
+        start + spacing * static_cast<std::int64_t>(count));
+    return state->stats;
+}
+
+} // namespace eaao::faas

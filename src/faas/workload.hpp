@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Request workload generation (paper Section 2.2 background).
+ *
+ * FaaS functions are web services invoked through public interfaces;
+ * demand drives autoscaling. The generators here schedule open-loop
+ * Poisson request arrivals on the platform's event queue — used both
+ * for realistic victim services and for the threat-model capability
+ * that the attacker can invoke the victim's public interface.
+ */
+
+#ifndef EAAO_FAAS_WORKLOAD_HPP
+#define EAAO_FAAS_WORKLOAD_HPP
+
+#include <cstdint>
+#include <memory>
+#include <set>
+
+#include "faas/platform.hpp"
+#include "faas/types.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::faas {
+
+/** Outcome of one load-generation run. */
+struct WorkloadStats
+{
+    std::uint64_t requests = 0;           //!< arrivals issued
+    std::set<InstanceId> instances_used;  //!< distinct serving instances
+    std::uint32_t peak_concurrent = 0;    //!< max simultaneous requests
+};
+
+/** An open-loop request source. */
+struct LoadSpec
+{
+    double rps = 10.0;                       //!< mean arrival rate
+    sim::Duration mean_service_time = sim::Duration::millis(200);
+    sim::Duration span = sim::Duration::minutes(5);
+
+    /**
+     * Optional peak: the rate ramps linearly from rps to peak_rps over
+     * the span (peak_rps <= 0 keeps the rate constant).
+     */
+    double peak_rps = 0.0;
+};
+
+/**
+ * Schedule Poisson arrivals for @p service per @p spec and run the
+ * platform through the whole span.
+ *
+ * Service times are exponential around the configured mean. Arrival
+ * scheduling and the platform's own events interleave on the shared
+ * queue, so autoscaling, idle reaping and billing all behave exactly
+ * as they would under the connection-based drivers.
+ *
+ * @param rng Stream for arrival/service-time draws.
+ * @return Aggregate statistics of the run.
+ */
+WorkloadStats driveLoad(Platform &platform, ServiceId service,
+                        const LoadSpec &spec, sim::Rng &rng);
+
+/**
+ * Fire a fixed number of near-simultaneous requests (a flood), e.g.
+ * the attacker hammering a victim's public endpoint to force it to
+ * scale out. Requests are spaced @p spacing apart; the call returns
+ * after the last arrival has been issued (in-flight requests keep
+ * running on the queue).
+ */
+WorkloadStats floodRequests(Platform &platform, ServiceId service,
+                            std::uint32_t count,
+                            sim::Duration service_time,
+                            sim::Duration spacing, sim::Rng &rng);
+
+} // namespace eaao::faas
+
+#endif // EAAO_FAAS_WORKLOAD_HPP

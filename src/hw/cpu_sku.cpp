@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Implementation of the CPU SKU catalog.
+ */
+
+#include "hw/cpu_sku.hpp"
+
+#include <cstdio>
+
+#include "support/logging.hpp"
+
+namespace eaao::hw {
+
+SkuCatalog::SkuCatalog()
+{
+    skus_ = {
+        {"Intel Xeon CPU @ 2.00GHz", 2.00e9, 96, 384.0},
+        {"Intel Xeon CPU @ 2.20GHz", 2.20e9, 64, 256.0},
+        {"Intel Xeon CPU @ 2.25GHz", 2.25e9, 128, 512.0},
+        {"Intel Xeon CPU @ 2.30GHz", 2.30e9, 64, 256.0},
+        {"Intel Xeon CPU @ 2.60GHz", 2.60e9, 96, 384.0},
+        {"Intel Xeon CPU @ 2.80GHz", 2.80e9, 112, 448.0},
+    };
+}
+
+const CpuSku &
+SkuCatalog::get(SkuId id) const
+{
+    EAAO_ASSERT(id < skus_.size(), "unknown SKU id ", id);
+    return skus_[id];
+}
+
+double
+SkuCatalog::labeledFrequencyHz(const std::string &model_name)
+{
+    // Look for the "@ <num>GHz" suffix.
+    const auto at = model_name.rfind('@');
+    if (at == std::string::npos)
+        return 0.0;
+    double ghz = 0.0;
+    if (std::sscanf(model_name.c_str() + at, "@ %lfGHz", &ghz) != 1)
+        return 0.0;
+    return ghz * 1e9;
+}
+
+} // namespace eaao::hw

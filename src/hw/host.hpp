@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Physical host model.
+ *
+ * A HostMachine bundles the hardware the attack interacts with: the CPU
+ * SKU (cpuid), the TSC domain (rdtsc / rdtscp), the wall-clock sampling
+ * noise of the sandboxed environment, the quality of method-2 frequency
+ * measurement on this host, and the shared hardware RNG that the covert
+ * channel contends on.
+ */
+
+#ifndef EAAO_HW_HOST_HPP
+#define EAAO_HW_HOST_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "hw/cpu_sku.hpp"
+#include "hw/tsc.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace eaao::hw {
+
+/** Identifier of a physical host within a data center. */
+using HostId = std::uint32_t;
+
+/** Noise knobs for sandboxed timing operations; defaults per DESIGN.md. */
+struct TimingNoiseConfig
+{
+    /**
+     * Probability that a wall-clock sample is "clean" (only vDSO-scale
+     * pairing delay between rdtsc and the timestamp acquisition).
+     */
+    double clean_fraction = 0.80;
+    /** Median clean pairing delay, seconds. */
+    double clean_median_s = 8e-6;
+    /** Log-sigma of the clean delay. */
+    double clean_sigma = 1.0;
+    /** Median dirty delay (sentry scheduling / preemption), seconds. */
+    double dirty_median_s = 2e-3;
+    /** Log-sigma of the dirty delay. */
+    double dirty_sigma = 1.2;
+
+    /** Fraction of hosts with unstable method-2 frequency measurement. */
+    double noisy_timer_fraction = 0.10;
+    /** Method-2 per-measurement sigma on clean hosts, Hz. */
+    double freq_meas_clean_sigma_hz = 30.0;
+    /** Median method-2 sigma on noisy hosts, Hz. */
+    double freq_meas_noisy_median_hz = 60e3;
+    /** Log-sigma of the noisy-host method-2 sigma. */
+    double freq_meas_noisy_sigma = 1.3;
+};
+
+/**
+ * One physical machine in the fleet.
+ */
+class HostMachine
+{
+  public:
+    /**
+     * Construct a host.
+     *
+     * @param id Host identifier.
+     * @param sku_id SKU index into the shared catalog.
+     * @param sku The SKU record (for nominal frequency / vcpus).
+     * @param boot_time When the host (last) booted.
+     * @param label_error_hz Per-host true-vs-labeled frequency error.
+     * @param tsc_cfg TSC refinement noise knobs.
+     * @param timing_cfg Sandbox timing-noise knobs.
+     * @param rng Stream used for per-boot draws (refinement, noisy flag).
+     */
+    HostMachine(HostId id, SkuId sku_id, const CpuSku &sku,
+                sim::SimTime boot_time, double label_error_hz,
+                const TscConfig &tsc_cfg,
+                const TimingNoiseConfig &timing_cfg, sim::Rng &rng);
+
+    /** Host identifier. */
+    HostId id() const { return id_; }
+
+    /** SKU index. */
+    SkuId skuId() const { return sku_id_; }
+
+    /** Model string as cpuid reveals it. */
+    const std::string &modelName() const { return model_name_; }
+
+    /** Logical CPU count of the machine. */
+    std::uint32_t vcpus() const { return vcpus_; }
+
+    /** Installed memory, GB. */
+    double memoryGb() const { return memory_gb_; }
+
+    /** The TSC domain (current boot epoch). */
+    const TscDomain &tsc() const { return tsc_; }
+
+    /** Whether method-2 frequency measurement is unstable here. */
+    bool noisyTimer() const { return noisy_timer_; }
+
+    /** Per-measurement sigma of method-2 frequency estimation, Hz. */
+    double freqMeasSigmaHz() const { return freq_meas_sigma_hz_; }
+
+    /**
+     * Sample the sandbox wall clock, paired with an rdtsc at @p now.
+     *
+     * Returns the timestamp the attacker's clock_gettime would deliver:
+     * the true instant plus a non-negative pairing delay drawn from the
+     * clean/dirty mixture. This delay is the dominant noise source in the
+     * derived T_boot and shapes the Fig. 4 recall curve.
+     */
+    sim::SimTime sampleWallClock(sim::SimTime now, sim::Rng &rng) const;
+
+    /**
+     * Reboot the host at @p when: resets the TSC to zero and re-runs the
+     * kernel frequency refinement. The label error is a property of the
+     * physical clock crystal and persists across reboots.
+     */
+    void reboot(sim::SimTime when, const TscConfig &tsc_cfg,
+                sim::Rng &rng);
+
+    /**
+     * @name Shared hardware RNG (covert-channel substrate)
+     * Each pressuring party contributes one unit of contention; readers
+     * observe the total count. Bookkeeping only — semantics live in
+     * eaao::channel.
+     * @{
+     */
+    void addRngPressure() { ++rng_pressure_; }
+    void removeRngPressure();
+    std::uint32_t rngPressure() const { return rng_pressure_; }
+    /** @} */
+
+  private:
+    HostId id_;
+    SkuId sku_id_;
+    std::string model_name_;
+    std::uint32_t vcpus_;
+    double memory_gb_;
+    double label_error_hz_;
+    TscDomain tsc_;
+    TimingNoiseConfig timing_cfg_;
+    bool noisy_timer_;
+    double freq_meas_sigma_hz_;
+    std::uint32_t rng_pressure_ = 0;
+};
+
+} // namespace eaao::hw
+
+#endif // EAAO_HW_HOST_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Implementation of the TSC domain.
+ */
+
+#include "hw/tsc.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace eaao::hw {
+
+TscDomain::TscDomain(sim::SimTime boot_time, double nominal_hz,
+                     double label_error_hz, const TscConfig &cfg,
+                     sim::Rng &rng)
+    : boot_time_(boot_time), nominal_hz_(nominal_hz),
+      true_hz_(nominal_hz + label_error_hz)
+{
+    EAAO_ASSERT(nominal_hz > 0.0, "non-positive nominal frequency");
+    EAAO_ASSERT(true_hz_ > 0.0, "label error swallowed the frequency");
+    // Per-boot kernel calibration: measure true_hz with noise, then snap
+    // to the refinement granularity (Linux refines to 1 kHz).
+    const double w = cfg.refine_noise_half_width_hz;
+    const double measured = true_hz_ + rng.uniform(-w, w);
+    const double g = cfg.refine_granularity_hz;
+    refined_hz_ = std::round(measured / g) * g;
+}
+
+std::uint64_t
+TscDomain::idealRead(sim::SimTime now) const
+{
+    EAAO_ASSERT(now >= boot_time_, "reading TSC before boot");
+    const double uptime_s = (now - boot_time_).secondsF();
+    return static_cast<std::uint64_t>(std::llround(uptime_s * true_hz_));
+}
+
+std::uint64_t
+TscDomain::read(sim::SimTime now, sim::Rng &rng) const
+{
+    // rdtsc itself is cheap; jitter is a few hundred cycles of pipeline /
+    // serialization wiggle, i.e. sub-microsecond. The expensive noise is
+    // in pairing this value with a wall-clock sample, modeled elsewhere.
+    const double jitter_cycles = rng.normal(0.0, 200.0);
+    const auto base = static_cast<double>(idealRead(now));
+    const double v = base + jitter_cycles;
+    return v <= 0.0 ? 0ULL
+                    : static_cast<std::uint64_t>(std::llround(v));
+}
+
+} // namespace eaao::hw

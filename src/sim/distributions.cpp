@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Implementation of the structured samplers.
+ */
+
+#include "sim/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.hpp"
+
+namespace eaao::sim {
+
+std::vector<double>
+zipfWeights(std::size_t n, double s)
+{
+    std::vector<double> w(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+        sum += w[i];
+    }
+    for (auto &x : w)
+        x /= sum;
+    return w;
+}
+
+AliasSampler::AliasSampler(const std::vector<double> &weights)
+{
+    const std::size_t n = weights.size();
+    EAAO_ASSERT(n > 0, "AliasSampler needs at least one weight");
+    double sum = 0.0;
+    for (double w : weights) {
+        EAAO_ASSERT(w >= 0.0, "negative weight");
+        sum += w;
+    }
+    EAAO_ASSERT(sum > 0.0, "all weights are zero");
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+
+    // Scaled probabilities; Vose's stable alias construction.
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scaled[i] = weights[i] * static_cast<double>(n) / sum;
+
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<std::uint32_t>(i));
+        else
+            large.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s_idx = small.back();
+        small.pop_back();
+        const std::uint32_t l_idx = large.back();
+        prob_[s_idx] = scaled[s_idx];
+        alias_[s_idx] = l_idx;
+        scaled[l_idx] = (scaled[l_idx] + scaled[s_idx]) - 1.0;
+        if (scaled[l_idx] < 1.0) {
+            large.pop_back();
+            small.push_back(l_idx);
+        }
+    }
+    for (std::uint32_t i : large)
+        prob_[i] = 1.0;
+    for (std::uint32_t i : small)
+        prob_[i] = 1.0; // numerical leftovers
+}
+
+std::size_t
+AliasSampler::sample(Rng &rng) const
+{
+    const std::size_t i = rng.uniformInt(prob_.size());
+    return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+std::vector<std::size_t>
+weightedSampleWithoutReplacement(Rng &rng,
+                                 const std::vector<double> &weights,
+                                 std::size_t k)
+{
+    // Efraimidis-Spirakis: key_i = u^(1/w_i); take the k largest keys.
+    // Equivalent (and numerically safer): key_i = -Exp(1)/w_i, take the
+    // k largest.
+    struct Keyed
+    {
+        double key;
+        std::size_t idx;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] <= 0.0)
+            continue;
+        const double e = rng.exponential(1.0);
+        keyed.push_back({-e / weights[i], i});
+    }
+    const std::size_t take = std::min(k, keyed.size());
+    std::partial_sort(keyed.begin(), keyed.begin() + take, keyed.end(),
+                      [](const Keyed &a, const Keyed &b) {
+                          return a.key > b.key;
+                      });
+    std::vector<std::size_t> out;
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i)
+        out.push_back(keyed[i].idx);
+    return out;
+}
+
+void
+shuffle(Rng &rng, std::vector<std::size_t> &items)
+{
+    for (std::size_t i = items.size(); i > 1; --i) {
+        const std::size_t j = rng.uniformInt(i);
+        std::swap(items[i - 1], items[j]);
+    }
+}
+
+double
+SignedLogNormalMixture::sample(Rng &rng) const
+{
+    const bool tail = rng.bernoulli(tail_fraction);
+    const double median = tail ? tail_median : core_median;
+    const double sigma = tail ? tail_sigma : core_sigma;
+    const double magnitude = rng.lognormal(std::log(median), sigma);
+    return rng.bernoulli(0.5) ? magnitude : -magnitude;
+}
+
+} // namespace eaao::sim

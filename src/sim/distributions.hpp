@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reusable samplers built on top of the base RNG.
+ *
+ * These cover the structured randomness the platform model needs: Zipf
+ * popularity weights for hosts, weighted sampling without replacement for
+ * base/helper host selection, and the mixture distribution used for
+ * per-host TSC label errors.
+ */
+
+#ifndef EAAO_SIM_DISTRIBUTIONS_HPP
+#define EAAO_SIM_DISTRIBUTIONS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace eaao::sim {
+
+/**
+ * Zipf-like popularity weights: weight(i) = 1 / (i + 1)^s, normalized.
+ *
+ * @param n Number of items.
+ * @param s Skew exponent; 0 yields uniform weights.
+ * @return Normalized weight vector of length n.
+ */
+std::vector<double> zipfWeights(std::size_t n, double s);
+
+/**
+ * Alias-method sampler for repeated weighted draws (with replacement).
+ *
+ * Construction is O(n); each draw is O(1).
+ */
+class AliasSampler
+{
+  public:
+    /** Build from (unnormalized) non-negative weights; at least one > 0. */
+    explicit AliasSampler(const std::vector<double> &weights);
+
+    /** Draw one index according to the weights. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of items. */
+    std::size_t size() const { return prob_.size(); }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+/**
+ * Weighted sampling of k distinct indices out of [0, weights.size()).
+ *
+ * Uses the Efraimidis-Spirakis exponential-keys method: O(n log n) but
+ * exact. Items with zero weight are never selected.
+ */
+std::vector<std::size_t> weightedSampleWithoutReplacement(
+    Rng &rng, const std::vector<double> &weights, std::size_t k);
+
+/** Fisher-Yates shuffle of an index vector. */
+void shuffle(Rng &rng, std::vector<std::size_t> &items);
+
+/**
+ * Signed two-component log-normal mixture.
+ *
+ * Used for per-host TSC label error: most hosts have a sub-kHz |error|,
+ * a minority live in a heavy tail out to MHz (Section 4.2 of the paper /
+ * DESIGN.md calibration notes).
+ */
+struct SignedLogNormalMixture
+{
+    double tail_fraction = 0.12;  //!< probability of the tail component
+    double core_median = 800.0;   //!< median |value| of the core (units)
+    double core_sigma = 1.0;      //!< log-sigma of the core
+    double tail_median = 40e3;    //!< median |value| of the tail
+    double tail_sigma = 1.4;      //!< log-sigma of the tail
+
+    /** Sample a signed value; sign is a fair coin. */
+    double sample(Rng &rng) const;
+};
+
+} // namespace eaao::sim
+
+#endif // EAAO_SIM_DISTRIBUTIONS_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Implementation of the discrete-event kernel.
+ */
+
+#include "sim/event_queue.hpp"
+
+#include "support/logging.hpp"
+
+namespace eaao::sim {
+
+EventQueue::EventQueue(SimTime start) : now_(start) {}
+
+EventId
+EventQueue::scheduleAt(SimTime when, Callback cb)
+{
+    EAAO_ASSERT(when >= now_, "scheduling into the past: ", when.str(),
+                " < ", now_.str());
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Duration delay, Callback cb)
+{
+    return scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = callbacks_.find(id);
+    if (it == callbacks_.end())
+        return false;
+    callbacks_.erase(it);
+    cancelled_.insert(id);
+    return true;
+}
+
+std::size_t
+EventQueue::pending() const
+{
+    return callbacks_.size();
+}
+
+void
+EventQueue::step()
+{
+    const Entry e = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(e.id))
+        return; // tombstone
+    auto it = callbacks_.find(e.id);
+    EAAO_ASSERT(it != callbacks_.end(), "dangling event id");
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = e.when;
+    cb();
+}
+
+void
+EventQueue::run()
+{
+    while (!heap_.empty())
+        step();
+}
+
+void
+EventQueue::runUntil(SimTime horizon)
+{
+    EAAO_ASSERT(horizon >= now_, "horizon in the past");
+    while (!heap_.empty() && heap_.top().when <= horizon)
+        step();
+    now_ = horizon;
+}
+
+void
+EventQueue::advance(Duration d)
+{
+    runUntil(now_ + d);
+}
+
+} // namespace eaao::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal but complete event queue: schedule callables at absolute
+ * virtual times, run until quiescence or a horizon, cancel events.
+ * Ties are broken by insertion order (FIFO among same-time events) so
+ * runs are deterministic.
+ */
+
+#ifndef EAAO_SIM_EVENT_QUEUE_HPP
+#define EAAO_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace eaao::sim {
+
+/** Handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * Priority-queue based discrete event scheduler over SimTime.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Create a queue whose clock starts at @p start. */
+    explicit EventQueue(SimTime start = SimTime());
+
+    /** Current virtual time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute time @p when (must be >= now()).
+     * @return Handle usable with cancel().
+     */
+    EventId scheduleAt(SimTime when, Callback cb);
+
+    /** Schedule @p cb after a relative delay. */
+    EventId scheduleAfter(Duration delay, Callback cb);
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const;
+
+    /** Run all events until the queue drains. */
+    void run();
+
+    /**
+     * Run events with timestamp <= @p horizon, then set the clock to
+     * @p horizon (even if no events fired).
+     */
+    void runUntil(SimTime horizon);
+
+    /** Advance the clock by @p d, firing everything due in between. */
+    void advance(Duration d);
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+    };
+
+    struct EntryLater
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop and execute the next runnable event. Precondition: non-empty. */
+    void step();
+
+    SimTime now_;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+    std::unordered_set<EventId> cancelled_;
+    std::unordered_map<EventId, Callback> callbacks_;
+};
+
+} // namespace eaao::sim
+
+#endif // EAAO_SIM_EVENT_QUEUE_HPP

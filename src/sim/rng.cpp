@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Implementation of the deterministic RNG.
+ */
+
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace eaao::sim {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    std::uint64_t state = x;
+    return splitmix64(state);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+Rng::Rng(const std::uint64_t st[4])
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = st[i];
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id) const
+{
+    // Derive a child seed from the current state and the stream id; the
+    // parent stream is not advanced, so forks are order-independent.
+    std::uint64_t seed = mix64(s_[0] ^ rotl(s_[2], 17) ^
+                               mix64(stream_id + 0x6a09e667f3bcc909ULL));
+    return Rng(seed);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    EAAO_ASSERT(n > 0, "uniformInt(0) is undefined");
+    // Lemire-style rejection-free-ish bounded draw with rejection to kill
+    // modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n; // (2^64 - n) mod n
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    EAAO_ASSERT(lo <= hi, "empty integer range");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>((*this)());
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller: generates two deviates; cache the second.
+    double u1 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return -mean * std::log(u);
+}
+
+} // namespace eaao::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The simulator must be reproducible bit-for-bit given a seed, across
+ * standard-library implementations. We therefore carry our own SplitMix64
+ * (for seeding / hashing) and Xoshiro256** (for streams), plus the
+ * distribution samplers the experiments need.
+ */
+
+#ifndef EAAO_SIM_RNG_HPP
+#define EAAO_SIM_RNG_HPP
+
+#include <cstdint>
+
+namespace eaao::sim {
+
+/** Mix a 64-bit value through the SplitMix64 finalizer (also a good hash). */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless variant: hash a single 64-bit value. */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * Xoshiro256** deterministic generator.
+ *
+ * Satisfies UniformRandomBitGenerator. Streams derived from the same seed
+ * with different stream ids are statistically independent.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a seed; state is expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Derive an independent child stream keyed by @p stream_id. */
+    Rng fork(std::uint64_t stream_id) const;
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit output. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /** Standard normal deviate (Box-Muller with caching). */
+    double normal();
+
+    /** Normal deviate with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Log-normal deviate: exp(N(mu, sigma)). */
+    double lognormal(double mu, double sigma);
+
+    /** Exponential deviate with the given mean (= 1/lambda). */
+    double exponential(double mean);
+
+  private:
+    explicit Rng(const std::uint64_t st[4]);
+
+    std::uint64_t s_[4];
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+} // namespace eaao::sim
+
+#endif // EAAO_SIM_RNG_HPP

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Implementation of virtual-time helpers.
+ */
+
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace eaao::sim {
+
+Duration
+Duration::fromSecondsF(double s)
+{
+    return Duration(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::string
+Duration::str() const
+{
+    char buf[64];
+    const double s = secondsF();
+    const double as = std::fabs(s);
+    if (as < 1e-6) {
+        std::snprintf(buf, sizeof(buf), "%.0f ns", s * 1e9);
+    } else if (as < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", s * 1e6);
+    } else if (as < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+    } else if (as < 120.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f s", s);
+    } else if (as < 7200.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f min", s / 60.0);
+    } else if (as < 172800.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f h", s / 3600.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f d", s / 86400.0);
+    }
+    return buf;
+}
+
+SimTime
+SimTime::fromSecondsF(double s)
+{
+    return SimTime(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::string
+SimTime::str() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "t+%.3f d", secondsF() / 86400.0);
+    return buf;
+}
+
+} // namespace eaao::sim

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Virtual time for the discrete-event simulation.
+ *
+ * SimTime is a strongly-typed nanosecond tick count since the simulation
+ * epoch. The epoch is an arbitrary "real-world" reference (think of it as
+ * a UTC instant); host boot times, launches, and measurements are all
+ * expressed on this single axis, mirroring the paper's use of real-world
+ * time T_w in Eq. 4.1.
+ */
+
+#ifndef EAAO_SIM_TIME_HPP
+#define EAAO_SIM_TIME_HPP
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace eaao::sim {
+
+/** A signed duration in nanoseconds. */
+class Duration
+{
+  public:
+    constexpr Duration() = default;
+
+    /** Construct from a raw nanosecond count. */
+    static constexpr Duration
+    nanos(std::int64_t ns)
+    {
+        return Duration(ns);
+    }
+
+    /** Construct from microseconds. */
+    static constexpr Duration
+    micros(std::int64_t us)
+    {
+        return Duration(us * 1000);
+    }
+
+    /** Construct from milliseconds. */
+    static constexpr Duration
+    millis(std::int64_t ms)
+    {
+        return Duration(ms * 1'000'000);
+    }
+
+    /** Construct from whole seconds. */
+    static constexpr Duration
+    seconds(std::int64_t s)
+    {
+        return Duration(s * 1'000'000'000);
+    }
+
+    /** Construct from whole minutes. */
+    static constexpr Duration
+    minutes(std::int64_t m)
+    {
+        return seconds(m * 60);
+    }
+
+    /** Construct from whole hours. */
+    static constexpr Duration
+    hours(std::int64_t h)
+    {
+        return seconds(h * 3600);
+    }
+
+    /** Construct from whole days. */
+    static constexpr Duration
+    days(std::int64_t d)
+    {
+        return seconds(d * 86400);
+    }
+
+    /** Construct from fractional seconds (rounded to nearest ns). */
+    static Duration fromSecondsF(double s);
+
+    /** Raw nanosecond count. */
+    constexpr std::int64_t ns() const { return ns_; }
+
+    /** Value in fractional seconds. */
+    constexpr double
+    secondsF() const
+    {
+        return static_cast<double>(ns_) * 1e-9;
+    }
+
+    /** Value in fractional minutes. */
+    constexpr double minutesF() const { return secondsF() / 60.0; }
+
+    /** Value in fractional hours. */
+    constexpr double hoursF() const { return secondsF() / 3600.0; }
+
+    /** Value in fractional days. */
+    constexpr double daysF() const { return secondsF() / 86400.0; }
+
+    constexpr auto operator<=>(const Duration &) const = default;
+
+    constexpr Duration operator+(Duration o) const
+    {
+        return Duration(ns_ + o.ns_);
+    }
+    constexpr Duration operator-(Duration o) const
+    {
+        return Duration(ns_ - o.ns_);
+    }
+    constexpr Duration operator-() const { return Duration(-ns_); }
+    constexpr Duration operator*(std::int64_t k) const
+    {
+        return Duration(ns_ * k);
+    }
+    constexpr Duration operator/(std::int64_t k) const
+    {
+        return Duration(ns_ / k);
+    }
+    Duration &operator+=(Duration o)
+    {
+        ns_ += o.ns_;
+        return *this;
+    }
+    Duration &operator-=(Duration o)
+    {
+        ns_ -= o.ns_;
+        return *this;
+    }
+
+    /** Absolute value. */
+    constexpr Duration
+    abs() const
+    {
+        return Duration(ns_ < 0 ? -ns_ : ns_);
+    }
+
+    /** Human-readable rendering, e.g. "12.3 min". */
+    std::string str() const;
+
+  private:
+    explicit constexpr Duration(std::int64_t ns) : ns_(ns) {}
+
+    std::int64_t ns_ = 0;
+};
+
+/** An absolute instant on the simulated real-world time axis. */
+class SimTime
+{
+  public:
+    constexpr SimTime() = default;
+
+    /** Construct from raw nanoseconds since the simulation epoch. */
+    static constexpr SimTime
+    fromNanos(std::int64_t ns)
+    {
+        return SimTime(ns);
+    }
+
+    /** Construct from fractional seconds since the epoch. */
+    static SimTime fromSecondsF(double s);
+
+    /** Raw nanoseconds since the epoch. */
+    constexpr std::int64_t ns() const { return ns_; }
+
+    /** Fractional seconds since the epoch. */
+    constexpr double
+    secondsF() const
+    {
+        return static_cast<double>(ns_) * 1e-9;
+    }
+
+    constexpr auto operator<=>(const SimTime &) const = default;
+
+    constexpr SimTime operator+(Duration d) const
+    {
+        return SimTime(ns_ + d.ns());
+    }
+    constexpr SimTime operator-(Duration d) const
+    {
+        return SimTime(ns_ - d.ns());
+    }
+    constexpr Duration operator-(SimTime o) const
+    {
+        return Duration::nanos(ns_ - o.ns_);
+    }
+    SimTime &operator+=(Duration d)
+    {
+        ns_ += d.ns();
+        return *this;
+    }
+
+    /** Human-readable rendering as fractional days since the epoch. */
+    std::string str() const;
+
+  private:
+    explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+
+    std::int64_t ns_ = 0;
+};
+
+} // namespace eaao::sim
+
+#endif // EAAO_SIM_TIME_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of the empirical CDF and histogram.
+ */
+
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace eaao::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> sample)
+    : sorted_(std::move(sample))
+{
+    EAAO_ASSERT(!sorted_.empty(), "empty CDF sample");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+EmpiricalCdf::at(double x) const
+{
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    EAAO_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    const double pos = q * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size())
+        return sorted_.back();
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double
+EmpiricalCdf::minValue() const
+{
+    return sorted_.front();
+}
+
+double
+EmpiricalCdf::maxValue() const
+{
+    return sorted_.back();
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::series(double lo, double hi, std::size_t points) const
+{
+    EAAO_ASSERT(points >= 2, "need at least two series points");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + (hi - lo) * static_cast<double>(i) /
+                                  static_cast<double>(points - 1);
+        out.emplace_back(x, at(x));
+    }
+    return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    EAAO_ASSERT(hi > lo, "empty histogram range");
+    EAAO_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::int64_t>(
+        std::floor(frac * static_cast<double>(counts_.size())));
+    bin = std::clamp<std::int64_t>(
+        bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * (static_cast<double>(i) + 0.5);
+}
+
+} // namespace eaao::stats

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Empirical CDF and histogram builders used by the figure benches.
+ */
+
+#ifndef EAAO_STATS_CDF_HPP
+#define EAAO_STATS_CDF_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eaao::stats {
+
+/**
+ * Empirical cumulative distribution function over a sample.
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Build from a sample (copied and sorted). */
+    explicit EmpiricalCdf(std::vector<double> sample);
+
+    /** Fraction of the sample <= x. */
+    double at(double x) const;
+
+    /** Inverse CDF (quantile) for q in [0, 1]. */
+    double quantile(double q) const;
+
+    /** Number of sample points. */
+    std::size_t size() const { return sorted_.size(); }
+
+    /** Smallest sample value. */
+    double minValue() const;
+
+    /** Largest sample value. */
+    double maxValue() const;
+
+    /**
+     * Evaluate the CDF at evenly spaced points across [lo, hi];
+     * convenient for printing figure series.
+     */
+    std::vector<std::pair<double, double>> series(double lo, double hi,
+                                                  std::size_t points) const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+/** Fixed-width histogram over [lo, hi) with out-of-range clamping. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Count in bin @p i. */
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Center x-value of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total observations recorded. */
+    std::size_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace eaao::stats
+
+#endif // EAAO_STATS_CDF_HPP

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Implementation of pair-counting clustering metrics.
+ */
+
+#include "stats/clustering.hpp"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace eaao::stats {
+
+double
+PairConfusion::precision() const
+{
+    const std::uint64_t denom = tp + fp;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double
+PairConfusion::recall() const
+{
+    const std::uint64_t denom = tp + fn;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double
+PairConfusion::fmi() const
+{
+    return std::sqrt(precision() * recall());
+}
+
+namespace {
+
+/** pairs(n) = n choose 2. */
+std::uint64_t
+pairs(std::uint64_t n)
+{
+    return n * (n - 1) / 2;
+}
+
+} // namespace
+
+PairConfusion
+comparePairs(const std::vector<std::uint64_t> &predicted,
+             const std::vector<std::uint64_t> &truth)
+{
+    EAAO_ASSERT(predicted.size() == truth.size(),
+                "label vector size mismatch");
+    const std::uint64_t n = predicted.size();
+
+    // Contingency table: joint counts per (predicted, truth) label pair,
+    // plus the marginals.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> joint;
+    std::unordered_map<std::uint64_t, std::uint64_t> pred_marginal;
+    std::unordered_map<std::uint64_t, std::uint64_t> true_marginal;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        ++joint[{predicted[i], truth[i]}];
+        ++pred_marginal[predicted[i]];
+        ++true_marginal[truth[i]];
+    }
+
+    std::uint64_t same_both = 0; // pairs together in both clusterings
+    for (const auto &[key, count] : joint)
+        same_both += pairs(count);
+
+    std::uint64_t same_pred = 0;
+    for (const auto &[label, count] : pred_marginal)
+        same_pred += pairs(count);
+
+    std::uint64_t same_true = 0;
+    for (const auto &[label, count] : true_marginal)
+        same_true += pairs(count);
+
+    PairConfusion out;
+    out.tp = same_both;
+    out.fp = same_pred - same_both;
+    out.fn = same_true - same_both;
+    out.tn = pairs(n) - same_pred - same_true + same_both;
+    return out;
+}
+
+std::vector<std::size_t>
+clusterSizeHistogram(const std::vector<std::uint64_t> &labels)
+{
+    std::unordered_map<std::uint64_t, std::size_t> counts;
+    for (auto l : labels)
+        ++counts[l];
+    std::size_t max_size = 0;
+    for (const auto &[label, c] : counts)
+        max_size = std::max(max_size, c);
+    std::vector<std::size_t> hist(max_size + 1, 0);
+    for (const auto &[label, c] : counts)
+        ++hist[c];
+    return hist;
+}
+
+std::size_t
+distinctCount(const std::vector<std::uint64_t> &labels)
+{
+    std::unordered_map<std::uint64_t, bool> seen;
+    for (auto l : labels)
+        seen[l] = true;
+    return seen.size();
+}
+
+} // namespace eaao::stats

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pair-counting metrics for comparing clusterings.
+ *
+ * The paper evaluates fingerprint quality by treating "same fingerprint"
+ * as a predicted clustering and the covert-channel co-location ground
+ * truth as the reference clustering, then counting true/false
+ * positive/negative instance pairs and reporting precision, recall, and
+ * the Fowlkes-Mallows index (FMI).
+ */
+
+#ifndef EAAO_STATS_CLUSTERING_HPP
+#define EAAO_STATS_CLUSTERING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eaao::stats {
+
+/** Confusion counts over all unordered pairs of items. */
+struct PairConfusion
+{
+    std::uint64_t tp = 0; //!< same predicted cluster, same true cluster
+    std::uint64_t fp = 0; //!< same predicted cluster, different true
+    std::uint64_t tn = 0; //!< different predicted, different true
+    std::uint64_t fn = 0; //!< different predicted, same true
+
+    /** Pairwise precision TP / (TP + FP); 1 if no positives predicted. */
+    double precision() const;
+
+    /** Pairwise recall TP / (TP + FN); 1 if no true positives exist. */
+    double recall() const;
+
+    /** Fowlkes-Mallows index: sqrt(precision * recall). */
+    double fmi() const;
+};
+
+/**
+ * Count pairwise agreement between two label vectors of equal length.
+ *
+ * Labels are arbitrary integers; only equality within each vector
+ * matters. Runs in O(n log n)-ish time using contingency counts rather
+ * than the O(n^2) naive pair loop.
+ *
+ * @param predicted Predicted cluster label per item (e.g. fingerprint id).
+ * @param truth True cluster label per item (e.g. verified host id).
+ */
+PairConfusion comparePairs(const std::vector<std::uint64_t> &predicted,
+                           const std::vector<std::uint64_t> &truth);
+
+/**
+ * Histogram of cluster sizes for a label vector: result[k] = number of
+ * clusters with exactly k members (index 0 unused).
+ */
+std::vector<std::size_t> clusterSizeHistogram(
+    const std::vector<std::uint64_t> &labels);
+
+/** Number of distinct labels. */
+std::size_t distinctCount(const std::vector<std::uint64_t> &labels);
+
+} // namespace eaao::stats
+
+#endif // EAAO_STATS_CLUSTERING_HPP

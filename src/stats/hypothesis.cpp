@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Implementation of the goodness-of-fit tests.
+ */
+
+#include "stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace eaao::stats {
+
+namespace {
+
+/** Asymptotic Kolmogorov distribution tail: P(D_n > d). */
+double
+kolmogorovPValue(double d, std::size_t n)
+{
+    const double sqrt_n = std::sqrt(static_cast<double>(n));
+    // Stephens' effective statistic improves small-n accuracy.
+    const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    double sum = 0.0;
+    for (int k = 1; k <= 100; ++k) {
+        const double term = 2.0 * ((k % 2) ? 1.0 : -1.0) *
+                            std::exp(-2.0 * k * k * lambda * lambda);
+        sum += term;
+        if (std::fabs(term) < 1e-12)
+            break;
+    }
+    return std::clamp(sum, 0.0, 1.0);
+}
+
+} // namespace
+
+GofResult
+ksTest(std::vector<double> sample,
+       const std::function<double(double)> &cdf)
+{
+    EAAO_ASSERT(!sample.empty(), "empty KS sample");
+    std::sort(sample.begin(), sample.end());
+    const auto n = static_cast<double>(sample.size());
+
+    double d = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+        const double f = cdf(sample[i]);
+        const double lo = static_cast<double>(i) / n;
+        const double hi = static_cast<double>(i + 1) / n;
+        d = std::max(d, std::max(std::fabs(f - lo), std::fabs(hi - f)));
+    }
+
+    GofResult result;
+    result.statistic = d;
+    result.p_value = kolmogorovPValue(d, sample.size());
+    return result;
+}
+
+GofResult
+chiSquareTest(const std::vector<double> &observed,
+              const std::vector<double> &expected)
+{
+    EAAO_ASSERT(observed.size() == expected.size(),
+                "bin count mismatch");
+    EAAO_ASSERT(observed.size() >= 2, "need at least two bins");
+
+    double chi2 = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        EAAO_ASSERT(expected[i] > 0.0, "non-positive expected count");
+        const double delta = observed[i] - expected[i];
+        chi2 += delta * delta / expected[i];
+    }
+
+    GofResult result;
+    result.statistic = chi2;
+    const auto dof = static_cast<double>(observed.size() - 1);
+    result.p_value = upperIncompleteGammaQ(dof / 2.0, chi2 / 2.0);
+    return result;
+}
+
+double
+upperIncompleteGammaQ(double a, double x)
+{
+    EAAO_ASSERT(a > 0.0 && x >= 0.0, "bad gamma arguments");
+    if (x == 0.0)
+        return 1.0;
+
+    if (x < a + 1.0) {
+        // Series expansion of P(a, x); Q = 1 - P.
+        double term = 1.0 / a;
+        double sum = term;
+        for (int k = 1; k < 500; ++k) {
+            term *= x / (a + k);
+            sum += term;
+            if (term < sum * 1e-15)
+                break;
+        }
+        const double log_p =
+            -x + a * std::log(x) - std::lgamma(a) + std::log(sum);
+        return std::clamp(1.0 - std::exp(log_p), 0.0, 1.0);
+    }
+
+    // Continued fraction for Q(a, x) (Lentz's algorithm).
+    const double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int k = 1; k < 500; ++k) {
+        const double an = -k * (k - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < 1e-15)
+            break;
+    }
+    const double log_q = -x + a * std::log(x) - std::lgamma(a) +
+                         std::log(h);
+    return std::clamp(std::exp(log_q), 0.0, 1.0);
+}
+
+double
+normalCdf(double x, double mean, double sigma)
+{
+    return 0.5 * std::erfc(-(x - mean) / (sigma * std::sqrt(2.0)));
+}
+
+double
+exponentialCdf(double x, double mean)
+{
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x / mean);
+}
+
+} // namespace eaao::stats

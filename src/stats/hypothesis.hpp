@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Goodness-of-fit hypothesis tests.
+ *
+ * The simulator's realism rests on its samplers (exponential reap
+ * delays, lognormal noise mixtures, Poisson arrivals, Zipf weights).
+ * These tests let the test suite check distributions properly instead
+ * of eyeballing moments: a one-sample Kolmogorov-Smirnov test against
+ * an arbitrary CDF and a chi-square test against expected bin counts.
+ */
+
+#ifndef EAAO_STATS_HYPOTHESIS_HPP
+#define EAAO_STATS_HYPOTHESIS_HPP
+
+#include <functional>
+#include <vector>
+
+namespace eaao::stats {
+
+/** Outcome of a goodness-of-fit test. */
+struct GofResult
+{
+    double statistic = 0.0; //!< KS D or chi-square value
+    double p_value = 0.0;   //!< asymptotic p-value
+
+    /** Reject the null hypothesis at significance alpha? */
+    bool
+    reject(double alpha = 0.01) const
+    {
+        return p_value < alpha;
+    }
+};
+
+/**
+ * One-sample Kolmogorov-Smirnov test.
+ *
+ * @param sample Observations (copied and sorted).
+ * @param cdf The hypothesized continuous CDF.
+ * @return D statistic and asymptotic p-value (Kolmogorov
+ *         distribution; accurate for n >= ~35).
+ */
+GofResult ksTest(std::vector<double> sample,
+                 const std::function<double(double)> &cdf);
+
+/**
+ * Chi-square goodness-of-fit test.
+ *
+ * @param observed Observed counts per bin.
+ * @param expected Expected counts per bin (same length; each >= ~5
+ *        for the asymptotics to hold).
+ * @return Chi-square statistic and p-value with k-1 degrees of
+ *         freedom.
+ */
+GofResult chiSquareTest(const std::vector<double> &observed,
+                        const std::vector<double> &expected);
+
+/** Regularized upper incomplete gamma Q(a, x) (for chi-square p). */
+double upperIncompleteGammaQ(double a, double x);
+
+/** Standard normal CDF. */
+double normalCdf(double x, double mean = 0.0, double sigma = 1.0);
+
+/** Exponential CDF with the given mean. */
+double exponentialCdf(double x, double mean);
+
+} // namespace eaao::stats
+
+#endif // EAAO_STATS_HYPOTHESIS_HPP

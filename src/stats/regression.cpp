@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Implementation of least-squares regression.
+ */
+
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace eaao::stats {
+
+LinearFit
+linearRegression(const std::vector<double> &x, const std::vector<double> &y)
+{
+    EAAO_ASSERT(x.size() == y.size(), "x/y size mismatch");
+    EAAO_ASSERT(x.size() >= 2, "regression needs at least two points");
+
+    const auto n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+
+    double sxx = 0.0, syy = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    EAAO_ASSERT(sxx > 0.0, "degenerate regression: all x identical");
+
+    LinearFit fit;
+    fit.n = x.size();
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    if (syy <= 0.0) {
+        // Perfectly flat series: the zero-slope line explains everything.
+        fit.r_value = 1.0;
+    } else {
+        fit.r_value = sxy / std::sqrt(sxx * syy);
+    }
+    return fit;
+}
+
+} // namespace eaao::stats

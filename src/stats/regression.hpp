@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ordinary least-squares linear regression.
+ *
+ * Used to fit the drift of a host's derived boot time T_boot against
+ * real-world time (paper Section 4.4.2); the r-value validates the
+ * linear-drift hypothesis and the slope feeds the expiration estimate.
+ */
+
+#ifndef EAAO_STATS_REGRESSION_HPP
+#define EAAO_STATS_REGRESSION_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace eaao::stats {
+
+/** Result of a simple y = slope * x + intercept fit. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_value = 0.0;      //!< Pearson correlation coefficient
+    std::size_t n = 0;         //!< number of points
+
+    /** Predicted y at @p x. */
+    double at(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Fit a least-squares line through (x[i], y[i]).
+ *
+ * Requires x.size() == y.size() and at least two points. If all y values
+ * are identical the r_value is reported as 1 when the slope is exactly
+ * zero (a perfectly flat, perfectly explained series).
+ */
+LinearFit linearRegression(const std::vector<double> &x,
+                           const std::vector<double> &y);
+
+} // namespace eaao::stats
+
+#endif // EAAO_STATS_REGRESSION_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Implementation of summary statistics.
+ */
+
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace eaao::stats {
+
+void
+OnlineStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const double total = static_cast<double>(n_ + other.n_);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) +
+             other.mean_ * static_cast<double>(other.n_)) /
+            total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+percentile(std::vector<double> values, double q)
+{
+    EAAO_ASSERT(!values.empty(), "percentile of empty sample");
+    EAAO_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double
+meanOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+double
+stddevOf(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = meanOf(values);
+    double s2 = 0.0;
+    for (double v : values)
+        s2 += (v - m) * (v - m);
+    return std::sqrt(s2 / static_cast<double>(values.size() - 1));
+}
+
+} // namespace eaao::stats

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Online summary statistics and percentile helpers.
+ */
+
+#ifndef EAAO_STATS_SUMMARY_HPP
+#define EAAO_STATS_SUMMARY_HPP
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace eaao::stats {
+
+/**
+ * Welford-style online accumulator for mean / variance / extrema.
+ */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 if fewer than two observations). */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation (+inf if empty). */
+    double min() const { return min_; }
+
+    /** Maximum observation (-inf if empty). */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Percentile of a sample using linear interpolation between order
+ * statistics. @p q is in [0, 1]. The input is copied and sorted.
+ */
+double percentile(std::vector<double> values, double q);
+
+/** Arithmetic mean of a vector (0 if empty). */
+double meanOf(const std::vector<double> &values);
+
+/** Sample standard deviation of a vector (0 if n < 2). */
+double stddevOf(const std::vector<double> &values);
+
+} // namespace eaao::stats
+
+#endif // EAAO_STATS_SUMMARY_HPP

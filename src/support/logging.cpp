@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Implementation of the diagnostics helpers.
+ */
+
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eaao {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace eaao

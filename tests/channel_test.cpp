@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the covert channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/covert.hpp"
+
+namespace eaao::channel {
+namespace {
+
+struct Fixture
+{
+    faas::PlatformConfig cfg;
+    std::unique_ptr<faas::Platform> platform;
+    faas::AccountId acct = 0;
+    faas::ServiceId svc = 0;
+
+    explicit Fixture(std::uint64_t seed = 1)
+    {
+        cfg.profile = faas::DataCenterProfile::usEast1();
+        cfg.profile.host_count = 330;
+        cfg.seed = seed;
+        platform = std::make_unique<faas::Platform>(cfg);
+        acct = platform->createAccount();
+        svc = platform->deployService(acct, faas::ExecEnv::Gen1);
+    }
+
+    /** Find indices of two co-located and one separate instance. */
+    void
+    pickTrio(const std::vector<faas::InstanceId> &ids,
+             faas::InstanceId &a, faas::InstanceId &b,
+             faas::InstanceId &c) const
+    {
+        a = b = c = faas::kNoInstance;
+        for (std::size_t i = 0; i < ids.size() && c == faas::kNoInstance;
+             ++i) {
+            for (std::size_t j = i + 1; j < ids.size(); ++j) {
+                if (platform->oracleHostOf(ids[i]) ==
+                    platform->oracleHostOf(ids[j])) {
+                    a = ids[i];
+                    b = ids[j];
+                } else if (a != faas::kNoInstance) {
+                    if (platform->oracleHostOf(ids[j]) !=
+                        platform->oracleHostOf(a)) {
+                        c = ids[j];
+                        break;
+                    }
+                }
+            }
+        }
+        ASSERT_NE(a, faas::kNoInstance);
+        ASSERT_NE(c, faas::kNoInstance);
+    }
+};
+
+TEST(RngChannel, DetectsCoLocatedPair)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 100);
+    faas::InstanceId a, b, c;
+    f.pickTrio(ids, a, b, c);
+
+    RngChannel chan(*f.platform);
+    const GroupTestResult r = chan.run({a, b}, 2);
+    EXPECT_TRUE(r.positive[0]);
+    EXPECT_TRUE(r.positive[1]);
+}
+
+TEST(RngChannel, RejectsSeparatedPair)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 100);
+    faas::InstanceId a, b, c;
+    f.pickTrio(ids, a, b, c);
+
+    RngChannel chan(*f.platform);
+    const GroupTestResult r = chan.run({a, c}, 2);
+    EXPECT_FALSE(r.positive[0]);
+    EXPECT_FALSE(r.positive[1]);
+}
+
+TEST(RngChannel, GroupTestSeparatesMixedGroup)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 100);
+    faas::InstanceId a, b, c;
+    f.pickTrio(ids, a, b, c);
+
+    RngChannel chan(*f.platform);
+    const GroupTestResult r = chan.run({a, b, c}, 2);
+    EXPECT_TRUE(r.positive[0]);
+    EXPECT_TRUE(r.positive[1]);
+    EXPECT_FALSE(r.positive[2]);
+}
+
+TEST(RngChannel, HigherThresholdNeedsMoreCoLocation)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 100);
+    faas::InstanceId a, b, c;
+    f.pickTrio(ids, a, b, c);
+
+    RngChannel chan(*f.platform);
+    // Two co-located instances cannot reach a threshold of 3.
+    const GroupTestResult r = chan.run({a, b}, 3);
+    EXPECT_FALSE(r.positive[0]);
+    EXPECT_FALSE(r.positive[1]);
+}
+
+TEST(RngChannel, AdjustableThresholdConfirmsWholeHost)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 800);
+
+    // Collect all instances of one host.
+    const hw::HostId host = f.platform->oracleHostOf(ids[0]);
+    std::vector<faas::InstanceId> cohort;
+    for (const faas::InstanceId id : ids)
+        if (f.platform->oracleHostOf(id) == host)
+            cohort.push_back(id);
+    ASSERT_GE(cohort.size(), 8u);
+
+    RngChannel chan(*f.platform);
+    const auto m = static_cast<std::uint32_t>((cohort.size() + 2) / 2);
+    const GroupTestResult r = chan.run(cohort, m);
+    for (std::size_t i = 0; i < cohort.size(); ++i)
+        EXPECT_TRUE(r.positive[i]) << "member " << i;
+}
+
+TEST(RngChannel, ConcurrentTestsOnSameHostInterfere)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 100);
+    faas::InstanceId a, b, c;
+    f.pickTrio(ids, a, b, c);
+
+    RngChannel chan(*f.platform);
+    // Group {a} and group {b} are singletons (never positive alone),
+    // but run concurrently on the same host they contaminate each
+    // other into false positives.
+    const auto results = chan.runConcurrent({{a}, {b}}, 2);
+    EXPECT_TRUE(results[0].positive[0]);
+    EXPECT_TRUE(results[1].positive[0]);
+}
+
+TEST(RngChannel, ConcurrentTestsOnDisjointHostsDoNotInterfere)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 100);
+    faas::InstanceId a, b, c;
+    f.pickTrio(ids, a, b, c);
+
+    RngChannel chan(*f.platform);
+    const auto results = chan.runConcurrent({{a, b}, {c}}, 2);
+    EXPECT_TRUE(results[0].positive[0]);
+    EXPECT_TRUE(results[0].positive[1]);
+    EXPECT_FALSE(results[1].positive[0]);
+}
+
+TEST(RngChannel, AdvancesVirtualTimePerBatch)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 10);
+    RngChannel chan(*f.platform);
+    const sim::SimTime before = f.platform->now();
+    chan.run({ids[0], ids[1]}, 2);
+    EXPECT_EQ(f.platform->now() - before, chan.testDuration());
+    EXPECT_EQ(chan.testsRun(), 1u);
+}
+
+TEST(RngChannel, BackgroundNoiseRarelyFlipsDecision)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 100);
+    faas::InstanceId a, b, c;
+    f.pickTrio(ids, a, b, c);
+
+    RngChannel chan(*f.platform);
+    int false_positives = 0;
+    for (int rep = 0; rep < 50; ++rep) {
+        const GroupTestResult r = chan.run({a, c}, 2);
+        false_positives += (r.positive[0] || r.positive[1]);
+    }
+    EXPECT_EQ(false_positives, 0);
+}
+
+TEST(MemBusChannel, PairwiseDetectionAndTiming)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 100);
+    faas::InstanceId a, b, c;
+    f.pickTrio(ids, a, b, c);
+
+    MemBusChannel chan(*f.platform);
+    const sim::SimTime before = f.platform->now();
+    int hits = 0;
+    for (int rep = 0; rep < 20; ++rep)
+        hits += chan.testPair(a, b);
+    EXPECT_GE(hits, 18);
+    int misses = 0;
+    for (int rep = 0; rep < 20; ++rep)
+        misses += chan.testPair(a, c);
+    EXPECT_LE(misses, 3);
+    EXPECT_EQ((f.platform->now() - before),
+              chan.testDuration() * 40);
+    EXPECT_EQ(chan.testsRun(), 40u);
+}
+
+} // namespace
+} // namespace eaao::channel

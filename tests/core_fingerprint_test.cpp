@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for fingerprinting, frequency estimation, and tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/fingerprint.hpp"
+#include "core/freq_estimator.hpp"
+#include "core/tracker.hpp"
+#include "faas/platform.hpp"
+
+namespace eaao::core {
+namespace {
+
+struct Fixture
+{
+    faas::PlatformConfig cfg;
+    std::unique_ptr<faas::Platform> platform;
+    faas::AccountId acct = 0;
+
+    explicit Fixture(std::uint64_t seed = 1,
+                     faas::ExecEnv env = faas::ExecEnv::Gen1)
+    {
+        cfg.profile = faas::DataCenterProfile::usEast1();
+        cfg.profile.host_count = 330;
+        cfg.seed = seed;
+        platform = std::make_unique<faas::Platform>(cfg);
+        acct = platform->createAccount();
+        svc = platform->deployService(acct, env);
+    }
+
+    faas::ServiceId svc = 0;
+};
+
+TEST(Gen1Fingerprint, CoLocatedInstancesAgreeAtOneSecond)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 200);
+
+    // Group instances by true host and by fingerprint; within a host,
+    // fingerprints at p_boot = 1 s should match.
+    std::map<hw::HostId, std::vector<std::uint64_t>> by_host;
+    for (const faas::InstanceId id : ids) {
+        faas::SandboxView sbx = f.platform->sandbox(id);
+        const Gen1Reading reading = readGen1(sbx);
+        const Gen1Fingerprint fp = quantizeGen1(reading, 1.0);
+        by_host[f.platform->oracleHostOf(id)].push_back(
+            fingerprintKey(fp));
+    }
+    int mismatched_hosts = 0;
+    for (const auto &[host, keys] : by_host) {
+        for (const auto key : keys)
+            mismatched_hosts += (key != keys.front());
+    }
+    // Rounding-boundary straddling can split a host occasionally; it
+    // must be rare.
+    EXPECT_LE(mismatched_hosts, 4);
+}
+
+TEST(Gen1Fingerprint, DifferentHostsRarelyCollideAtOneSecond)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 400);
+
+    std::map<std::uint64_t, std::set<hw::HostId>> hosts_per_key;
+    for (const faas::InstanceId id : ids) {
+        faas::SandboxView sbx = f.platform->sandbox(id);
+        const Gen1Fingerprint fp = quantizeGen1(readGen1(sbx), 1.0);
+        hosts_per_key[fingerprintKey(fp)].insert(
+            f.platform->oracleHostOf(id));
+    }
+    int collisions = 0;
+    for (const auto &[key, hosts] : hosts_per_key)
+        collisions += (hosts.size() > 1);
+    EXPECT_LE(collisions, 1);
+}
+
+TEST(Gen1Fingerprint, DerivedBootTimeTracksTrueBootTime)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 50);
+    for (const faas::InstanceId id : ids) {
+        faas::SandboxView sbx = f.platform->sandbox(id);
+        const Gen1Reading reading = readGen1(sbx);
+        const double true_boot = f.platform->fleet()
+                                     .host(f.platform->oracleHostOf(id))
+                                     .tsc()
+                                     .bootTime()
+                                     .secondsF();
+        // Label error of up to ~MHz over up to ~90 days of uptime can
+        // shift the derived value by a few thousand seconds; typical
+        // hosts are within seconds. Loose sanity bound:
+        EXPECT_NEAR(reading.tboot_s, true_boot, 2e4);
+    }
+}
+
+TEST(Gen1Fingerprint, QuantizationRoundsHalfAway)
+{
+    Gen1Reading r;
+    r.cpu_model = "Intel Xeon CPU @ 2.00GHz";
+    r.tboot_s = 1234.6;
+    EXPECT_EQ(quantizeGen1(r, 1.0).boot_bucket, 1235);
+    r.tboot_s = 1234.4;
+    EXPECT_EQ(quantizeGen1(r, 1.0).boot_bucket, 1234);
+    r.tboot_s = -7.5;
+    EXPECT_EQ(quantizeGen1(r, 1.0).boot_bucket, -8);
+    r.tboot_s = 1234.6;
+    EXPECT_EQ(quantizeGen1(r, 0.1).boot_bucket, 12346);
+}
+
+TEST(Gen1Fingerprint, KeyIncludesCpuModel)
+{
+    Gen1Fingerprint a{"Intel Xeon CPU @ 2.00GHz", 42};
+    Gen1Fingerprint b{"Intel Xeon CPU @ 2.20GHz", 42};
+    Gen1Fingerprint c{"Intel Xeon CPU @ 2.00GHz", 43};
+    EXPECT_NE(fingerprintKey(a), fingerprintKey(b));
+    EXPECT_NE(fingerprintKey(a), fingerprintKey(c));
+    EXPECT_EQ(fingerprintKey(a), fingerprintKey(a));
+}
+
+TEST(Gen2Fingerprint, MatchesHostRefinedFrequencyExactly)
+{
+    Fixture f(3, faas::ExecEnv::Gen2);
+    const auto ids = f.platform->connect(f.svc, 100);
+    std::map<hw::HostId, std::int64_t> khz_by_host;
+    for (const faas::InstanceId id : ids) {
+        faas::SandboxView sbx = f.platform->sandbox(id);
+        const Gen2Fingerprint fp = readGen2(sbx);
+        const hw::HostId host = f.platform->oracleHostOf(id);
+        const auto expected = static_cast<std::int64_t>(std::llround(
+            f.platform->fleet().host(host).tsc().refinedHz() / 1000.0));
+        EXPECT_EQ(fp.refined_khz, expected);
+        // No false negatives, ever: same host, same fingerprint.
+        const auto [it, inserted] =
+            khz_by_host.emplace(host, fp.refined_khz);
+        if (!inserted) {
+            EXPECT_EQ(it->second, fp.refined_khz);
+        }
+    }
+}
+
+TEST(FreqEstimator, ReportedMatchesLabel)
+{
+    Fixture f;
+    const auto ids = f.platform->connect(f.svc, 10);
+    faas::SandboxView sbx = f.platform->sandbox(ids[0]);
+    const double reported = reportedFrequencyHz(sbx);
+    const double nominal = f.platform->fleet()
+                               .host(f.platform->oracleHostOf(ids[0]))
+                               .tsc()
+                               .nominalHz();
+    EXPECT_DOUBLE_EQ(reported, nominal);
+}
+
+TEST(FreqEstimator, MeasuredIsStableOnCleanHostsOnly)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.profile.host_count = 330;
+    cfg.timing.noisy_timer_fraction = 1.0; // force all hosts noisy
+    cfg.seed = 4;
+    faas::Platform noisy(cfg);
+    const auto acct = noisy.createAccount();
+    const auto svc = noisy.deployService(acct, faas::ExecEnv::Gen1);
+    const auto ids = noisy.connect(svc, 5);
+    faas::SandboxView sbx = noisy.sandbox(ids[0]);
+    const FrequencyEstimate est = measuredFrequencyHz(sbx);
+    EXPECT_FALSE(est.stable());
+    EXPECT_GT(est.stddev_hz, 1e3);
+
+    faas::PlatformConfig clean_cfg;
+    clean_cfg.profile = faas::DataCenterProfile::usEast1();
+    clean_cfg.profile.host_count = 330;
+    clean_cfg.timing.noisy_timer_fraction = 0.0;
+    clean_cfg.seed = 6;
+    faas::Platform clean(clean_cfg);
+    const auto acct2 = clean.createAccount();
+    const auto svc2 = clean.deployService(acct2, faas::ExecEnv::Gen1);
+    const auto ids2 = clean.connect(svc2, 5);
+    faas::SandboxView sbx2 = clean.sandbox(ids2[0]);
+    const FrequencyEstimate est2 = measuredFrequencyHz(sbx2);
+    EXPECT_TRUE(est2.stable());
+    EXPECT_LT(est2.stddev_hz, 200.0);
+    const double true_hz = clean.fleet()
+                               .host(clean.oracleHostOf(ids2[0]))
+                               .tsc()
+                               .trueHz();
+    EXPECT_NEAR(est2.mean_hz, true_hz, 100.0);
+}
+
+TEST(Tracker, DriftIsLinearWithExpectedSlope)
+{
+    // Synthetic history: T_boot drifting by eps/f per second (Eq 4.2).
+    const double eps = 1500.0, f = 2.0e9;
+    const double slope = eps / f;
+    FingerprintHistory history;
+    for (int h = 0; h <= 72; ++h) {
+        const double x = h * 3600.0;
+        history.add(sim::SimTime::fromSecondsF(x), 1000.0 + slope * x);
+    }
+    const stats::LinearFit fit = history.fitDrift();
+    EXPECT_NEAR(fit.slope, slope, 1e-12);
+    EXPECT_GT(std::fabs(fit.r_value), 0.9997);
+    EXPECT_EQ(history.size(), 73u);
+    EXPECT_EQ(history.span(), sim::Duration::hours(72));
+}
+
+TEST(Tracker, ExpirationDistanceOverSlope)
+{
+    // T_boot = 1000.2 at the last point, drifting up at 1e-5 /s with
+    // p_boot = 1: the 1000-bucket boundary sits at 1000.5, so
+    // expiration = 0.3 / 1e-5 = 30000 s.
+    FingerprintHistory history;
+    for (int i = 0; i <= 10; ++i) {
+        const double x = i * 1000.0;
+        history.add(sim::SimTime::fromSecondsF(x),
+                    1000.1 + 1e-5 * x);
+    }
+    const auto exp_s = history.expirationSeconds(1.0);
+    ASSERT_TRUE(exp_s.has_value());
+    EXPECT_NEAR(*exp_s, 0.3 / 1e-5, 50.0);
+}
+
+TEST(Tracker, DownwardDriftUsesLowerBoundary)
+{
+    FingerprintHistory history;
+    for (int i = 0; i <= 10; ++i) {
+        const double x = i * 1000.0;
+        history.add(sim::SimTime::fromSecondsF(x), 1000.3 - 1e-5 * x);
+    }
+    const auto exp_s = history.expirationSeconds(1.0);
+    ASSERT_TRUE(exp_s.has_value());
+    // Final fitted value 1000.2; lower boundary at 999.5 => 0.7 / 1e-5.
+    EXPECT_NEAR(*exp_s, 0.7 / 1e-5, 50.0);
+}
+
+TEST(Tracker, FlatHistoryNeverExpires)
+{
+    FingerprintHistory history;
+    for (int i = 0; i <= 5; ++i)
+        history.add(sim::SimTime::fromSecondsF(i * 100.0), 500.0);
+    EXPECT_FALSE(history.expirationSeconds(1.0).has_value());
+}
+
+TEST(Tracker, RealPlatformHistoriesAreLinear)
+{
+    // Track one long-running instance hourly for three days; the
+    // derived T_boot must drift linearly (paper: min |r| = 0.9997).
+    Fixture f(7);
+    const auto ids = f.platform->connect(f.svc, 8);
+    std::vector<FingerprintHistory> histories(ids.size());
+    for (int hour = 0; hour <= 72; ++hour) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            faas::SandboxView sbx = f.platform->sandbox(ids[i]);
+            const Gen1Reading r = readGen1Median(sbx, 15);
+            histories[i].add(f.platform->now(), r.tboot_s);
+        }
+        f.platform->advance(sim::Duration::hours(1));
+    }
+    for (const auto &history : histories) {
+        const stats::LinearFit fit = history.fitDrift();
+        EXPECT_GT(std::fabs(fit.r_value), 0.999);
+    }
+}
+
+} // namespace
+} // namespace eaao::core

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the drift-aware host registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/host_registry.hpp"
+#include "faas/platform.hpp"
+
+namespace eaao::core {
+namespace {
+
+Gen1Reading
+reading(const char *model, double tboot, double wall)
+{
+    Gen1Reading r;
+    r.cpu_model = model;
+    r.frequency_hz = 2.0e9;
+    r.tboot_s = tboot;
+    r.wall_s = wall;
+    return r;
+}
+
+TEST(HostRegistry, ObserveRegistersAndMatches)
+{
+    HostRegistry registry;
+    const auto [id1, fresh1] =
+        registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 100.0, 0));
+    EXPECT_TRUE(fresh1);
+    const auto [id2, fresh2] = registry.observe(
+        reading("Intel Xeon CPU @ 2.00GHz", 100.2, 60));
+    EXPECT_FALSE(fresh2);
+    EXPECT_EQ(id1, id2);
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.host(id1).history.size(), 2u);
+}
+
+TEST(HostRegistry, DistinguishesModelsAndBuckets)
+{
+    HostRegistry registry;
+    registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 100.0, 0));
+    registry.observe(reading("Intel Xeon CPU @ 2.20GHz", 100.0, 0));
+    registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 500.0, 0));
+    EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(HostRegistry, MatchPrefersClosestCandidate)
+{
+    HostRegistryConfig cfg;
+    cfg.tolerance_buckets = 2;
+    HostRegistry registry(cfg);
+    const auto [a, fa] =
+        registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 100.0, 0));
+    const auto [b, fb] =
+        registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 104.0, 0));
+    ASSERT_NE(a, b);
+    const auto m =
+        registry.match(reading("Intel Xeon CPU @ 2.00GHz", 103.4, 10));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(*m, b);
+}
+
+TEST(HostRegistry, DriftImprovesWithObservations)
+{
+    HostRegistry registry;
+    const double slope = 2.0 / 86400.0; // 2 s/day, a fast drifter
+    TrackedHostId id = 0;
+    for (int h = 0; h <= 24; ++h) {
+        const double wall = h * 3600.0;
+        const auto [got, fresh] = registry.observe(reading(
+            "Intel Xeon CPU @ 2.00GHz", 100.0 + slope * wall, wall));
+        if (h == 0) {
+            EXPECT_TRUE(fresh);
+            id = got;
+        } else {
+            EXPECT_FALSE(fresh) << "hour " << h;
+            EXPECT_EQ(got, id);
+        }
+    }
+    EXPECT_NEAR(registry.host(id).drift_per_s, slope, slope * 0.02);
+
+    // Three days later the raw bucket is 6 s off, but extrapolation
+    // still matches.
+    const double wall = 4.0 * 86400.0;
+    const auto m = registry.match(reading(
+        "Intel Xeon CPU @ 2.00GHz", 100.0 + slope * wall, wall));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(*m, id);
+}
+
+TEST(HostRegistry, ExpirationForecastNeedsHistory)
+{
+    HostRegistry registry;
+    const auto [id, fresh] =
+        registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 100.0, 0));
+    EXPECT_FALSE(registry.expirationSeconds(id).has_value());
+    registry.observe(
+        reading("Intel Xeon CPU @ 2.00GHz", 100.5, 36000.0));
+    const auto exp = registry.expirationSeconds(id);
+    ASSERT_TRUE(exp.has_value());
+    EXPECT_GT(*exp, 0.0);
+}
+
+TEST(HostRegistry, StaleHostsByLastSeen)
+{
+    HostRegistry registry;
+    registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 100.0, 0));
+    registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 500.0, 50));
+    const auto stale = registry.staleHosts(25.0);
+    ASSERT_EQ(stale.size(), 1u);
+    EXPECT_EQ(registry.host(stale[0]).last_tboot_s, 100.0);
+}
+
+TEST(HostRegistry, SerializeRoundTrip)
+{
+    HostRegistryConfig cfg;
+    cfg.p_boot_s = 0.5;
+    cfg.tolerance_buckets = 3;
+    HostRegistry registry(cfg);
+    registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 100.0, 0));
+    registry.observe(reading("Intel Xeon CPU @ 2.00GHz", 100.1, 3600));
+    registry.observe(reading("Intel Xeon CPU @ 2.20GHz", 7000.0, 10));
+
+    const std::string text = registry.serialize();
+    const auto loaded = HostRegistry::deserialize(text);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->size(), 2u);
+
+    // Matching behaviour survives the round trip.
+    const auto m = loaded->match(
+        reading("Intel Xeon CPU @ 2.20GHz", 7000.2, 600.0));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(loaded->host(*m).cpu_model, "Intel Xeon CPU @ 2.20GHz");
+}
+
+TEST(HostRegistry, DeserializeRejectsGarbage)
+{
+    EXPECT_FALSE(HostRegistry::deserialize("").has_value());
+    EXPECT_FALSE(HostRegistry::deserialize("bogus v1 1 1").has_value());
+    EXPECT_FALSE(HostRegistry::deserialize(
+                     "eaao-host-registry v2 1.0 1\n")
+                     .has_value());
+    EXPECT_FALSE(HostRegistry::deserialize(
+                     "eaao-host-registry v1 1.0 1\nnot-a-host-line\n")
+                     .has_value());
+}
+
+TEST(HostRegistry, TracksRealPlatformHostsAcrossLaunches)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 55;
+    faas::Platform p(cfg);
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+
+    HostRegistry registry;
+    std::set<hw::HostId> true_hosts;
+    for (int launch = 0; launch < 3; ++launch) {
+        const auto ids = p.connect(svc, 300);
+        for (const auto id : ids) {
+            faas::SandboxView sbx = p.sandbox(id);
+            registry.observe(readGen1Median(sbx, 15));
+            true_hosts.insert(p.oracleHostOf(id));
+        }
+        p.disconnectAll(svc);
+        p.advance(sim::Duration::minutes(45));
+    }
+    // Tracked count matches the true union of hosts (small slack for
+    // rounding-boundary flapping).
+    EXPECT_NEAR(static_cast<double>(registry.size()),
+                static_cast<double>(true_hosts.size()), 3.0);
+}
+
+} // namespace
+} // namespace eaao::core

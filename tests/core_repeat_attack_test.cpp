@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the repeat-attack planner and the account quota
+ * model (Section 5.2 optimizations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/repeat_attack.hpp"
+#include "support/logging.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+
+namespace eaao::core {
+namespace {
+
+Gen1Reading
+reading(const char *model, double tboot, double wall)
+{
+    Gen1Reading r;
+    r.cpu_model = model;
+    r.frequency_hz = 2.0e9;
+    r.tboot_s = tboot;
+    r.wall_s = wall;
+    return r;
+}
+
+TEST(RepeatAttackPlanner, MatchesSameBucketSameModel)
+{
+    RepeatAttackPlanner planner(1.0, 0);
+    planner.recordVictimHost(
+        reading("Intel Xeon CPU @ 2.00GHz", 1000.2, 0.0));
+    EXPECT_TRUE(planner.matches(
+        reading("Intel Xeon CPU @ 2.00GHz", 1000.4, 100.0)));
+    EXPECT_FALSE(planner.matches(
+        reading("Intel Xeon CPU @ 2.00GHz", 1003.0, 100.0)));
+    EXPECT_FALSE(planner.matches(
+        reading("Intel Xeon CPU @ 2.20GHz", 1000.2, 100.0)));
+    EXPECT_EQ(planner.size(), 1u);
+}
+
+TEST(RepeatAttackPlanner, ToleranceAcceptsNearbyBuckets)
+{
+    RepeatAttackPlanner tight(1.0, 0);
+    RepeatAttackPlanner loose(1.0, 2);
+    const auto rec = reading("Intel Xeon CPU @ 2.00GHz", 1000.0, 0.0);
+    tight.recordVictimHost(rec);
+    loose.recordVictimHost(rec);
+    const auto probe = reading("Intel Xeon CPU @ 2.00GHz", 1002.0, 50.0);
+    EXPECT_FALSE(tight.matches(probe));
+    EXPECT_TRUE(loose.matches(probe));
+}
+
+TEST(RepeatAttackPlanner, DriftExtrapolationTracksFastHosts)
+{
+    // A host drifting +0.5 s/day; two days later it is 1 s away from
+    // the recorded bucket, but extrapolation follows it.
+    RepeatAttackPlanner planner(1.0, 0);
+    const double drift = 0.5 / 86400.0;
+    planner.recordVictimHost(
+        reading("Intel Xeon CPU @ 2.00GHz", 1000.0, 0.0), drift);
+    const double two_days = 2.0 * 86400.0;
+    EXPECT_TRUE(planner.matches(reading("Intel Xeon CPU @ 2.00GHz",
+                                        1000.0 + drift * two_days,
+                                        two_days)));
+    // Without following the drift the stale bucket no longer matches.
+    RepeatAttackPlanner no_drift(1.0, 0);
+    no_drift.recordVictimHost(
+        reading("Intel Xeon CPU @ 2.00GHz", 1000.0, 0.0), 0.0);
+    EXPECT_FALSE(no_drift.matches(
+        reading("Intel Xeon CPU @ 2.00GHz",
+                1000.0 + drift * two_days, two_days)));
+}
+
+TEST(RepeatAttackPlanner, FocusIndicesSelectsMatches)
+{
+    RepeatAttackPlanner planner(1.0, 1);
+    planner.recordVictimHost(
+        reading("Intel Xeon CPU @ 2.00GHz", 500.0, 0.0));
+    planner.recordVictimHost(
+        reading("Intel Xeon CPU @ 2.20GHz", 900.0, 0.0));
+
+    const std::vector<Gen1Reading> probes = {
+        reading("Intel Xeon CPU @ 2.00GHz", 500.3, 10.0), // match
+        reading("Intel Xeon CPU @ 2.00GHz", 760.0, 10.0), // miss
+        reading("Intel Xeon CPU @ 2.20GHz", 900.9, 10.0), // match
+        reading("Intel Xeon CPU @ 2.60GHz", 500.0, 10.0), // miss
+    };
+    EXPECT_EQ(planner.focusIndices(probes),
+              (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(RepeatAttackPlanner, EndToEndFocusKeepsVictimHosts)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 77;
+    faas::Platform p(cfg);
+    const auto attacker = p.createAccount(0);
+    const auto victim = p.createAccount(1);
+
+    CampaignConfig campaign;
+    campaign.services = 3;
+    const auto attack1 = runOptimizedCampaign(p, attacker, campaign);
+    const auto vsvc = p.deployService(victim, faas::ExecEnv::Gen1);
+    const auto vids = p.connect(vsvc, 60);
+    std::set<hw::HostId> victim_hosts;
+    for (const auto id : vids)
+        victim_hosts.insert(p.oracleHostOf(id));
+
+    RepeatAttackPlanner planner(1.0, 2);
+    std::set<hw::HostId> recorded;
+    for (const auto inst : attack1.final_instances) {
+        const hw::HostId host = p.oracleHostOf(inst);
+        if (victim_hosts.count(host) && recorded.insert(host).second) {
+            faas::SandboxView sbx = p.sandbox(inst);
+            planner.recordVictimHost(readGen1Median(sbx, 15));
+        }
+    }
+    ASSERT_GT(planner.size(), 0u);
+
+    // Hours later, match fresh attacker readings host by host.
+    p.advance(sim::Duration::hours(6));
+    std::size_t matched_victim_hosts = 0, matched_other = 0;
+    std::set<hw::HostId> seen;
+    for (const auto inst : attack1.final_instances) {
+        if (p.instanceInfo(inst).state != faas::InstanceState::Active)
+            continue;
+        const hw::HostId host = p.oracleHostOf(inst);
+        if (!seen.insert(host).second)
+            continue;
+        faas::SandboxView sbx = p.sandbox(inst);
+        const bool match = planner.matches(readGen1Median(sbx, 15));
+        if (recorded.count(host))
+            matched_victim_hosts += match;
+        else
+            matched_other += match;
+    }
+    // Every recorded host is re-identified; false matches are rare.
+    EXPECT_EQ(matched_victim_hosts, recorded.size());
+    EXPECT_LE(matched_other, 2u);
+}
+
+TEST(Quota, FreshAccountsAreClamped)
+{
+    eaao::setLogLevel(eaao::LogLevel::Silent);
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.profile.host_count = 330;
+    cfg.seed = 78;
+    faas::Platform p(cfg);
+    const auto fresh = p.createAccount(std::nullopt, 10);
+    const auto svc = p.deployService(fresh, faas::ExecEnv::Gen1);
+    const auto ids = p.connect(svc, 800);
+    EXPECT_EQ(ids.size(), 10u);
+
+    // Promotion lifts the cap.
+    p.setAccountQuota(fresh, 1000);
+    const auto more = p.connect(svc, 800);
+    EXPECT_EQ(more.size(), 800u);
+    eaao::setLogLevel(eaao::LogLevel::Warn);
+}
+
+TEST(Quota, EstablishedAccountsUnaffected)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.profile.host_count = 330;
+    cfg.seed = 79;
+    faas::Platform p(cfg);
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+    EXPECT_EQ(p.connect(svc, 800).size(), 800u);
+}
+
+} // namespace
+} // namespace eaao::core

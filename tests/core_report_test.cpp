@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the table renderer and formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace eaao::core {
+namespace {
+
+TEST(TextTable, AlignsColumnsByWidestCell)
+{
+    TextTable table;
+    table.header({"a", "long-header"});
+    table.row({"wide-cell", "x"});
+    const std::string out = table.str();
+    // Every line is padded to the same column starts.
+    const auto nl1 = out.find('\n');
+    const auto header_line = out.substr(0, nl1);
+    EXPECT_EQ(header_line.find("long-header"), 11u); // 9 + 2 spaces
+    EXPECT_NE(out.find("wide-cell  x"), std::string::npos);
+}
+
+TEST(TextTable, HeaderRuleMatchesWidth)
+{
+    TextTable table;
+    table.header({"ab", "cd"});
+    table.row({"1", "2"});
+    const std::string out = table.str();
+    EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsRenderEmptyCells)
+{
+    TextTable table;
+    table.header({"a", "b", "c"});
+    table.row({"only-one"});
+    EXPECT_NE(table.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, CsvBasic)
+{
+    TextTable table;
+    table.header({"x", "y"});
+    table.row({"1", "2"});
+    table.row({"3", "4"});
+    EXPECT_EQ(table.csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TextTable, CsvEscapesSpecials)
+{
+    TextTable table;
+    table.header({"name", "value"});
+    table.row({"a,b", "say \"hi\""});
+    EXPECT_EQ(table.csv(),
+              "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Format, PrintfSemantics)
+{
+    EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Percent, RendersFractions)
+{
+    EXPECT_EQ(percent(0.977), "97.7%");
+    EXPECT_EQ(percent(1.0, 0), "100%");
+    EXPECT_EQ(percent(0.0), "0.0%");
+}
+
+} // namespace
+} // namespace eaao::core

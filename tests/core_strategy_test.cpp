@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for launch strategies, campaigns and coverage measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/strategy.hpp"
+
+namespace eaao::core {
+namespace {
+
+faas::PlatformConfig
+eastConfig(std::uint64_t seed = 1)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(LaunchAndObserve, CollectsFingerprintsForEveryInstance)
+{
+    faas::Platform p(eastConfig());
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+    LaunchOptions opts;
+    opts.instances = 100;
+    const LaunchObservation obs = launchAndObserve(p, svc, opts);
+    EXPECT_EQ(obs.ids.size(), 100u);
+    EXPECT_EQ(obs.fp_keys.size(), 100u);
+    EXPECT_EQ(obs.readings.size(), 100u);
+    EXPECT_EQ(obs.class_keys.size(), 100u);
+    // ~100/10.7 hosts.
+    const auto apparent = obs.apparentHosts();
+    EXPECT_GE(apparent.size(), 8u);
+    EXPECT_LE(apparent.size(), 13u);
+    // Disconnected afterwards by default.
+    EXPECT_EQ(p.instanceInfo(obs.ids[0]).state,
+              faas::InstanceState::Idle);
+}
+
+TEST(LaunchAndObserve, Gen2UsesRefinedFrequencyKeys)
+{
+    faas::Platform p(eastConfig(2));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen2);
+    LaunchOptions opts;
+    opts.instances = 50;
+    const LaunchObservation obs = launchAndObserve(p, svc, opts);
+    EXPECT_TRUE(obs.readings.empty());
+    EXPECT_EQ(obs.fp_keys.size(), 50u);
+    // Gen 2 class keys equal the fingerprint keys.
+    EXPECT_EQ(obs.class_keys, obs.fp_keys);
+}
+
+TEST(PrimeService, FootprintGrowsAndSaturates)
+{
+    faas::Platform p(eastConfig(3));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+    PrimeOptions opts; // 6 launches, 10 min apart, 800 instances
+    const auto launches = primeService(p, svc, opts);
+    ASSERT_EQ(launches.size(), 6u);
+
+    const std::size_t first = launches.front().apparentHosts().size();
+    const std::size_t last = launches.back().apparentHosts().size();
+    EXPECT_NEAR(static_cast<double>(first), 75.0, 6.0);
+    EXPECT_GT(last, first * 2);
+
+    // Final launch stays connected.
+    EXPECT_EQ(p.instanceInfo(launches.back().ids[0]).state,
+              faas::InstanceState::Active);
+}
+
+TEST(OptimizedCampaign, OccupiesLargeFractionOfFleet)
+{
+    faas::Platform p(eastConfig(4));
+    const auto attacker = p.createAccount();
+    CampaignConfig cfg; // 6 services x 6 launches x 800
+    const CampaignResult result = runOptimizedCampaign(p, attacker, cfg);
+
+    EXPECT_EQ(result.services.size(), 6u);
+    EXPECT_EQ(result.final_instances.size(), 6u * 800u);
+    const double fraction =
+        static_cast<double>(result.occupied_hosts.size()) /
+        static_cast<double>(p.fleet().size());
+    EXPECT_GT(fraction, 0.45);
+    EXPECT_LT(fraction, 0.95);
+    EXPECT_GT(result.cost_usd, 5.0);
+    EXPECT_LT(result.cost_usd, 80.0);
+}
+
+TEST(NaiveCampaign, StaysInHomeShard)
+{
+    faas::Platform p(eastConfig(5));
+    const auto attacker = p.createAccount(0);
+    const CampaignResult result =
+        runNaiveCampaign(p, attacker, 6, 800);
+    EXPECT_EQ(result.final_instances.size(), 4800u);
+    for (const hw::HostId h : result.occupied_hosts)
+        EXPECT_EQ(p.fleet().shardOf(h), 0u);
+}
+
+TEST(Coverage, OracleCountsCoveredVictims)
+{
+    faas::Platform p(eastConfig(6));
+    const auto attacker = p.createAccount(0);
+    const auto victim = p.createAccount(1);
+
+    const CampaignResult attack = runOptimizedCampaign(
+        p, attacker, CampaignConfig{});
+
+    const auto vsvc = p.deployService(victim, faas::ExecEnv::Gen1);
+    const auto vids = p.connect(vsvc, 100);
+    const CoverageResult cov =
+        measureCoverageOracle(p, attack.occupied_hosts, vids);
+    EXPECT_EQ(cov.victim_instances, 100u);
+    EXPECT_GT(cov.coverage(), 0.8); // optimized attack covers well
+}
+
+TEST(Coverage, ChannelMeasurementAgreesWithOracle)
+{
+    faas::Platform p(eastConfig(7));
+    const auto attacker = p.createAccount(0);
+    const auto victim = p.createAccount(1);
+
+    CampaignConfig cfg;
+    cfg.services = 3; // keep the test fast
+    const CampaignResult attack = runOptimizedCampaign(p, attacker, cfg);
+
+    const auto vsvc = p.deployService(victim, faas::ExecEnv::Gen1);
+    LaunchOptions vopts;
+    vopts.instances = 60;
+    vopts.disconnect_after = false;
+    const LaunchObservation vobs = launchAndObserve(p, vsvc, vopts);
+
+    const CoverageResult oracle =
+        measureCoverageOracle(p, attack.occupied_hosts, vobs.ids);
+    channel::RngChannel chan(p);
+    const CoverageResult channel = measureCoverageViaChannel(
+        p, chan, attack, vobs.ids, vobs.fp_keys, vobs.class_keys);
+
+    EXPECT_EQ(channel.victim_instances, oracle.victim_instances);
+    EXPECT_NEAR(channel.coverage(), oracle.coverage(), 0.05);
+}
+
+TEST(Coverage, NaiveCrossShardIsZero)
+{
+    faas::Platform p(eastConfig(8));
+    const auto attacker = p.createAccount(0);
+    const auto victim = p.createAccount(2);
+    const CampaignResult attack = runNaiveCampaign(p, attacker, 6, 800);
+
+    const auto vsvc = p.deployService(victim, faas::ExecEnv::Gen1);
+    const auto vids = p.connect(vsvc, 100);
+    const CoverageResult cov =
+        measureCoverageOracle(p, attack.occupied_hosts, vids);
+    EXPECT_EQ(cov.covered_instances, 0u);
+}
+
+TEST(Coverage, NaiveSameShardIsHigh)
+{
+    faas::Platform p(eastConfig(9));
+    const auto attacker = p.createAccount(1);
+    const auto victim = p.createAccount(1);
+    const CampaignResult attack = runNaiveCampaign(p, attacker, 6, 800);
+
+    const auto vsvc = p.deployService(victim, faas::ExecEnv::Gen1);
+    const auto vids = p.connect(vsvc, 100);
+    const CoverageResult cov =
+        measureCoverageOracle(p, attack.occupied_hosts, vids);
+    EXPECT_GT(cov.coverage(), 0.7);
+}
+
+TEST(ExploreClusterSize, DiscoversMostOfTheFleetAndFlattens)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usWest1();
+    cfg.seed = 10;
+    faas::Platform p(cfg);
+    std::vector<faas::AccountId> accounts;
+    for (std::uint32_t shard = 0; shard < 2; ++shard)
+        accounts.push_back(p.createAccount(shard));
+
+    PrimeOptions prime;
+    prime.launch.instances = 400;
+    const ExplorationResult result =
+        exploreClusterSize(p, accounts, 3, 4, prime);
+
+    ASSERT_EQ(result.cumulative_unique.size(), 2u * 3u * 4u);
+    // Monotone non-decreasing with decreasing increments at the tail.
+    for (std::size_t i = 1; i < result.cumulative_unique.size(); ++i) {
+        EXPECT_GE(result.cumulative_unique[i],
+                  result.cumulative_unique[i - 1]);
+    }
+    const double fraction = static_cast<double>(result.total) /
+                            static_cast<double>(p.fleet().size());
+    EXPECT_GT(fraction, 0.6);
+    EXPECT_LE(result.total, p.fleet().size());
+}
+
+} // namespace
+} // namespace eaao::core

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Unit tests for placement policy: base hosts, spreading, helper hosts,
+ * hotness, shard behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "faas/platform.hpp"
+
+namespace eaao::faas {
+namespace {
+
+PlatformConfig
+eastConfig(std::uint64_t seed = 1)
+{
+    PlatformConfig cfg;
+    cfg.profile = DataCenterProfile::usEast1();
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::set<hw::HostId>
+hostsOf(const Platform &p, const std::vector<InstanceId> &ids)
+{
+    std::set<hw::HostId> hosts;
+    for (const InstanceId id : ids)
+        hosts.insert(p.oracleHostOf(id));
+    return hosts;
+}
+
+TEST(Orchestrator, ColdLaunchSpreadsNearUniformly)
+{
+    // Observation 1: 800 instances land on ~75 hosts, 10-11 each.
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount();
+    const ServiceId svc = p.deployService(acct, ExecEnv::Gen1);
+    const auto ids = p.connect(svc, 800);
+
+    std::map<hw::HostId, int> per_host;
+    for (const InstanceId id : ids)
+        ++per_host[p.oracleHostOf(id)];
+
+    EXPECT_NEAR(static_cast<double>(per_host.size()), 75.0, 4.0);
+    int majority = 0;
+    for (const auto &[host, count] : per_host) {
+        EXPECT_GE(count, 8);
+        EXPECT_LE(count, 13);
+        majority += (count == 10 || count == 11);
+    }
+    EXPECT_GT(majority, static_cast<int>(per_host.size() * 0.6));
+}
+
+TEST(Orchestrator, BaseHostsStayInHomeShard)
+{
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount(2);
+    const ServiceId svc = p.deployService(acct, ExecEnv::Gen1);
+    const auto ids = p.connect(svc, 400);
+    for (const InstanceId id : ids)
+        EXPECT_EQ(p.fleet().shardOf(p.oracleHostOf(id)), 2u);
+}
+
+TEST(Orchestrator, RepeatColdLaunchesReuseBaseHosts)
+{
+    // Observation 3: cold launches of the same account overlap heavily.
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount();
+    const ServiceId svc = p.deployService(acct, ExecEnv::Gen1);
+
+    const auto first = hostsOf(p, p.connect(svc, 800));
+    p.disconnectAll(svc);
+    p.advance(sim::Duration::minutes(45)); // cool down fully
+
+    const auto second = hostsOf(p, p.connect(svc, 800));
+    std::set<hw::HostId> overlap;
+    for (const hw::HostId h : second)
+        if (first.count(h))
+            overlap.insert(h);
+    EXPECT_GT(overlap.size(), first.size() * 9 / 10);
+}
+
+TEST(Orchestrator, DifferentServicesSameAccountShareBaseHosts)
+{
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount();
+    const ServiceId svc1 = p.deployService(acct, ExecEnv::Gen1);
+    const auto first = hostsOf(p, p.connect(svc1, 800));
+    p.disconnectAll(svc1);
+    p.advance(sim::Duration::minutes(45));
+
+    const ServiceId svc2 = p.deployService(acct, ExecEnv::Gen1);
+    const auto second = hostsOf(p, p.connect(svc2, 800));
+    std::size_t overlap = 0;
+    for (const hw::HostId h : second)
+        overlap += first.count(h);
+    EXPECT_GT(overlap, first.size() * 9 / 10);
+}
+
+TEST(Orchestrator, DifferentAccountsUseDifferentBaseHosts)
+{
+    // Observation 4 (accounts hash to different shards here).
+    Platform p(eastConfig());
+    const AccountId a1 = p.createAccount(0);
+    const AccountId a2 = p.createAccount(3);
+    const ServiceId s1 = p.deployService(a1, ExecEnv::Gen1);
+    const ServiceId s2 = p.deployService(a2, ExecEnv::Gen1);
+    const auto h1 = hostsOf(p, p.connect(s1, 800));
+    const auto h2 = hostsOf(p, p.connect(s2, 800));
+    for (const hw::HostId h : h2)
+        EXPECT_EQ(h1.count(h), 0u);
+}
+
+TEST(Orchestrator, HotServiceSpillsOntoHelperHosts)
+{
+    // Observation 5: repeated launches at short intervals expand the
+    // footprint beyond the base hosts.
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount();
+    const ServiceId svc = p.deployService(acct, ExecEnv::Gen1);
+
+    const auto base = hostsOf(p, p.connect(svc, 800));
+    p.disconnectAll(svc);
+
+    std::set<hw::HostId> cumulative = base;
+    std::size_t final_footprint = 0;
+    for (int launch = 1; launch < 6; ++launch) {
+        p.advance(sim::Duration::minutes(10));
+        const auto hosts = hostsOf(p, p.connect(svc, 800));
+        p.disconnectAll(svc);
+        cumulative.insert(hosts.begin(), hosts.end());
+        final_footprint = hosts.size();
+    }
+
+    // Footprint expands well beyond the ~75 base hosts and saturates
+    // around base + 3 * helper_chunk (~270 in us-east1).
+    EXPECT_GT(final_footprint, 150u);
+    EXPECT_GT(cumulative.size(), 220u);
+    EXPECT_LT(cumulative.size(), 320u);
+}
+
+TEST(Orchestrator, VeryShortIntervalAddsFewHelperHosts)
+{
+    // The 2-minute control of Experiment 4: almost no instances are
+    // reaped between launches, so almost no new placements happen.
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount();
+    const ServiceId svc = p.deployService(acct, ExecEnv::Gen1);
+
+    std::set<hw::HostId> cumulative = hostsOf(p, p.connect(svc, 800));
+    const std::size_t base_count = cumulative.size();
+    p.disconnectAll(svc);
+    for (int launch = 1; launch < 6; ++launch) {
+        p.advance(sim::Duration::minutes(2));
+        const auto hosts = hostsOf(p, p.connect(svc, 800));
+        p.disconnectAll(svc);
+        cumulative.insert(hosts.begin(), hosts.end());
+    }
+    EXPECT_LT(cumulative.size() - base_count, 40u);
+}
+
+TEST(Orchestrator, LongIntervalLaunchesStayCold)
+{
+    // Experiment 2: 45-minute gaps leave the demand window empty, so
+    // every launch lands on base hosts only.
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount();
+    const ServiceId svc = p.deployService(acct, ExecEnv::Gen1);
+
+    std::set<hw::HostId> cumulative;
+    for (int launch = 0; launch < 4; ++launch) {
+        const auto hosts = hostsOf(p, p.connect(svc, 800));
+        p.disconnectAll(svc);
+        cumulative.insert(hosts.begin(), hosts.end());
+        p.advance(sim::Duration::minutes(45));
+    }
+    EXPECT_LT(cumulative.size(), 100u);
+}
+
+TEST(Orchestrator, HelperSetsOfServicesOverlapButDiffer)
+{
+    // Observation 6.
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount();
+
+    auto helper_hosts_of = [&p, acct](ServiceId svc,
+                                      std::set<hw::HostId> &base_out) {
+        base_out = hostsOf(p, p.connect(svc, 800));
+        p.disconnectAll(svc);
+        std::set<hw::HostId> all = base_out;
+        for (int launch = 1; launch < 6; ++launch) {
+            p.advance(sim::Duration::minutes(10));
+            const auto hosts = hostsOf(p, p.connect(svc, 800));
+            p.disconnectAll(svc);
+            all.insert(hosts.begin(), hosts.end());
+        }
+        std::set<hw::HostId> helpers;
+        for (const hw::HostId h : all)
+            if (!base_out.count(h))
+                helpers.insert(h);
+        p.advance(sim::Duration::minutes(45)); // cool down
+        return helpers;
+    };
+
+    std::set<hw::HostId> base1, base2;
+    const ServiceId s1 = p.deployService(acct, ExecEnv::Gen1);
+    const auto helpers1 = helper_hosts_of(s1, base1);
+    const ServiceId s2 = p.deployService(acct, ExecEnv::Gen1);
+    const auto helpers2 = helper_hosts_of(s2, base2);
+
+    std::size_t overlap = 0;
+    for (const hw::HostId h : helpers2)
+        overlap += helpers1.count(h);
+    EXPECT_GT(overlap, 0u);                     // they overlap...
+    EXPECT_LT(overlap, helpers2.size());        // ...but differ
+    EXPECT_GT(helpers2.size() - overlap, 10u);  // meaningfully
+}
+
+TEST(Orchestrator, IdleTerminationFollowsObservedDecay)
+{
+    // Figure 6: hold for ~2 minutes, practically all gone by ~13 min.
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount();
+    const ServiceId svc = p.deployService(acct, ExecEnv::Gen1);
+    const auto ids = p.connect(svc, 800);
+    p.disconnectAll(svc);
+
+    auto idle_count = [&] {
+        int n = 0;
+        for (const InstanceId id : ids)
+            n += (p.instanceInfo(id).state == InstanceState::Idle);
+        return n;
+    };
+
+    p.advance(sim::Duration::seconds(110));
+    EXPECT_EQ(idle_count(), 800);
+    p.advance(sim::Duration::seconds(190)); // t = 5 min
+    const int at_5min = idle_count();
+    EXPECT_LT(at_5min, 700);
+    EXPECT_GT(at_5min, 100);
+    p.advance(sim::Duration::minutes(9)); // t = 14 min
+    EXPECT_LT(idle_count(), 8);
+    p.advance(sim::Duration::minutes(2)); // t = 16 min > idle_max
+    EXPECT_EQ(idle_count(), 0);
+}
+
+TEST(Orchestrator, NaiveBigLaunchPacksHomeShard)
+{
+    // Strategy 1: 4800 cold instances fit inside the home shard
+    // (packed more densely), never spilling across shards.
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount(1);
+    std::set<hw::HostId> hosts;
+    for (int s = 0; s < 6; ++s) {
+        const ServiceId svc = p.deployService(acct, ExecEnv::Gen1);
+        const auto ids = p.connect(svc, 800);
+        const auto h = hostsOf(p, ids);
+        hosts.insert(h.begin(), h.end());
+    }
+    for (const hw::HostId h : hosts)
+        EXPECT_EQ(p.fleet().shardOf(h), 1u);
+}
+
+TEST(Orchestrator, CentralProfileIsDynamicAcrossLaunches)
+{
+    PlatformConfig cfg;
+    cfg.profile = DataCenterProfile::usCentral1();
+    cfg.profile.host_count = 550; // shrink for test speed
+    cfg.seed = 5;
+    Platform p(cfg);
+    const AccountId acct = p.createAccount();
+    const ServiceId svc = p.deployService(acct, ExecEnv::Gen1);
+
+    const auto first = hostsOf(p, p.connect(svc, 400));
+    p.disconnectAll(svc);
+    p.advance(sim::Duration::minutes(45));
+    const auto second = hostsOf(p, p.connect(svc, 400));
+
+    std::size_t overlap = 0;
+    for (const hw::HostId h : second)
+        overlap += first.count(h);
+    // Dynamic placement: meaningful churn between cold launches.
+    EXPECT_LT(overlap, first.size());
+    EXPECT_GT(first.size() - overlap, 3u);
+}
+
+TEST(Orchestrator, Gen2SharesHostsWithGen1)
+{
+    Platform p(eastConfig());
+    const AccountId acct = p.createAccount();
+    const ServiceId g1 = p.deployService(acct, ExecEnv::Gen1);
+    const ServiceId g2 = p.deployService(acct, ExecEnv::Gen2);
+    const auto h1 = hostsOf(p, p.connect(g1, 300));
+    const auto h2 = hostsOf(p, p.connect(g2, 300));
+    std::size_t overlap = 0;
+    for (const hw::HostId h : h2)
+        overlap += h1.count(h);
+    EXPECT_GT(overlap, 0u);
+}
+
+} // namespace
+} // namespace eaao::faas

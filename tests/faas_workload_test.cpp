@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for request routing, autoscaling and workload generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "channel/activity.hpp"
+#include "faas/platform.hpp"
+#include "faas/workload.hpp"
+
+namespace eaao::faas {
+namespace {
+
+PlatformConfig
+smallConfig(std::uint64_t seed)
+{
+    PlatformConfig cfg;
+    cfg.profile = DataCenterProfile::usEast1();
+    cfg.profile.host_count = 330;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(RouteRequest, CreatesInstanceOnDemand)
+{
+    Platform p(smallConfig(1));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+    const InstanceId id = p.orchestrator().routeRequest(
+        svc, sim::Duration::millis(100));
+    EXPECT_EQ(p.instanceInfo(id).state, InstanceState::Active);
+    EXPECT_EQ(p.instanceInfo(id).in_flight, 1u);
+
+    // After completion the instance idles (releases its CPU).
+    p.advance(sim::Duration::millis(200));
+    EXPECT_EQ(p.instanceInfo(id).state, InstanceState::Idle);
+    EXPECT_EQ(p.instanceInfo(id).in_flight, 0u);
+}
+
+TEST(RouteRequest, HonorsConcurrencyLimitOfOne)
+{
+    Platform p(smallConfig(2));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+    // Two overlapping requests need two instances at concurrency 1.
+    const InstanceId a = p.orchestrator().routeRequest(
+        svc, sim::Duration::seconds(10));
+    const InstanceId b = p.orchestrator().routeRequest(
+        svc, sim::Duration::seconds(10));
+    EXPECT_NE(a, b);
+}
+
+TEST(RouteRequest, SharesInstanceAtHigherConcurrency)
+{
+    Platform p(smallConfig(3));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+    p.orchestrator().setMaxConcurrency(svc, 8);
+    std::set<InstanceId> used;
+    for (int i = 0; i < 8; ++i) {
+        used.insert(p.orchestrator().routeRequest(
+            svc, sim::Duration::seconds(10)));
+    }
+    EXPECT_EQ(used.size(), 1u);
+    used.insert(p.orchestrator().routeRequest(
+        svc, sim::Duration::seconds(10)));
+    EXPECT_EQ(used.size(), 2u);
+}
+
+TEST(RouteRequest, ReusesWarmInstanceBeforeCreating)
+{
+    Platform p(smallConfig(4));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+    const InstanceId first = p.orchestrator().routeRequest(
+        svc, sim::Duration::millis(100));
+    p.advance(sim::Duration::seconds(30)); // idle but within the hold
+    const InstanceId second = p.orchestrator().routeRequest(
+        svc, sim::Duration::millis(100));
+    EXPECT_EQ(first, second);
+}
+
+TEST(RouteRequest, ColdStartAfterReap)
+{
+    Platform p(smallConfig(5));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+    const InstanceId first = p.orchestrator().routeRequest(
+        svc, sim::Duration::millis(100));
+    p.advance(sim::Duration::minutes(20)); // reaped
+    EXPECT_EQ(p.instanceInfo(first).state, InstanceState::Terminated);
+    const InstanceId second = p.orchestrator().routeRequest(
+        svc, sim::Duration::millis(100));
+    EXPECT_NE(first, second);
+}
+
+TEST(DriveLoad, SteadyLoadScalesToLittleLaw)
+{
+    Platform p(smallConfig(6));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+
+    // 50 rps x 0.2 s => ~10 concurrently-busy instances (Little's law).
+    sim::Rng rng(99);
+    LoadSpec spec;
+    spec.rps = 50.0;
+    spec.mean_service_time = sim::Duration::millis(200);
+    spec.span = sim::Duration::minutes(4);
+    const WorkloadStats stats = driveLoad(p, svc, spec, rng);
+
+    EXPECT_NEAR(static_cast<double>(stats.requests), 50.0 * 240.0,
+                500.0);
+    EXPECT_GE(stats.peak_concurrent, 10u);
+    EXPECT_LE(stats.peak_concurrent, 40u);
+    // The instance pool stabilizes near the concurrency level, far
+    // below the request count.
+    EXPECT_LT(stats.instances_used.size(), 80u);
+    EXPECT_GE(stats.instances_used.size(), 10u);
+}
+
+TEST(DriveLoad, SurgeForcesScaleOut)
+{
+    Platform p(smallConfig(7));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+
+    sim::Rng rng(100);
+    LoadSpec low;
+    low.rps = 5.0;
+    low.span = sim::Duration::minutes(2);
+    const auto before = driveLoad(p, svc, low, rng);
+
+    LoadSpec surge;
+    surge.rps = 20.0;
+    surge.peak_rps = 400.0;
+    surge.mean_service_time = sim::Duration::millis(500);
+    surge.span = sim::Duration::minutes(3);
+    const auto during = driveLoad(p, svc, surge, rng);
+
+    EXPECT_GT(during.instances_used.size(),
+              before.instances_used.size() * 4);
+}
+
+TEST(DriveLoad, BillingOnlyWhileProcessing)
+{
+    Platform p(smallConfig(8));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+
+    sim::Rng rng(101);
+    LoadSpec spec;
+    spec.rps = 10.0;
+    spec.mean_service_time = sim::Duration::millis(100);
+    spec.span = sim::Duration::minutes(2);
+    driveLoad(p, svc, spec, rng);
+    p.advance(sim::Duration::minutes(20)); // all instances reaped
+
+    // Busy time ~ requests x 0.1 s plus startup billing; way below
+    // wall-clock x instances.
+    const double rate =
+        PricingModel{}.usdPerActiveSecond(sizes::kSmall);
+    const double spend = p.accountSpendUsd(acct);
+    EXPECT_GT(spend, 1200 * 0.04 * rate);
+    EXPECT_LT(spend, 1200 * 2.0 * rate);
+}
+
+TEST(FloodRequests, ForcesWideScaleOut)
+{
+    Platform p(smallConfig(9));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+    sim::Rng rng(102);
+    const WorkloadStats stats =
+        floodRequests(p, svc, 300, sim::Duration::seconds(30),
+                      sim::Duration::millis(10), rng);
+    EXPECT_EQ(stats.requests, 300u);
+    // 30 s service time vs 3 s flood: essentially all concurrent.
+    EXPECT_EQ(stats.instances_used.size(), 300u);
+}
+
+TEST(ActivityProbe, SeesCoLocatedExecution)
+{
+    Platform p(smallConfig(10));
+    const auto acct = p.createAccount();
+    const auto victim = p.deployService(acct, ExecEnv::Gen1);
+
+    // Place a victim instance, find its host, put a foothold there by
+    // launching until co-located (same account => same base hosts).
+    const InstanceId vict = p.orchestrator().routeRequest(
+        victim, sim::Duration::hours(2)); // long-running request
+    const hw::HostId host = p.oracleHostOf(vict);
+
+    const auto probe_svc = p.deployService(acct, ExecEnv::Gen1);
+    const auto probes = p.connect(probe_svc, 60);
+    InstanceId foothold = kNoInstance;
+    for (const auto id : probes) {
+        if (p.oracleHostOf(id) == host) {
+            foothold = id;
+            break;
+        }
+    }
+    ASSERT_NE(foothold, kNoInstance) << "no co-located probe";
+
+    channel::ActivityProbeConfig cfg;
+    cfg.background_rate = 0.0;
+    channel::ActivityProbe probe(p, foothold, cfg);
+
+    // Victim request executing: the probe reads busy almost always.
+    int busy = 0;
+    for (int i = 0; i < 50; ++i)
+        busy += probe.sample().busy;
+    EXPECT_GE(busy, 40);
+
+    // After the victim's request completes, the host goes quiet.
+    p.advance(sim::Duration::hours(3));
+    // (probe instances idled; re-check against a terminated victim)
+    if (p.instanceInfo(foothold).state !=
+        InstanceState::Terminated) {
+        int busy_after = 0;
+        for (int i = 0; i < 50; ++i)
+            busy_after += probe.sample().busy;
+        EXPECT_LE(busy_after, 5);
+    }
+}
+
+TEST(ActivityProbe, WatchProducesTimeline)
+{
+    Platform p(smallConfig(11));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, ExecEnv::Gen1);
+    const auto ids = p.connect(svc, 10);
+    channel::ActivityProbe probe(p, ids[0]);
+    const auto trace = probe.watch(sim::Duration::seconds(1),
+                                   sim::Duration::seconds(30));
+    EXPECT_EQ(trace.size(), 30u);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_GT(trace[i].when, trace[i - 1].when);
+}
+
+} // namespace
+} // namespace eaao::faas

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * End-to-end integration tests: fingerprint accuracy against covert-
+ * channel ground truth, expiration, and the full attack pipeline —
+ * miniature versions of the paper's headline experiments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/fingerprint.hpp"
+#include "core/strategy.hpp"
+#include "core/tracker.hpp"
+#include "core/verify.hpp"
+#include "stats/clustering.hpp"
+
+namespace eaao {
+namespace {
+
+faas::PlatformConfig
+config(const faas::DataCenterProfile &profile, std::uint64_t seed)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = profile;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(Integration, FingerprintAccuracySweetSpot)
+{
+    // Miniature Figure 4: with p_boot = 1 s, fingerprints should be
+    // near-perfect against the covert-channel ground truth; with huge
+    // or tiny p_boot they degrade on precision/recall respectively.
+    faas::Platform p(config(faas::DataCenterProfile::usEast1(), 21));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+
+    core::LaunchOptions opts;
+    opts.instances = 400;
+    opts.disconnect_after = false;
+    const core::LaunchObservation obs =
+        core::launchAndObserve(p, svc, opts);
+
+    channel::RngChannel chan(p);
+    const core::VerifyResult truth_clusters = core::verifyScalable(
+        p, chan, obs.ids, obs.fp_keys, obs.class_keys);
+
+    // The channel-derived ground truth must equal the oracle.
+    std::vector<std::uint64_t> oracle;
+    for (const auto id : obs.ids)
+        oracle.push_back(p.oracleHostOf(id));
+    const auto vs_oracle =
+        stats::comparePairs(truth_clusters.cluster_of, oracle);
+    EXPECT_EQ(vs_oracle.fp + vs_oracle.fn, 0u);
+
+    auto fmi_at = [&](double p_boot) {
+        std::vector<std::uint64_t> keys;
+        for (const auto &reading : obs.readings) {
+            keys.push_back(core::fingerprintKey(
+                core::quantizeGen1(reading, p_boot)));
+        }
+        return stats::comparePairs(keys, oracle);
+    };
+
+    const auto sweet = fmi_at(1.0);
+    EXPECT_GT(sweet.fmi(), 0.99);
+
+    const auto tiny = fmi_at(1e-4);
+    EXPECT_LT(tiny.recall(), 0.9);
+
+    const auto huge = fmi_at(1e5);
+    EXPECT_LT(huge.precision(), 0.9);
+}
+
+TEST(Integration, Gen2FingerprintsHaveNoFalseNegatives)
+{
+    faas::Platform p(config(faas::DataCenterProfile::usEast1(), 22));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen2);
+
+    core::LaunchOptions opts;
+    opts.instances = 400;
+    opts.disconnect_after = false;
+    const core::LaunchObservation obs =
+        core::launchAndObserve(p, svc, opts);
+
+    std::vector<std::uint64_t> oracle;
+    for (const auto id : obs.ids)
+        oracle.push_back(p.oracleHostOf(id));
+
+    const auto pc = stats::comparePairs(obs.fp_keys, oracle);
+    EXPECT_EQ(pc.fn, 0u);          // structurally impossible
+    EXPECT_LT(pc.precision(), 1.0); // collisions exist (paper: ~0.48)
+    EXPECT_GT(pc.precision(), 0.2);
+}
+
+TEST(Integration, ExpirationMatchesLabelErrorPrediction)
+{
+    // Track instances for two days and compare the estimated
+    // expiration against the analytic value p_boot * f / |eps|.
+    faas::Platform p(config(faas::DataCenterProfile::usEast1(), 23));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+    const auto ids = p.connect(svc, 5);
+
+    std::vector<core::FingerprintHistory> histories(ids.size());
+    for (int hour = 0; hour <= 48; ++hour) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            faas::SandboxView sbx = p.sandbox(ids[i]);
+            histories[i].add(p.now(),
+                             core::readGen1Median(sbx, 15).tboot_s);
+        }
+        p.advance(sim::Duration::hours(1));
+    }
+
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const auto &tsc = p.fleet().host(p.oracleHostOf(ids[i])).tsc();
+        const double eps = tsc.trueHz() - tsc.nominalHz();
+        const double drift_rate = eps / tsc.nominalHz();
+        const stats::LinearFit fit = histories[i].fitDrift();
+        // Slope of derived T_boot vs wall time = -eps/f_reported
+        // (Eq. 4.2 with our sign convention).
+        EXPECT_NEAR(fit.slope, -drift_rate,
+                    std::max(2e-8, std::fabs(drift_rate) * 0.05));
+    }
+}
+
+TEST(Integration, FullAttackPipeline)
+{
+    // Optimized campaign in us-west1, then covert-channel-verified
+    // coverage of a victim in the other shard: the paper's headline
+    // result (near-100% coverage in small DCs).
+    faas::Platform p(config(faas::DataCenterProfile::usWest1(), 24));
+    const auto attacker = p.createAccount(0);
+    const auto victim = p.createAccount(1);
+
+    core::CampaignConfig cfg;
+    cfg.services = 4;
+    const core::CampaignResult attack =
+        core::runOptimizedCampaign(p, attacker, cfg);
+
+    const auto vsvc = p.deployService(victim, faas::ExecEnv::Gen1);
+    core::LaunchOptions vopts;
+    vopts.instances = 100;
+    vopts.disconnect_after = false;
+    const core::LaunchObservation vobs =
+        core::launchAndObserve(p, vsvc, vopts);
+
+    channel::RngChannel chan(p);
+    const core::CoverageResult cov = core::measureCoverageViaChannel(
+        p, chan, attack, vobs.ids, vobs.fp_keys, vobs.class_keys);
+
+    EXPECT_GT(cov.coverage(), 0.9);
+    // At least one victim instance is co-located: attack succeeds.
+    EXPECT_GT(cov.covered_instances, 0u);
+}
+
+TEST(Integration, ApparentHostsApproximateTrueHosts)
+{
+    // Fingerprint-derived "apparent hosts" should track the oracle
+    // host count closely (Gen 1 fingerprints are near-perfect).
+    faas::Platform p(config(faas::DataCenterProfile::usEast1(), 25));
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+    core::LaunchOptions opts;
+    opts.instances = 800;
+    const core::LaunchObservation obs =
+        core::launchAndObserve(p, svc, opts);
+
+    std::set<hw::HostId> true_hosts;
+    for (const auto id : obs.ids)
+        true_hosts.insert(p.oracleHostOf(id));
+    const auto apparent = obs.apparentHosts();
+    EXPECT_NEAR(static_cast<double>(apparent.size()),
+                static_cast<double>(true_hosts.size()), 3.0);
+}
+
+} // namespace
+} // namespace eaao

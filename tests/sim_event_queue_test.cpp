@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace eaao::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(SimTime::fromNanos(300), [&] { order.push_back(3); });
+    eq.scheduleAt(SimTime::fromNanos(100), [&] { order.push_back(1); });
+    eq.scheduleAt(SimTime::fromNanos(200), [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), SimTime::fromNanos(300));
+}
+
+TEST(EventQueue, SameTimeIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        eq.scheduleAt(SimTime::fromNanos(100),
+                      [&order, i] { order.push_back(i); });
+    }
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    SimTime fired;
+    eq.scheduleAfter(Duration::seconds(5),
+                     [&] { fired = eq.now(); });
+    eq.run();
+    EXPECT_EQ(fired, SimTime() + Duration::seconds(5));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    const EventId id =
+        eq.scheduleAfter(Duration::seconds(1), [&] { ran = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id)); // second cancel is a no-op
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.scheduleAfter(Duration::seconds(1), [&] { ++count; });
+    eq.scheduleAfter(Duration::seconds(10), [&] { ++count; });
+    eq.runUntil(SimTime() + Duration::seconds(5));
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), SimTime() + Duration::seconds(5));
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, AdvanceMovesClockWithoutEvents)
+{
+    EventQueue eq;
+    eq.advance(Duration::minutes(30));
+    EXPECT_EQ(eq.now(), SimTime() + Duration::minutes(30));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    std::vector<std::int64_t> times;
+    std::function<void()> tick = [&] {
+        times.push_back(eq.now().ns());
+        if (times.size() < 3)
+            eq.scheduleAfter(Duration::seconds(10), tick);
+    };
+    eq.scheduleAfter(Duration::seconds(10), tick);
+    eq.run();
+    const std::int64_t s = Duration::seconds(10).ns();
+    EXPECT_EQ(times, (std::vector<std::int64_t>{s, 2 * s, 3 * s}));
+}
+
+TEST(EventQueue, PendingCountsUncancelled)
+{
+    EventQueue eq;
+    const EventId a = eq.scheduleAfter(Duration::seconds(1), [] {});
+    eq.scheduleAfter(Duration::seconds(2), [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, CancelInsideEventWorks)
+{
+    EventQueue eq;
+    bool second_ran = false;
+    EventId second =
+        eq.scheduleAfter(Duration::seconds(2), [&] { second_ran = true; });
+    eq.scheduleAfter(Duration::seconds(1), [&] { eq.cancel(second); });
+    eq.run();
+    EXPECT_FALSE(second_ran);
+}
+
+} // namespace
+} // namespace eaao::sim

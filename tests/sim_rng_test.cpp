@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/distributions.hpp"
+#include "sim/rng.hpp"
+
+namespace eaao::sim {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndOrderFree)
+{
+    Rng parent(7);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    Rng c1_again = parent.fork(1);
+    EXPECT_EQ(c1(), c1_again());
+    EXPECT_NE(c1(), c2());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias)
+{
+    Rng rng(4);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[rng.uniformInt(std::uint64_t{10})];
+    for (const int c : counts)
+        EXPECT_NEAR(c, 5000, 350);
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniformInt(std::int64_t{-3},
+                                              std::int64_t{3});
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(6);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(10.0, 2.0);
+        sum += x;
+        sum2 += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianMatches)
+{
+    Rng rng(7);
+    std::vector<double> xs;
+    for (int i = 0; i < 20001; ++i)
+        xs.push_back(rng.lognormal(std::log(800.0), 1.0));
+    std::sort(xs.begin(), xs.end());
+    EXPECT_NEAR(xs[10000], 800.0, 40.0);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(8);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(150.0);
+    EXPECT_NEAR(sum / n, 150.0, 3.0);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.bernoulli(0.008);
+    EXPECT_NEAR(hits, 800, 150);
+}
+
+TEST(Mix64, AvalanchesAndIsStable)
+{
+    EXPECT_EQ(mix64(123), mix64(123));
+    EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(ZipfWeights, NormalizedAndDecreasing)
+{
+    const auto w = zipfWeights(100, 0.8);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        sum += w[i];
+        if (i > 0) {
+            EXPECT_LT(w[i], w[i - 1]);
+        }
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfWeights, ZeroSkewIsUniform)
+{
+    const auto w = zipfWeights(10, 0.0);
+    for (const double x : w)
+        EXPECT_NEAR(x, 0.1, 1e-12);
+}
+
+TEST(AliasSampler, RespectsWeights)
+{
+    Rng rng(11);
+    const std::vector<double> weights = {1.0, 3.0, 6.0};
+    AliasSampler sampler(weights);
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[sampler.sample(rng)];
+    EXPECT_NEAR(counts[0], n * 0.1, 500);
+    EXPECT_NEAR(counts[1], n * 0.3, 800);
+    EXPECT_NEAR(counts[2], n * 0.6, 800);
+}
+
+TEST(WeightedSampleWithoutReplacement, DistinctAndSkewed)
+{
+    Rng rng(12);
+    std::vector<double> weights(50, 1.0);
+    weights[0] = 100.0;
+    int first_selected = 0;
+    for (int rep = 0; rep < 200; ++rep) {
+        const auto picks =
+            weightedSampleWithoutReplacement(rng, weights, 5);
+        EXPECT_EQ(picks.size(), 5u);
+        std::set<std::size_t> distinct(picks.begin(), picks.end());
+        EXPECT_EQ(distinct.size(), 5u);
+        for (const auto p : picks)
+            first_selected += (p == 0);
+    }
+    // Index 0 carries ~2/3 of the weight; it should almost always
+    // appear among 5 picks.
+    EXPECT_GT(first_selected, 180);
+}
+
+TEST(WeightedSampleWithoutReplacement, SkipsZeroWeights)
+{
+    Rng rng(13);
+    std::vector<double> weights = {0.0, 1.0, 0.0, 1.0};
+    for (int rep = 0; rep < 50; ++rep) {
+        const auto picks =
+            weightedSampleWithoutReplacement(rng, weights, 4);
+        EXPECT_EQ(picks.size(), 2u);
+        for (const auto p : picks)
+            EXPECT_TRUE(p == 1 || p == 3);
+    }
+}
+
+TEST(SignedLogNormalMixture, SignBalanceAndTail)
+{
+    Rng rng(14);
+    SignedLogNormalMixture mix;
+    int positive = 0, tail = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = mix.sample(rng);
+        positive += (v > 0);
+        tail += (std::fabs(v) > 10e3);
+    }
+    EXPECT_NEAR(positive, n / 2, 400);
+    // Tail fraction ~12%; values above 10 kHz come mostly from it.
+    EXPECT_GT(tail, n / 50);
+    EXPECT_LT(tail, n / 4);
+}
+
+TEST(Shuffle, PermutationPreservesElements)
+{
+    Rng rng(15);
+    std::vector<std::size_t> items = {0, 1, 2, 3, 4, 5, 6, 7};
+    auto copy = items;
+    shuffle(rng, copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, items);
+}
+
+} // namespace
+} // namespace eaao::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for virtual time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace eaao::sim {
+namespace {
+
+TEST(Duration, FactoryUnitsAgree)
+{
+    EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+    EXPECT_EQ(Duration::millis(1500).ns(), Duration::seconds(1).ns() +
+                                               Duration::millis(500).ns());
+    EXPECT_EQ(Duration::minutes(2), Duration::seconds(120));
+    EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+    EXPECT_EQ(Duration::days(1), Duration::hours(24));
+    EXPECT_EQ(Duration::micros(7).ns(), 7000);
+}
+
+TEST(Duration, FromSecondsFRoundTrips)
+{
+    const Duration d = Duration::fromSecondsF(1.5);
+    EXPECT_DOUBLE_EQ(d.secondsF(), 1.5);
+    const Duration tiny = Duration::fromSecondsF(3e-9);
+    EXPECT_EQ(tiny.ns(), 3);
+    const Duration negative = Duration::fromSecondsF(-2.25);
+    EXPECT_DOUBLE_EQ(negative.secondsF(), -2.25);
+}
+
+TEST(Duration, Arithmetic)
+{
+    const Duration a = Duration::seconds(10);
+    const Duration b = Duration::seconds(4);
+    EXPECT_EQ((a + b).ns(), Duration::seconds(14).ns());
+    EXPECT_EQ((a - b).ns(), Duration::seconds(6).ns());
+    EXPECT_EQ((-b).ns(), -Duration::seconds(4).ns());
+    EXPECT_EQ((b * 3), Duration::seconds(12));
+    EXPECT_EQ((a / 2), Duration::seconds(5));
+    EXPECT_EQ(Duration::seconds(-3).abs(), Duration::seconds(3));
+}
+
+TEST(Duration, Comparisons)
+{
+    EXPECT_LT(Duration::millis(999), Duration::seconds(1));
+    EXPECT_GT(Duration::minutes(1), Duration::seconds(59));
+    EXPECT_EQ(Duration::hours(2), Duration::minutes(120));
+}
+
+TEST(Duration, UnitViews)
+{
+    const Duration d = Duration::minutes(90);
+    EXPECT_DOUBLE_EQ(d.minutesF(), 90.0);
+    EXPECT_DOUBLE_EQ(d.hoursF(), 1.5);
+    EXPECT_DOUBLE_EQ(Duration::days(2).daysF(), 2.0);
+}
+
+TEST(Duration, HumanRendering)
+{
+    EXPECT_EQ(Duration::seconds(90).str(), "90.00 s");
+    EXPECT_EQ(Duration::minutes(10).str(), "10.0 min");
+    EXPECT_EQ(Duration::days(3).str(), "3.0 d");
+    EXPECT_EQ(Duration::micros(2).str(), "2.00 us");
+}
+
+TEST(SimTime, EpochAndOffsets)
+{
+    const SimTime t0;
+    EXPECT_EQ(t0.ns(), 0);
+    const SimTime t1 = t0 + Duration::seconds(100);
+    EXPECT_EQ((t1 - t0), Duration::seconds(100));
+    EXPECT_EQ((t1 - Duration::seconds(40)).ns(),
+              Duration::seconds(60).ns());
+    EXPECT_LT(t0, t1);
+}
+
+TEST(SimTime, FractionalSeconds)
+{
+    const SimTime t = SimTime::fromSecondsF(12.25);
+    EXPECT_DOUBLE_EQ(t.secondsF(), 12.25);
+}
+
+TEST(SimTime, NegativeInstantsAllowed)
+{
+    // Hosts boot before the simulation epoch.
+    const SimTime before = SimTime() - Duration::days(30);
+    EXPECT_LT(before, SimTime());
+    EXPECT_DOUBLE_EQ(before.secondsF(), -30.0 * 86400.0);
+}
+
+} // namespace
+} // namespace eaao::sim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the goodness-of-fit machinery, plus rigorous distribution
+ * checks of the simulator's samplers and platform behaviours built on
+ * top of it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "faas/platform.hpp"
+#include "sim/rng.hpp"
+#include "stats/hypothesis.hpp"
+
+namespace eaao::stats {
+namespace {
+
+TEST(KsTest, AcceptsMatchingDistribution)
+{
+    sim::Rng rng(1);
+    std::vector<double> sample;
+    for (int i = 0; i < 2000; ++i)
+        sample.push_back(rng.normal(5.0, 2.0));
+    const GofResult result = ksTest(
+        sample, [](double x) { return normalCdf(x, 5.0, 2.0); });
+    EXPECT_FALSE(result.reject());
+}
+
+TEST(KsTest, RejectsWrongDistribution)
+{
+    sim::Rng rng(2);
+    std::vector<double> sample;
+    for (int i = 0; i < 2000; ++i)
+        sample.push_back(rng.exponential(1.0));
+    const GofResult result = ksTest(
+        sample, [](double x) { return normalCdf(x, 1.0, 1.0); });
+    EXPECT_TRUE(result.reject());
+    EXPECT_GT(result.statistic, 0.05);
+}
+
+TEST(KsTest, RejectsShiftedMean)
+{
+    sim::Rng rng(3);
+    std::vector<double> sample;
+    for (int i = 0; i < 5000; ++i)
+        sample.push_back(rng.normal(0.1, 1.0));
+    const GofResult result =
+        ksTest(sample, [](double x) { return normalCdf(x); });
+    EXPECT_TRUE(result.reject());
+}
+
+TEST(ChiSquare, AcceptsUniformCounts)
+{
+    sim::Rng rng(4);
+    std::vector<double> observed(10, 0.0);
+    for (int i = 0; i < 10000; ++i)
+        observed[rng.uniformInt(std::uint64_t{10})] += 1.0;
+    const std::vector<double> expected(10, 1000.0);
+    EXPECT_FALSE(chiSquareTest(observed, expected).reject());
+}
+
+TEST(ChiSquare, RejectsSkewedCounts)
+{
+    const std::vector<double> observed = {1500, 900, 900, 900, 900,
+                                          900,  900, 900, 900, 1300};
+    const std::vector<double> expected(10, 1000.0);
+    EXPECT_TRUE(chiSquareTest(observed, expected).reject());
+}
+
+TEST(GammaQ, KnownValues)
+{
+    // Q(0.5, x) = erfc(sqrt(x)).
+    for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+        EXPECT_NEAR(upperIncompleteGammaQ(0.5, x),
+                    std::erfc(std::sqrt(x)), 1e-9);
+    }
+    // Q(1, x) = exp(-x).
+    for (const double x : {0.2, 1.0, 3.0})
+        EXPECT_NEAR(upperIncompleteGammaQ(1.0, x), std::exp(-x), 1e-9);
+    EXPECT_DOUBLE_EQ(upperIncompleteGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(Cdfs, BasicShapes)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.96), 0.975, 1e-3);
+    EXPECT_DOUBLE_EQ(exponentialCdf(-1.0, 2.0), 0.0);
+    EXPECT_NEAR(exponentialCdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Sampler validation: the simulator's own distributions pass the tests
+// they claim to implement.
+// ---------------------------------------------------------------------
+
+TEST(SamplerValidation, ExponentialSamplerIsExponential)
+{
+    sim::Rng rng(5);
+    std::vector<double> sample;
+    for (int i = 0; i < 3000; ++i)
+        sample.push_back(rng.exponential(150.0));
+    const GofResult result = ksTest(
+        sample, [](double x) { return exponentialCdf(x, 150.0); });
+    EXPECT_FALSE(result.reject());
+}
+
+TEST(SamplerValidation, LognormalSamplerMatchesOnLogScale)
+{
+    sim::Rng rng(6);
+    std::vector<double> logs;
+    for (int i = 0; i < 3000; ++i)
+        logs.push_back(std::log(rng.lognormal(std::log(800.0), 1.0)));
+    const GofResult result = ksTest(logs, [](double x) {
+        return normalCdf(x, std::log(800.0), 1.0);
+    });
+    EXPECT_FALSE(result.reject());
+}
+
+TEST(SamplerValidation, UniformIntIsUnbiased)
+{
+    sim::Rng rng(7);
+    std::vector<double> observed(16, 0.0);
+    for (int i = 0; i < 32000; ++i)
+        observed[rng.uniformInt(std::uint64_t{16})] += 1.0;
+    const std::vector<double> expected(16, 2000.0);
+    EXPECT_FALSE(chiSquareTest(observed, expected).reject());
+}
+
+TEST(SamplerValidation, IdleReapDelayIsShiftedExponential)
+{
+    // The platform's reap delays should follow hold + Exp(mean),
+    // truncated at idle_max — checked on the untruncated region.
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = 8;
+    faas::Platform p(cfg);
+    const auto acct = p.createAccount();
+    const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+    const auto ids = p.connect(svc, 800);
+    const sim::SimTime disconnect_at = p.now();
+    p.disconnectAll(svc);
+    p.advance(sim::Duration::minutes(16));
+
+    std::vector<double> tails;
+    const double hold_s =
+        p.orchestrator().config().idle_hold.secondsF();
+    for (const auto id : ids) {
+        const auto when = p.terminatedAt(id);
+        ASSERT_TRUE(when.has_value());
+        const double tail =
+            (*when - disconnect_at).secondsF() - hold_s;
+        if (tail < 600.0) // below the truncation region
+            tails.push_back(tail);
+    }
+    ASSERT_GT(tails.size(), 700u);
+    const double mean = p.orchestrator().config().idle_reap_mean_s;
+    // Compare against the exponential CDF conditioned on < 600 s.
+    const double trunc = exponentialCdf(600.0, mean);
+    const GofResult result =
+        ksTest(tails, [mean, trunc](double x) {
+            return exponentialCdf(x, mean) / trunc;
+        });
+    EXPECT_FALSE(result.reject(0.001));
+}
+
+} // namespace
+} // namespace eaao::stats

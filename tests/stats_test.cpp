@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for statistics: summaries, regression, clustering metrics,
+ * CDFs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/cdf.hpp"
+#include "stats/clustering.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+namespace eaao::stats {
+namespace {
+
+TEST(OnlineStats, MeanVarianceExtrema)
+{
+    OnlineStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyAndSingle)
+{
+    OnlineStats s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential)
+{
+    OnlineStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        all.add(x);
+        (i < 40 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Percentile, InterpolatesOrderStatistics)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(VectorHelpers, MeanAndStddev)
+{
+    const std::vector<double> xs = {2.0, 4.0, 6.0};
+    EXPECT_DOUBLE_EQ(meanOf(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddevOf(xs), 2.0);
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddevOf({1.0}), 0.0);
+}
+
+TEST(LinearRegression, RecoversExactLine)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back(i);
+        y.push_back(3.0 * i - 7.0);
+    }
+    const LinearFit fit = linearRegression(x, y);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, -7.0, 1e-10);
+    EXPECT_NEAR(fit.r_value, 1.0, 1e-12);
+    EXPECT_NEAR(fit.at(100.0), 293.0, 1e-9);
+}
+
+TEST(LinearRegression, NegativeSlopeNegativeR)
+{
+    const std::vector<double> x = {0, 1, 2, 3};
+    const std::vector<double> y = {10, 8, 6, 4};
+    const LinearFit fit = linearRegression(x, y);
+    EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+    EXPECT_NEAR(fit.r_value, -1.0, 1e-12);
+}
+
+TEST(LinearRegression, FlatSeriesIsPerfectlyExplained)
+{
+    const std::vector<double> x = {0, 1, 2};
+    const std::vector<double> y = {5, 5, 5};
+    const LinearFit fit = linearRegression(x, y);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.r_value, 1.0);
+}
+
+TEST(LinearRegression, NoisyLineHighR)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 100; ++i) {
+        x.push_back(i);
+        y.push_back(0.5 * i + ((i % 2) ? 0.01 : -0.01));
+    }
+    const LinearFit fit = linearRegression(x, y);
+    EXPECT_NEAR(fit.slope, 0.5, 1e-4);
+    EXPECT_GT(std::fabs(fit.r_value), 0.9997);
+}
+
+TEST(PairConfusion, PerfectClusteringScoresOne)
+{
+    const std::vector<std::uint64_t> truth = {1, 1, 2, 2, 3};
+    const PairConfusion pc = comparePairs(truth, truth);
+    EXPECT_EQ(pc.fp, 0u);
+    EXPECT_EQ(pc.fn, 0u);
+    EXPECT_DOUBLE_EQ(pc.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(pc.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(pc.fmi(), 1.0);
+}
+
+TEST(PairConfusion, KnownCounts)
+{
+    // predicted: {a,b} {c,d}; truth: {a,b,c} {d}
+    const std::vector<std::uint64_t> pred = {0, 0, 1, 1};
+    const std::vector<std::uint64_t> truth = {7, 7, 7, 9};
+    const PairConfusion pc = comparePairs(pred, truth);
+    // pairs: ab(TP), cd(FP pred-same/truth-diff), ac,bc(FN), ad,bd(TN)
+    EXPECT_EQ(pc.tp, 1u);
+    EXPECT_EQ(pc.fp, 1u);
+    EXPECT_EQ(pc.fn, 2u);
+    EXPECT_EQ(pc.tn, 2u);
+    EXPECT_DOUBLE_EQ(pc.precision(), 0.5);
+    EXPECT_NEAR(pc.recall(), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(pc.fmi(), std::sqrt(0.5 / 3.0), 1e-12);
+}
+
+TEST(PairConfusion, AllSingletonsHasNoPositives)
+{
+    const std::vector<std::uint64_t> pred = {0, 1, 2, 3};
+    const std::vector<std::uint64_t> truth = {5, 6, 7, 8};
+    const PairConfusion pc = comparePairs(pred, truth);
+    EXPECT_EQ(pc.tp + pc.fp + pc.fn, 0u);
+    EXPECT_EQ(pc.tn, 6u);
+    EXPECT_DOUBLE_EQ(pc.fmi(), 1.0); // vacuous perfection
+}
+
+TEST(PairConfusion, TotalsSumToAllPairs)
+{
+    const std::vector<std::uint64_t> pred = {0, 0, 1, 1, 2, 0};
+    const std::vector<std::uint64_t> truth = {3, 4, 3, 4, 3, 3};
+    const PairConfusion pc = comparePairs(pred, truth);
+    EXPECT_EQ(pc.tp + pc.fp + pc.fn + pc.tn, 15u); // C(6,2)
+}
+
+TEST(ClusterSizeHistogram, CountsClusterSizes)
+{
+    const std::vector<std::uint64_t> labels = {1, 1, 1, 2, 2, 3};
+    const auto hist = clusterSizeHistogram(labels);
+    ASSERT_EQ(hist.size(), 4u);
+    EXPECT_EQ(hist[1], 1u); // one singleton
+    EXPECT_EQ(hist[2], 1u); // one pair
+    EXPECT_EQ(hist[3], 1u); // one triple
+    EXPECT_EQ(distinctCount(labels), 3u);
+}
+
+TEST(EmpiricalCdf, EvaluatesAndInverts)
+{
+    EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.5);
+    EXPECT_DOUBLE_EQ(cdf.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.maxValue(), 4.0);
+}
+
+TEST(EmpiricalCdf, SeriesIsMonotone)
+{
+    EmpiricalCdf cdf({5.0, 1.0, 3.0, 2.0, 4.0});
+    const auto series = cdf.series(0.0, 6.0, 13);
+    ASSERT_EQ(series.size(), 13u);
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_GE(series[i].second, series[i - 1].second);
+    EXPECT_DOUBLE_EQ(series.front().second, 0.0);
+    EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Histogram, BinsAndClamps)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0); // clamps into bin 0
+    h.add(0.5);
+    h.add(9.9);
+    h.add(25.0); // clamps into last bin
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+} // namespace
+} // namespace eaao::stats
