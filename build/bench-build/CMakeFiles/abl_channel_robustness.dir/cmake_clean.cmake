@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_channel_robustness"
+  "../bench/abl_channel_robustness.pdb"
+  "CMakeFiles/abl_channel_robustness.dir/abl_channel_robustness.cpp.o"
+  "CMakeFiles/abl_channel_robustness.dir/abl_channel_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_channel_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_detection_evasion"
+  "../bench/abl_detection_evasion.pdb"
+  "CMakeFiles/abl_detection_evasion.dir/abl_detection_evasion.cpp.o"
+  "CMakeFiles/abl_detection_evasion.dir/abl_detection_evasion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_detection_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_pboot_tradeoff"
+  "../bench/abl_pboot_tradeoff.pdb"
+  "CMakeFiles/abl_pboot_tradeoff.dir/abl_pboot_tradeoff.cpp.o"
+  "CMakeFiles/abl_pboot_tradeoff.dir/abl_pboot_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pboot_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

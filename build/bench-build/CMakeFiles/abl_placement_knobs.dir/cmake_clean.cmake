@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_placement_knobs"
+  "../bench/abl_placement_knobs.pdb"
+  "CMakeFiles/abl_placement_knobs.dir/abl_placement_knobs.cpp.o"
+  "CMakeFiles/abl_placement_knobs.dir/abl_placement_knobs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_placement_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

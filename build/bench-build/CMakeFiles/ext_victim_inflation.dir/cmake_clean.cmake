@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_victim_inflation"
+  "../bench/ext_victim_inflation.pdb"
+  "CMakeFiles/ext_victim_inflation.dir/ext_victim_inflation.cpp.o"
+  "CMakeFiles/ext_victim_inflation.dir/ext_victim_inflation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_victim_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_fingerprint_accuracy"
+  "../bench/fig04_fingerprint_accuracy.pdb"
+  "CMakeFiles/fig04_fingerprint_accuracy.dir/fig04_fingerprint_accuracy.cpp.o"
+  "CMakeFiles/fig04_fingerprint_accuracy.dir/fig04_fingerprint_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fingerprint_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_expiration_cdf"
+  "../bench/fig05_expiration_cdf.pdb"
+  "CMakeFiles/fig05_expiration_cdf.dir/fig05_expiration_cdf.cpp.o"
+  "CMakeFiles/fig05_expiration_cdf.dir/fig05_expiration_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_expiration_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_idle_termination"
+  "../bench/fig06_idle_termination.pdb"
+  "CMakeFiles/fig06_idle_termination.dir/fig06_idle_termination.cpp.o"
+  "CMakeFiles/fig06_idle_termination.dir/fig06_idle_termination.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_idle_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_exp2_same_service"
+  "../bench/fig07_exp2_same_service.pdb"
+  "CMakeFiles/fig07_exp2_same_service.dir/fig07_exp2_same_service.cpp.o"
+  "CMakeFiles/fig07_exp2_same_service.dir/fig07_exp2_same_service.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_exp2_same_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_exp3_accounts"
+  "../bench/fig08_exp3_accounts.pdb"
+  "CMakeFiles/fig08_exp3_accounts.dir/fig08_exp3_accounts.cpp.o"
+  "CMakeFiles/fig08_exp3_accounts.dir/fig08_exp3_accounts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_exp3_accounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

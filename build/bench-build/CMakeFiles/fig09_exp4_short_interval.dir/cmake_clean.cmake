@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_exp4_short_interval"
+  "../bench/fig09_exp4_short_interval.pdb"
+  "CMakeFiles/fig09_exp4_short_interval.dir/fig09_exp4_short_interval.cpp.o"
+  "CMakeFiles/fig09_exp4_short_interval.dir/fig09_exp4_short_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_exp4_short_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_exp4_short_interval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_exp4_short_interval.
+# This may be replaced when dependencies are built.

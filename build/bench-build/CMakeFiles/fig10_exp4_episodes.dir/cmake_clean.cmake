@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_exp4_episodes"
+  "../bench/fig10_exp4_episodes.pdb"
+  "CMakeFiles/fig10_exp4_episodes.dir/fig10_exp4_episodes.cpp.o"
+  "CMakeFiles/fig10_exp4_episodes.dir/fig10_exp4_episodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_exp4_episodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_victim_coverage"
+  "../bench/fig11_victim_coverage.pdb"
+  "CMakeFiles/fig11_victim_coverage.dir/fig11_victim_coverage.cpp.o"
+  "CMakeFiles/fig11_victim_coverage.dir/fig11_victim_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_victim_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

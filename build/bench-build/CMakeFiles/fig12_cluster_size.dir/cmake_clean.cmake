@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_cluster_size"
+  "../bench/fig12_cluster_size.pdb"
+  "CMakeFiles/fig12_cluster_size.dir/fig12_cluster_size.cpp.o"
+  "CMakeFiles/fig12_cluster_size.dir/fig12_cluster_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cluster_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

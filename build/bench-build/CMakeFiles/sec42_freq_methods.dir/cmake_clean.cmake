@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec42_freq_methods"
+  "../bench/sec42_freq_methods.pdb"
+  "CMakeFiles/sec42_freq_methods.dir/sec42_freq_methods.cpp.o"
+  "CMakeFiles/sec42_freq_methods.dir/sec42_freq_methods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_freq_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

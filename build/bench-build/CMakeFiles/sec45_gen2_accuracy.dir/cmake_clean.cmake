@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec45_gen2_accuracy"
+  "../bench/sec45_gen2_accuracy.pdb"
+  "CMakeFiles/sec45_gen2_accuracy.dir/sec45_gen2_accuracy.cpp.o"
+  "CMakeFiles/sec45_gen2_accuracy.dir/sec45_gen2_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec45_gen2_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec52_account_scaling"
+  "../bench/sec52_account_scaling.pdb"
+  "CMakeFiles/sec52_account_scaling.dir/sec52_account_scaling.cpp.o"
+  "CMakeFiles/sec52_account_scaling.dir/sec52_account_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_account_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

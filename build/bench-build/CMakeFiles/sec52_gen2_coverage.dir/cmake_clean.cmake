@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec52_gen2_coverage"
+  "../bench/sec52_gen2_coverage.pdb"
+  "CMakeFiles/sec52_gen2_coverage.dir/sec52_gen2_coverage.cpp.o"
+  "CMakeFiles/sec52_gen2_coverage.dir/sec52_gen2_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_gen2_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

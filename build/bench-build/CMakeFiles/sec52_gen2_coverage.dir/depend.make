@@ -1,0 +1,2 @@
+# Empty dependencies file for sec52_gen2_coverage.
+# This may be replaced when dependencies are built.

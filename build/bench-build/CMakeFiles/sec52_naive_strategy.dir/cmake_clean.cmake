@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec52_naive_strategy"
+  "../bench/sec52_naive_strategy.pdb"
+  "CMakeFiles/sec52_naive_strategy.dir/sec52_naive_strategy.cpp.o"
+  "CMakeFiles/sec52_naive_strategy.dir/sec52_naive_strategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_naive_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

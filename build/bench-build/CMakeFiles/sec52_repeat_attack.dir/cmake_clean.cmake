@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec52_repeat_attack"
+  "../bench/sec52_repeat_attack.pdb"
+  "CMakeFiles/sec52_repeat_attack.dir/sec52_repeat_attack.cpp.o"
+  "CMakeFiles/sec52_repeat_attack.dir/sec52_repeat_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_repeat_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

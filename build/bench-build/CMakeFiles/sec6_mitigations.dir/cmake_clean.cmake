@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec6_mitigations"
+  "../bench/sec6_mitigations.pdb"
+  "CMakeFiles/sec6_mitigations.dir/sec6_mitigations.cpp.o"
+  "CMakeFiles/sec6_mitigations.dir/sec6_mitigations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_verification_cost"
+  "../bench/tab_verification_cost.pdb"
+  "CMakeFiles/tab_verification_cost.dir/tab_verification_cost.cpp.o"
+  "CMakeFiles/tab_verification_cost.dir/tab_verification_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_verification_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

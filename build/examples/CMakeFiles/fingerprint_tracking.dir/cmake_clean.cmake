@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fingerprint_tracking.dir/fingerprint_tracking.cpp.o"
+  "CMakeFiles/fingerprint_tracking.dir/fingerprint_tracking.cpp.o.d"
+  "fingerprint_tracking"
+  "fingerprint_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fingerprint_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

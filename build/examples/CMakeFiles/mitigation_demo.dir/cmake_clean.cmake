@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_demo.dir/mitigation_demo.cpp.o"
+  "CMakeFiles/mitigation_demo.dir/mitigation_demo.cpp.o.d"
+  "mitigation_demo"
+  "mitigation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eaao_channel.dir/activity.cpp.o"
+  "CMakeFiles/eaao_channel.dir/activity.cpp.o.d"
+  "CMakeFiles/eaao_channel.dir/covert.cpp.o"
+  "CMakeFiles/eaao_channel.dir/covert.cpp.o.d"
+  "libeaao_channel.a"
+  "libeaao_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eaao_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fingerprint.cpp" "src/core/CMakeFiles/eaao_core.dir/fingerprint.cpp.o" "gcc" "src/core/CMakeFiles/eaao_core.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/core/freq_estimator.cpp" "src/core/CMakeFiles/eaao_core.dir/freq_estimator.cpp.o" "gcc" "src/core/CMakeFiles/eaao_core.dir/freq_estimator.cpp.o.d"
+  "/root/repo/src/core/host_registry.cpp" "src/core/CMakeFiles/eaao_core.dir/host_registry.cpp.o" "gcc" "src/core/CMakeFiles/eaao_core.dir/host_registry.cpp.o.d"
+  "/root/repo/src/core/repeat_attack.cpp" "src/core/CMakeFiles/eaao_core.dir/repeat_attack.cpp.o" "gcc" "src/core/CMakeFiles/eaao_core.dir/repeat_attack.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/eaao_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/eaao_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/eaao_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/eaao_core.dir/strategy.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/eaao_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/eaao_core.dir/tracker.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/eaao_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/eaao_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/eaao_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/eaao_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eaao_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eaao_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eaao_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/eaao_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eaao_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

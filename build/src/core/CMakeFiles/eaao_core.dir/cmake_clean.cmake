@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eaao_core.dir/fingerprint.cpp.o"
+  "CMakeFiles/eaao_core.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/eaao_core.dir/freq_estimator.cpp.o"
+  "CMakeFiles/eaao_core.dir/freq_estimator.cpp.o.d"
+  "CMakeFiles/eaao_core.dir/host_registry.cpp.o"
+  "CMakeFiles/eaao_core.dir/host_registry.cpp.o.d"
+  "CMakeFiles/eaao_core.dir/repeat_attack.cpp.o"
+  "CMakeFiles/eaao_core.dir/repeat_attack.cpp.o.d"
+  "CMakeFiles/eaao_core.dir/report.cpp.o"
+  "CMakeFiles/eaao_core.dir/report.cpp.o.d"
+  "CMakeFiles/eaao_core.dir/strategy.cpp.o"
+  "CMakeFiles/eaao_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/eaao_core.dir/tracker.cpp.o"
+  "CMakeFiles/eaao_core.dir/tracker.cpp.o.d"
+  "CMakeFiles/eaao_core.dir/verify.cpp.o"
+  "CMakeFiles/eaao_core.dir/verify.cpp.o.d"
+  "libeaao_core.a"
+  "libeaao_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eaao_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eaao_defense.dir/detector.cpp.o"
+  "CMakeFiles/eaao_defense.dir/detector.cpp.o.d"
+  "CMakeFiles/eaao_defense.dir/tsc_defense.cpp.o"
+  "CMakeFiles/eaao_defense.dir/tsc_defense.cpp.o.d"
+  "libeaao_defense.a"
+  "libeaao_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eaao_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeaao_defense.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faas/fleet.cpp" "src/faas/CMakeFiles/eaao_faas.dir/fleet.cpp.o" "gcc" "src/faas/CMakeFiles/eaao_faas.dir/fleet.cpp.o.d"
+  "/root/repo/src/faas/orchestrator.cpp" "src/faas/CMakeFiles/eaao_faas.dir/orchestrator.cpp.o" "gcc" "src/faas/CMakeFiles/eaao_faas.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/faas/platform.cpp" "src/faas/CMakeFiles/eaao_faas.dir/platform.cpp.o" "gcc" "src/faas/CMakeFiles/eaao_faas.dir/platform.cpp.o.d"
+  "/root/repo/src/faas/sandbox.cpp" "src/faas/CMakeFiles/eaao_faas.dir/sandbox.cpp.o" "gcc" "src/faas/CMakeFiles/eaao_faas.dir/sandbox.cpp.o.d"
+  "/root/repo/src/faas/trace.cpp" "src/faas/CMakeFiles/eaao_faas.dir/trace.cpp.o" "gcc" "src/faas/CMakeFiles/eaao_faas.dir/trace.cpp.o.d"
+  "/root/repo/src/faas/types.cpp" "src/faas/CMakeFiles/eaao_faas.dir/types.cpp.o" "gcc" "src/faas/CMakeFiles/eaao_faas.dir/types.cpp.o.d"
+  "/root/repo/src/faas/workload.cpp" "src/faas/CMakeFiles/eaao_faas.dir/workload.cpp.o" "gcc" "src/faas/CMakeFiles/eaao_faas.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/defense/CMakeFiles/eaao_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eaao_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eaao_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eaao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

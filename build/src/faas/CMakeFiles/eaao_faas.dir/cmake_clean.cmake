@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eaao_faas.dir/fleet.cpp.o"
+  "CMakeFiles/eaao_faas.dir/fleet.cpp.o.d"
+  "CMakeFiles/eaao_faas.dir/orchestrator.cpp.o"
+  "CMakeFiles/eaao_faas.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/eaao_faas.dir/platform.cpp.o"
+  "CMakeFiles/eaao_faas.dir/platform.cpp.o.d"
+  "CMakeFiles/eaao_faas.dir/sandbox.cpp.o"
+  "CMakeFiles/eaao_faas.dir/sandbox.cpp.o.d"
+  "CMakeFiles/eaao_faas.dir/trace.cpp.o"
+  "CMakeFiles/eaao_faas.dir/trace.cpp.o.d"
+  "CMakeFiles/eaao_faas.dir/types.cpp.o"
+  "CMakeFiles/eaao_faas.dir/types.cpp.o.d"
+  "CMakeFiles/eaao_faas.dir/workload.cpp.o"
+  "CMakeFiles/eaao_faas.dir/workload.cpp.o.d"
+  "libeaao_faas.a"
+  "libeaao_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eaao_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

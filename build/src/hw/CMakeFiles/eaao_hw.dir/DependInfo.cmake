@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu_sku.cpp" "src/hw/CMakeFiles/eaao_hw.dir/cpu_sku.cpp.o" "gcc" "src/hw/CMakeFiles/eaao_hw.dir/cpu_sku.cpp.o.d"
+  "/root/repo/src/hw/host.cpp" "src/hw/CMakeFiles/eaao_hw.dir/host.cpp.o" "gcc" "src/hw/CMakeFiles/eaao_hw.dir/host.cpp.o.d"
+  "/root/repo/src/hw/tsc.cpp" "src/hw/CMakeFiles/eaao_hw.dir/tsc.cpp.o" "gcc" "src/hw/CMakeFiles/eaao_hw.dir/tsc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eaao_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eaao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eaao_hw.dir/cpu_sku.cpp.o"
+  "CMakeFiles/eaao_hw.dir/cpu_sku.cpp.o.d"
+  "CMakeFiles/eaao_hw.dir/host.cpp.o"
+  "CMakeFiles/eaao_hw.dir/host.cpp.o.d"
+  "CMakeFiles/eaao_hw.dir/tsc.cpp.o"
+  "CMakeFiles/eaao_hw.dir/tsc.cpp.o.d"
+  "libeaao_hw.a"
+  "libeaao_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eaao_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

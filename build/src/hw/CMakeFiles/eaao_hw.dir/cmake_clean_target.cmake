@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeaao_hw.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eaao_sim.dir/distributions.cpp.o"
+  "CMakeFiles/eaao_sim.dir/distributions.cpp.o.d"
+  "CMakeFiles/eaao_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/eaao_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/eaao_sim.dir/rng.cpp.o"
+  "CMakeFiles/eaao_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/eaao_sim.dir/time.cpp.o"
+  "CMakeFiles/eaao_sim.dir/time.cpp.o.d"
+  "libeaao_sim.a"
+  "libeaao_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eaao_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eaao_stats.dir/cdf.cpp.o"
+  "CMakeFiles/eaao_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/eaao_stats.dir/clustering.cpp.o"
+  "CMakeFiles/eaao_stats.dir/clustering.cpp.o.d"
+  "CMakeFiles/eaao_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/eaao_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/eaao_stats.dir/regression.cpp.o"
+  "CMakeFiles/eaao_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/eaao_stats.dir/summary.cpp.o"
+  "CMakeFiles/eaao_stats.dir/summary.cpp.o.d"
+  "libeaao_stats.a"
+  "libeaao_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eaao_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

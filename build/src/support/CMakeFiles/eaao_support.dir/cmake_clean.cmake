@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eaao_support.dir/logging.cpp.o"
+  "CMakeFiles/eaao_support.dir/logging.cpp.o.d"
+  "libeaao_support.a"
+  "libeaao_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eaao_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeaao_support.a"
+)

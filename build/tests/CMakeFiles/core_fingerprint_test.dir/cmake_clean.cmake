@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fingerprint_test.dir/core_fingerprint_test.cpp.o"
+  "CMakeFiles/core_fingerprint_test.dir/core_fingerprint_test.cpp.o.d"
+  "core_fingerprint_test"
+  "core_fingerprint_test.pdb"
+  "core_fingerprint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fingerprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_host_registry_test.cpp" "tests/CMakeFiles/core_host_registry_test.dir/core_host_registry_test.cpp.o" "gcc" "tests/CMakeFiles/core_host_registry_test.dir/core_host_registry_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eaao_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/eaao_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/eaao_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eaao_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eaao_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eaao_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/eaao_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/eaao_defense.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_repeat_attack_test.dir/core_repeat_attack_test.cpp.o"
+  "CMakeFiles/core_repeat_attack_test.dir/core_repeat_attack_test.cpp.o.d"
+  "core_repeat_attack_test"
+  "core_repeat_attack_test.pdb"
+  "core_repeat_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_repeat_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

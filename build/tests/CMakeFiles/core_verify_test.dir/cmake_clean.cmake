@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_verify_test.dir/core_verify_test.cpp.o"
+  "CMakeFiles/core_verify_test.dir/core_verify_test.cpp.o.d"
+  "core_verify_test"
+  "core_verify_test.pdb"
+  "core_verify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

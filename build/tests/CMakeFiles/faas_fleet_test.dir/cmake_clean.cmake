@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_fleet_test.dir/faas_fleet_test.cpp.o"
+  "CMakeFiles/faas_fleet_test.dir/faas_fleet_test.cpp.o.d"
+  "faas_fleet_test"
+  "faas_fleet_test.pdb"
+  "faas_fleet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_orchestrator_test.dir/faas_orchestrator_test.cpp.o"
+  "CMakeFiles/faas_orchestrator_test.dir/faas_orchestrator_test.cpp.o.d"
+  "faas_orchestrator_test"
+  "faas_orchestrator_test.pdb"
+  "faas_orchestrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_orchestrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

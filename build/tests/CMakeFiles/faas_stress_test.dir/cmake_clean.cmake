@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_stress_test.dir/faas_stress_test.cpp.o"
+  "CMakeFiles/faas_stress_test.dir/faas_stress_test.cpp.o.d"
+  "faas_stress_test"
+  "faas_stress_test.pdb"
+  "faas_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

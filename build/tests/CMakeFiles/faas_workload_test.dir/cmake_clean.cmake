@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_workload_test.dir/faas_workload_test.cpp.o"
+  "CMakeFiles/faas_workload_test.dir/faas_workload_test.cpp.o.d"
+  "faas_workload_test"
+  "faas_workload_test.pdb"
+  "faas_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_time_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/faas_platform_test[1]_include.cmake")
+include("/root/repo/build/tests/faas_orchestrator_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_fingerprint_test[1]_include.cmake")
+include("/root/repo/build/tests/core_verify_test[1]_include.cmake")
+include("/root/repo/build/tests/core_strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_test[1]_include.cmake")
+include("/root/repo/build/tests/core_repeat_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/faas_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/core_host_registry_test[1]_include.cmake")
+include("/root/repo/build/tests/faas_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/core_report_test[1]_include.cmake")
+include("/root/repo/build/tests/faas_fleet_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_hypothesis_test[1]_include.cmake")
+include("/root/repo/build/tests/error_handling_test[1]_include.cmake")
