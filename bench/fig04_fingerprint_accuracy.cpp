@@ -18,8 +18,10 @@
 #include "core/report.hpp"
 #include "core/strategy.hpp"
 #include "core/verify.hpp"
+#include "exp/trial_runner.hpp"
 #include "stats/clustering.hpp"
 #include "stats/summary.hpp"
+#include "support/options.hpp"
 
 namespace {
 
@@ -63,9 +65,10 @@ collectRun(const eaao::faas::DataCenterProfile &profile,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace eaao;
+    const unsigned threads = support::threadsFromArgs(argc, argv);
 
     const std::vector<double> p_boots = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
                                          3e-2, 1e-1, 3e-1, 1.0,  3.0,
@@ -81,12 +84,18 @@ main()
                 "(%u instances, %d runs x %zu DCs) ===\n\n",
                 kInstances, kRunsPerDc, dcs.size());
 
-    // Collect all runs once; sweep p_boot offline over the readings.
-    std::vector<RunData> runs;
-    for (std::size_t d = 0; d < dcs.size(); ++d) {
-        for (int r = 0; r < kRunsPerDc; ++r)
-            runs.push_back(collectRun(dcs[d], 1000 + d * 17 + r));
-    }
+    // Collect all runs once — each (DC, run) pair is an independent
+    // trial fanned out across the worker pool; slot-per-trial results
+    // keep the sweep below byte-identical for any thread count. The
+    // p_boot sweep itself is offline over the recorded readings.
+    const std::vector<RunData> runs = exp::runTrials(
+        dcs.size() * kRunsPerDc, /*seed=*/1000,
+        [&](exp::TrialContext &trial) {
+            const std::size_t d = trial.index / kRunsPerDc;
+            const std::size_t r = trial.index % kRunsPerDc;
+            return collectRun(dcs[d], 1000 + d * 17 + r);
+        },
+        threads);
 
     core::TextTable table;
     table.header({"p_boot", "FMI", "FMI(sd)", "precision", "prec(sd)",

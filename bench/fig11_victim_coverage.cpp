@@ -11,6 +11,11 @@
  * co-located with at least one attacker instance. Repeated three
  * times per (data center, victim account); we report mean and standard
  * deviation, plus the attack's financial cost.
+ *
+ * Each (data center, victim account, run) triple is an independent
+ * trial with its own Platform, fanned out across the trial harness;
+ * aggregation is serial in trial-index order, so the printed tables
+ * are byte-identical for any --threads value.
  */
 
 #include <cstdio>
@@ -19,8 +24,10 @@
 
 #include "core/report.hpp"
 #include "core/strategy.hpp"
+#include "exp/trial_runner.hpp"
 #include "faas/platform.hpp"
 #include "stats/summary.hpp"
+#include "support/options.hpp"
 
 namespace {
 
@@ -41,12 +48,23 @@ struct SweepPoint
     eaao::faas::ContainerSize size;
 };
 
+/** Raw samples produced by one (DC, victim account, run) trial. */
+struct TrialSamples
+{
+    double cost_usd = 0.0;
+    double host_fraction = 0.0;
+    std::vector<double> cov_a;       // per count_sweep point
+    std::vector<double> cov_b;       // per size_sweep point
+    std::vector<double> any_coloc;   // default-config indicator samples
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace eaao;
+    const unsigned threads = support::threadsFromArgs(argc, argv);
 
     std::printf("=== Figure 11: victim instance coverage, optimized "
                 "strategy (%d runs each) ===\n\n", kRuns);
@@ -70,6 +88,67 @@ main()
         {"Large", 100, faas::sizes::kLarge},
     };
 
+    // Trial index encodes (dc, victim, run) in the original nesting
+    // order, so the serial aggregation below feeds every accumulator
+    // in exactly the order the serial loop used to.
+    const std::size_t n_trials = dcs.size() * 2 * kRuns;
+    const std::vector<TrialSamples> trials = exp::runTrials(
+        n_trials, /*seed=*/11000,
+        [&](exp::TrialContext &trial) {
+            const DcSetup &dc = dcs[trial.index / (2 * kRuns)];
+            const int victim_idx =
+                static_cast<int>((trial.index / kRuns) % 2);
+            const int run = static_cast<int>(trial.index % kRuns);
+            const std::string key =
+                dc.profile.name + " / Acc" +
+                std::to_string(victim_idx + 2);
+
+            faas::PlatformConfig cfg;
+            cfg.profile = dc.profile;
+            cfg.seed = 11000 + sim::mix64(key.size() * 131 + run) %
+                                   100000;
+            faas::Platform platform(cfg);
+
+            const auto attacker = platform.createAccount(dc.shards[0]);
+            const auto victim = platform.createAccount(
+                dc.shards[1 + victim_idx]);
+
+            const core::CampaignResult attack =
+                core::runOptimizedCampaign(platform, attacker,
+                                           core::CampaignConfig{});
+
+            TrialSamples out;
+            out.cost_usd = attack.cost_usd;
+            out.host_fraction =
+                static_cast<double>(attack.occupied_hosts.size()) /
+                static_cast<double>(platform.fleet().size());
+
+            auto run_victim = [&](const SweepPoint &point,
+                                  std::vector<double> &acc) {
+                const auto vsvc = platform.deployService(
+                    victim, faas::ExecEnv::Gen1, point.size);
+                const auto vids = platform.connect(vsvc, point.count);
+                const core::CoverageResult cov =
+                    core::measureCoverageOracle(
+                        platform, attack.occupied_hosts, vids);
+                acc.push_back(cov.coverage());
+                if (point.count == 100 &&
+                    point.size.vcpus == faas::sizes::kSmall.vcpus) {
+                    out.any_coloc.push_back(
+                        cov.covered_instances > 0 ? 1.0 : 0.0);
+                }
+                platform.disconnectAll(vsvc);
+                platform.advance(sim::Duration::minutes(16));
+            };
+
+            for (const SweepPoint &point : count_sweep)
+                run_victim(point, out.cov_a);
+            for (const SweepPoint &point : size_sweep)
+                run_victim(point, out.cov_b);
+            return out;
+        },
+        threads);
+
     // coverage[dc][victim][sweep-index] -> stats over runs
     std::map<std::string, std::vector<stats::OnlineStats>> table_a;
     std::map<std::string, std::vector<stats::OnlineStats>> table_b;
@@ -77,60 +156,23 @@ main()
     std::map<std::string, stats::OnlineStats> host_fraction;
     stats::OnlineStats cost_stats;
 
-    for (const DcSetup &dc : dcs) {
-        for (int victim_idx = 0; victim_idx < 2; ++victim_idx) {
-            const std::string key =
-                dc.profile.name + " / Acc" +
-                std::to_string(victim_idx + 2);
-            table_a[key].resize(count_sweep.size());
-            table_b[key].resize(size_sweep.size());
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+        const DcSetup &dc = dcs[i / (2 * kRuns)];
+        const int victim_idx = static_cast<int>((i / kRuns) % 2);
+        const std::string key = dc.profile.name + " / Acc" +
+                                std::to_string(victim_idx + 2);
+        table_a[key].resize(count_sweep.size());
+        table_b[key].resize(size_sweep.size());
 
-            for (int run = 0; run < kRuns; ++run) {
-                faas::PlatformConfig cfg;
-                cfg.profile = dc.profile;
-                cfg.seed = 11000 + sim::mix64(key.size() * 131 + run) %
-                                       100000;
-                faas::Platform platform(cfg);
-
-                const auto attacker =
-                    platform.createAccount(dc.shards[0]);
-                const auto victim = platform.createAccount(
-                    dc.shards[1 + victim_idx]);
-
-                const core::CampaignResult attack =
-                    core::runOptimizedCampaign(platform, attacker,
-                                               core::CampaignConfig{});
-                cost_stats.add(attack.cost_usd);
-                host_fraction[dc.profile.name].add(
-                    static_cast<double>(attack.occupied_hosts.size()) /
-                    static_cast<double>(platform.fleet().size()));
-
-                auto run_victim = [&](const SweepPoint &point,
-                                      stats::OnlineStats &acc) {
-                    const auto vsvc = platform.deployService(
-                        victim, faas::ExecEnv::Gen1, point.size);
-                    const auto vids =
-                        platform.connect(vsvc, point.count);
-                    const core::CoverageResult cov =
-                        core::measureCoverageOracle(
-                            platform, attack.occupied_hosts, vids);
-                    acc.add(cov.coverage());
-                    if (point.count == 100 &&
-                        point.size.vcpus ==
-                            faas::sizes::kSmall.vcpus) {
-                        any_coloc[key].add(
-                            cov.covered_instances > 0 ? 1.0 : 0.0);
-                    }
-                    platform.disconnectAll(vsvc);
-                    platform.advance(sim::Duration::minutes(16));
-                };
-
-                for (std::size_t i = 0; i < count_sweep.size(); ++i)
-                    run_victim(count_sweep[i], table_a[key][i]);
-                for (std::size_t i = 0; i < size_sweep.size(); ++i)
-                    run_victim(size_sweep[i], table_b[key][i]);
-            }
-        }
+        const TrialSamples &t = trials[i];
+        cost_stats.add(t.cost_usd);
+        host_fraction[dc.profile.name].add(t.host_fraction);
+        for (std::size_t p = 0; p < t.cov_a.size(); ++p)
+            table_a[key][p].add(t.cov_a[p]);
+        for (std::size_t p = 0; p < t.cov_b.size(); ++p)
+            table_b[key][p].add(t.cov_b[p]);
+        for (const double sample : t.any_coloc)
+            any_coloc[key].add(sample);
     }
 
     auto print_sweep =

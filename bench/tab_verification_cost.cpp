@@ -10,6 +10,11 @@
  * costs far more; the scalable method finishes in ~1-2 minutes for
  * ~1-3 USD. SIE cannot eliminate anything because every FaaS instance
  * shares its host.
+ *
+ * The four methods are evaluated on four independent platforms; each
+ * evaluation is one trial on the parallel harness, and the rows are
+ * printed serially in method order so stdout is identical for any
+ * --threads value.
  */
 
 #include <cstdio>
@@ -18,8 +23,10 @@
 #include "core/report.hpp"
 #include "core/strategy.hpp"
 #include "core/verify.hpp"
+#include "exp/trial_runner.hpp"
 #include "faas/platform.hpp"
 #include "stats/clustering.hpp"
+#include "support/options.hpp"
 
 namespace {
 
@@ -47,97 +54,99 @@ struct Setup
     }
 };
 
+/** One evaluated method: a table row, or the SIE survivor count. */
+struct MethodResult
+{
+    std::vector<std::string> row;
+    std::size_t sie_survivors = 0;
+};
+
+std::vector<std::string>
+scoreRow(const char *label, const Setup &s,
+         const eaao::core::VerifyResult &r)
+{
+    using namespace eaao;
+    std::vector<std::uint64_t> oracle;
+    for (const auto id : s.obs.ids)
+        oracle.push_back(s.platform->oracleHostOf(id));
+    const auto pc = stats::comparePairs(r.cluster_of, oracle);
+    const bool cents = std::string(label) == "scalable (ours)";
+    return {label,
+            core::format("%llu",
+                         static_cast<unsigned long long>(r.group_tests)),
+            r.elapsed.str(),
+            core::format(cents ? "%.2f" : "%.0f", r.cost_usd),
+            core::format("%llu", static_cast<unsigned long long>(
+                                     pc.fp + pc.fn))};
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace eaao;
+    const unsigned threads = support::threadsFromArgs(argc, argv);
 
     std::printf("=== Section 4.3: co-location verification cost for "
                 "%u instances (us-east1) ===\n\n", kInstances);
 
+    const std::vector<MethodResult> methods = exp::runTrials(
+        4, /*seed=*/431,
+        [&](exp::TrialContext &trial) {
+            Setup s(431 + trial.index);
+            MethodResult out;
+            switch (trial.index) {
+            case 0: { // Scalable fingerprint-assisted verification.
+                channel::RngChannel chan(*s.platform);
+                const core::VerifyResult r = core::verifyScalable(
+                    *s.platform, chan, s.obs.ids, s.obs.fp_keys,
+                    s.obs.class_keys);
+                out.row = scoreRow("scalable (ours)", s, r);
+                break;
+            }
+            case 1: { // Pairwise RNG channel at 100 ms/test.
+                channel::RngChannelConfig quick;
+                quick.trials = 6;
+                quick.detect_min = 3;
+                channel::RngChannel chan(*s.platform, quick);
+                const core::VerifyResult r =
+                    core::verifyPairwise(*s.platform, chan, s.obs.ids);
+                out.row = scoreRow("pairwise, 100 ms/test", s, r);
+                break;
+            }
+            case 2: { // Pairwise memory-bus channel (3 s/test).
+                channel::MemBusChannel chan(*s.platform);
+                const core::VerifyResult r = core::verifyPairwiseMemBus(
+                    *s.platform, chan, s.obs.ids);
+                out.row = scoreRow("pairwise, mem-bus 3 s/test", s, r);
+                break;
+            }
+            case 3: { // SIE (Inci et al.) is ineffective in FaaS.
+                channel::RngChannel chan(*s.platform);
+                out.sie_survivors =
+                    core::singleInstanceElimination(*s.platform, chan,
+                                                    s.obs.ids)
+                        .size();
+                break;
+            }
+            }
+            return out;
+        },
+        threads);
+
     core::TextTable table;
     table.header({"method", "tests", "wall time", "cost (USD)",
                   "pairwise errors"});
-
-    // --- Scalable fingerprint-assisted verification. ---
-    {
-        Setup s(431);
-        channel::RngChannel chan(*s.platform);
-        const core::VerifyResult r = core::verifyScalable(
-            *s.platform, chan, s.obs.ids, s.obs.fp_keys,
-            s.obs.class_keys);
-        std::vector<std::uint64_t> oracle;
-        for (const auto id : s.obs.ids)
-            oracle.push_back(s.platform->oracleHostOf(id));
-        const auto pc = stats::comparePairs(r.cluster_of, oracle);
-        table.row({"scalable (ours)",
-                   core::format("%llu",
-                                static_cast<unsigned long long>(
-                                    r.group_tests)),
-                   r.elapsed.str(), core::format("%.2f", r.cost_usd),
-                   core::format("%llu",
-                                static_cast<unsigned long long>(
-                                    pc.fp + pc.fn))});
-    }
-
-    // --- Pairwise RNG channel at the paper's optimistic 100 ms/test. ---
-    {
-        Setup s(432);
-        channel::RngChannelConfig quick;
-        quick.trials = 6;
-        quick.detect_min = 3;
-        channel::RngChannel chan(*s.platform, quick);
-        const core::VerifyResult r =
-            core::verifyPairwise(*s.platform, chan, s.obs.ids);
-        std::vector<std::uint64_t> oracle;
-        for (const auto id : s.obs.ids)
-            oracle.push_back(s.platform->oracleHostOf(id));
-        const auto pc = stats::comparePairs(r.cluster_of, oracle);
-        table.row({"pairwise, 100 ms/test",
-                   core::format("%llu",
-                                static_cast<unsigned long long>(
-                                    r.group_tests)),
-                   r.elapsed.str(), core::format("%.0f", r.cost_usd),
-                   core::format("%llu",
-                                static_cast<unsigned long long>(
-                                    pc.fp + pc.fn))});
-    }
-
-    // --- Pairwise memory-bus channel (Varadarajan-style, 3 s/test). ---
-    {
-        Setup s(433);
-        channel::MemBusChannel chan(*s.platform);
-        const core::VerifyResult r =
-            core::verifyPairwiseMemBus(*s.platform, chan, s.obs.ids);
-        std::vector<std::uint64_t> oracle;
-        for (const auto id : s.obs.ids)
-            oracle.push_back(s.platform->oracleHostOf(id));
-        const auto pc = stats::comparePairs(r.cluster_of, oracle);
-        table.row({"pairwise, mem-bus 3 s/test",
-                   core::format("%llu",
-                                static_cast<unsigned long long>(
-                                    r.group_tests)),
-                   r.elapsed.str(), core::format("%.0f", r.cost_usd),
-                   core::format("%llu",
-                                static_cast<unsigned long long>(
-                                    pc.fp + pc.fn))});
-    }
+    for (std::size_t i = 0; i < 3; ++i)
+        table.row(methods[i].row);
     table.print();
 
-    // --- SIE (Inci et al.) is ineffective in FaaS. ---
-    {
-        Setup s(434);
-        channel::RngChannel chan(*s.platform);
-        const auto survivors = core::singleInstanceElimination(
-            *s.platform, chan, s.obs.ids);
-        std::printf("\nSIE filtering: %zu of %u instances survive "
-                    "(paper: SIE removes nothing,\nsince the "
-                    "orchestrator co-locates instances of the same "
-                    "service).\n",
-                    survivors.size(), kInstances);
-    }
+    std::printf("\nSIE filtering: %zu of %u instances survive "
+                "(paper: SIE removes nothing,\nsince the "
+                "orchestrator co-locates instances of the same "
+                "service).\n",
+                methods[3].sie_survivors, kInstances);
 
     std::printf("\npaper reference: 319,600 pairwise tests, ~8.9 h, "
                 "~645 USD; even more with a\nseconds-long channel; "

@@ -10,6 +10,12 @@
  *  4. The attacker selects its footholds (instances sharing hosts with
  *     the victim) and records the hosts' fingerprints for future
  *     attacks (the repeat-attack optimization).
+ *
+ * The example runs several independent campaign replicas on the
+ * parallel trial harness (`--threads N` / EAAO_THREADS); replica 0
+ * reproduces the historical single-campaign walkthrough, and the
+ * closing summary aggregates across replicas. Output is byte-identical
+ * for any thread count.
  */
 
 #include <cstdio>
@@ -20,30 +26,54 @@
 #include "core/report.hpp"
 #include "core/strategy.hpp"
 #include "core/verify.hpp"
+#include "exp/trial_runner.hpp"
+#include "stats/summary.hpp"
+#include "support/options.hpp"
 
-int
-main()
+namespace {
+
+constexpr std::size_t kReplicas = 4;
+
+/** Everything one campaign replica measured, for serial printing. */
+struct CampaignMetrics
+{
+    std::size_t services = 0;
+    std::size_t held_instances = 0;
+    std::size_t apparent_hosts = 0;
+    double prime_cost_usd = 0.0;
+    std::size_t victim_instances = 0;
+    unsigned covered = 0;
+    unsigned victims = 0;
+    double coverage = 0.0;
+    std::uint64_t group_tests = 0;
+    std::size_t footholds = 0;
+    std::size_t victim_hosts = 0;
+    std::size_t planner_hosts = 0;
+    double total_spend_usd = 0.0;
+};
+
+CampaignMetrics
+runReplica(std::uint64_t seed)
 {
     using namespace eaao;
 
-    std::printf("=== attack_campaign: Strategy 2 end to end "
-                "(us-east1) ===\n\n");
-
     faas::PlatformConfig cfg;
     cfg.profile = faas::DataCenterProfile::usEast1();
-    cfg.seed = 1337;
+    cfg.seed = seed;
     faas::Platform platform(cfg);
     const auto attacker = platform.createAccount(0);
     const auto victim = platform.createAccount(2);
+
+    CampaignMetrics m;
 
     // ---- 1. Prime and hold. ----
     core::CampaignConfig campaign; // 6 services x 6 launches x 800
     const core::CampaignResult attack =
         core::runOptimizedCampaign(platform, attacker, campaign);
-    std::printf("primed %zu services; holding %zu instances on %zu "
-                "apparent hosts\n(cost so far: %.1f USD)\n\n",
-                attack.services.size(), attack.final_instances.size(),
-                attack.apparent_hosts.size(), attack.cost_usd);
+    m.services = attack.services.size();
+    m.held_instances = attack.final_instances.size();
+    m.apparent_hosts = attack.apparent_hosts.size();
+    m.prime_cost_usd = attack.cost_usd;
 
     // ---- 2. The victim scales out. ----
     const auto vsvc = platform.deployService(victim, faas::ExecEnv::Gen1);
@@ -52,8 +82,7 @@ main()
     vopts.disconnect_after = false;
     const core::LaunchObservation vobs =
         core::launchAndObserve(platform, vsvc, vopts);
-    std::printf("victim service scaled to %zu instances\n\n",
-                vobs.ids.size());
+    m.victim_instances = vobs.ids.size();
 
     // ---- 3. Verify co-location via the covert channel. ----
     channel::RngChannel chan(platform);
@@ -61,12 +90,10 @@ main()
         core::measureCoverageViaChannel(platform, chan, attack,
                                         vobs.ids, vobs.fp_keys,
                                         vobs.class_keys);
-    std::printf("covert-channel verification: %u of %u victim "
-                "instances co-located\n(coverage %.1f%%, %llu group "
-                "tests so far)\n\n",
-                coverage.covered_instances, coverage.victim_instances,
-                coverage.coverage() * 100.0,
-                static_cast<unsigned long long>(chan.testsRun()));
+    m.covered = coverage.covered_instances;
+    m.victims = coverage.victim_instances;
+    m.coverage = coverage.coverage();
+    m.group_tests = chan.testsRun();
 
     // ---- 4. Select footholds and record victim hosts. ----
     // Footholds: one attacker instance per victim-occupied fingerprint.
@@ -74,26 +101,73 @@ main()
                                         vobs.fp_keys.end());
     core::RepeatAttackPlanner planner;
     std::set<std::uint64_t> recorded;
-    std::size_t footholds = 0;
     for (std::size_t i = 0; i < attack.final_instances.size(); ++i) {
         const auto key = attack.final_fp_keys[i];
         if (victim_keys.count(key) == 0)
             continue;
-        ++footholds;
+        ++m.footholds;
         if (recorded.insert(key).second) {
             faas::SandboxView sbx =
                 platform.sandbox(attack.final_instances[i]);
             planner.recordVictimHost(core::readGen1Median(sbx, 15));
         }
     }
+    m.victim_hosts = recorded.size();
+    m.planner_hosts = planner.size();
+    m.total_spend_usd = platform.accountSpendUsd(attacker);
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace eaao;
+    const unsigned threads = support::threadsFromArgs(argc, argv);
+
+    std::printf("=== attack_campaign: Strategy 2 end to end "
+                "(us-east1, %zu replicas) ===\n\n", kReplicas);
+
+    // Replica 0 keeps the classic seed 1337; the others derive theirs
+    // from the replica index.
+    const std::vector<CampaignMetrics> replicas = exp::runTrials(
+        kReplicas, /*seed=*/1337,
+        [](exp::TrialContext &trial) {
+            return runReplica(1337 + trial.index);
+        },
+        threads);
+
+    const CampaignMetrics &m = replicas.front();
+    std::printf("primed %zu services; holding %zu instances on %zu "
+                "apparent hosts\n(cost so far: %.1f USD)\n\n",
+                m.services, m.held_instances, m.apparent_hosts,
+                m.prime_cost_usd);
+    std::printf("victim service scaled to %zu instances\n\n",
+                m.victim_instances);
+    std::printf("covert-channel verification: %u of %u victim "
+                "instances co-located\n(coverage %.1f%%, %llu group "
+                "tests so far)\n\n",
+                m.covered, m.victims, m.coverage * 100.0,
+                static_cast<unsigned long long>(m.group_tests));
     std::printf("selected %zu foothold instances across %zu victim "
                 "hosts; fingerprints\nrecorded for repeat attacks "
                 "(planner holds %zu hosts)\n\n",
-                footholds, recorded.size(), planner.size());
-
+                m.footholds, m.victim_hosts, m.planner_hosts);
     std::printf("total attacker spend: %.1f USD (paper: a full "
                 "campaign costs 23-27 USD)\n",
-                platform.accountSpendUsd(attacker));
+                m.total_spend_usd);
+
+    stats::OnlineStats cov, spend;
+    for (const CampaignMetrics &r : replicas) {
+        cov.add(r.coverage);
+        spend.add(r.total_spend_usd);
+    }
+    std::printf("\nacross %zu independent replicas: coverage %s "
+                "(sd %.3f), spend %.1f USD (sd %.1f)\n",
+                kReplicas, core::percent(cov.mean()).c_str(),
+                cov.stddev(), spend.mean(), spend.stddev());
+
     std::printf("\nnext step (out of scope here, Section 2.1): run a "
                 "microarchitectural side\nchannel from the footholds "
                 "to exfiltrate victim secrets.\n");

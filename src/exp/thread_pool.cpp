@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of the fixed-size worker pool.
+ */
+
+#include "exp/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace eaao::exp {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    // Workers only exit once the queue is empty, so every task that was
+    // submitted before shutdown still runs (graceful drain).
+    cv_work_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (stopping_)
+            throw std::runtime_error("ThreadPool::submit after shutdown");
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    cv_work_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_work_.wait(lock,
+                          [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (--in_flight_ == 0)
+                cv_idle_.notify_all();
+        }
+    }
+}
+
+} // namespace eaao::exp

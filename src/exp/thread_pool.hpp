@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size worker pool for the experiment harness.
+ *
+ * A deliberately small pool: FIFO work queue, graceful shutdown that
+ * drains every queued task, and first-exception propagation so a
+ * failing trial surfaces in the submitting thread instead of
+ * std::terminate-ing a worker.
+ */
+
+#ifndef EAAO_EXP_THREAD_POOL_HPP
+#define EAAO_EXP_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eaao::exp {
+
+/**
+ * Fixed-size thread pool with a FIFO work queue.
+ *
+ * Tasks are plain callables; a task that throws records the first
+ * exception, which wait() rethrows. Destruction drains the queue
+ * (every submitted task runs) before joining the workers.
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** Spin up @p threads workers (0 is clamped to 1). */
+    explicit ThreadPool(unsigned threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drain the queue, join all workers. Pending exceptions are dropped. */
+    ~ThreadPool();
+
+    /** Enqueue a task. Throws std::runtime_error after shutdown began. */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task has finished, then rethrow the
+     * first exception any task raised (clearing it, so the pool stays
+     * usable afterwards).
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<Task> queue_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_work_; // queue non-empty or stopping
+    std::condition_variable cv_idle_; // in_flight_ dropped to zero
+    std::size_t in_flight_ = 0;       // queued + currently executing
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+} // namespace eaao::exp
+
+#endif // EAAO_EXP_THREAD_POOL_HPP

@@ -60,6 +60,15 @@ OnlineStats::merge(const OnlineStats &other)
     max_ = std::max(max_, other.max_);
 }
 
+OnlineStats
+mergeStats(const std::vector<OnlineStats> &parts)
+{
+    OnlineStats out;
+    for (const OnlineStats &part : parts)
+        out.merge(part);
+    return out;
+}
+
 double
 percentile(std::vector<double> values, double q)
 {

@@ -55,6 +55,14 @@ class OnlineStats
 };
 
 /**
+ * Reduce per-trial accumulators into one, merging left-to-right in
+ * slot order. Used by the parallel trial harness: because the merge
+ * order is the trial-index order (not completion order), the reduced
+ * statistics are bit-identical for any worker-thread count.
+ */
+OnlineStats mergeStats(const std::vector<OnlineStats> &parts);
+
+/**
  * Percentile of a sample using linear interpolation between order
  * statistics. @p q is in [0, 1]. The input is copied and sorted.
  */

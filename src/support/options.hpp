@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Common command-line / environment knobs for benches and examples.
+ *
+ * Every experiment binary accepts `--threads N` (also `--threads=N`)
+ * and honours the `EAAO_THREADS` environment variable; precedence is
+ * argv > environment > hardware concurrency. The trial harness
+ * guarantees byte-identical output for any thread count, so the knob
+ * only changes wall-clock time.
+ */
+
+#ifndef EAAO_SUPPORT_OPTIONS_HPP
+#define EAAO_SUPPORT_OPTIONS_HPP
+
+namespace eaao::support {
+
+/**
+ * Default worker-thread count: EAAO_THREADS if set and positive,
+ * otherwise std::thread::hardware_concurrency() (min 1).
+ */
+unsigned defaultThreads();
+
+/**
+ * Resolve the worker-thread count for a bench/example binary from
+ * `--threads N` / `--threads=N` in @p argv, falling back to
+ * defaultThreads(). A malformed or missing value is a fatal user
+ * error.
+ */
+unsigned threadsFromArgs(int argc, char **argv);
+
+} // namespace eaao::support
+
+#endif // EAAO_SUPPORT_OPTIONS_HPP

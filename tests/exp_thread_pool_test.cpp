@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the experiment harness worker pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+
+namespace eaao::exp {
+namespace {
+
+TEST(ThreadPool, TasksExecuteExactlyOnceUnderContention)
+{
+    constexpr int kTasks = 2000;
+    std::atomic<int> total{0};
+    std::vector<std::atomic<int>> per_task(kTasks);
+    for (auto &c : per_task)
+        c.store(0);
+
+    {
+        ThreadPool pool(8);
+        for (int i = 0; i < kTasks; ++i) {
+            pool.submit([&total, &per_task, i] {
+                per_task[static_cast<std::size_t>(i)].fetch_add(1);
+                total.fetch_add(1);
+            });
+        }
+        pool.wait();
+        EXPECT_EQ(total.load(), kTasks);
+    }
+    for (const auto &c : per_task)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueue)
+{
+    constexpr int kTasks = 500;
+    std::atomic<int> ran{0};
+    {
+        // Few workers, many tasks: most of the queue is still pending
+        // when the destructor runs; it must drain everything.
+        ThreadPool pool(2);
+        for (int i = 0; i < kTasks; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("trial failed"); });
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // Every non-throwing task still ran, and the pool remains usable.
+    EXPECT_EQ(ran.load(), 50);
+    pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(ran.load(), 51);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstExceptionOnly)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i)
+        pool.submit([] { throw std::logic_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::logic_error);
+    // The remaining exceptions were dropped with the first rethrow.
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1u);
+    bool ran = false;
+    pool.submit([&ran] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, TasksCanSubmitWhilePoolBusy)
+{
+    // Stress the queue with bursts from the submitting thread while
+    // workers are already chewing; wait() between bursts.
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int burst = 0; burst < 10; ++burst) {
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(ran.load(), (burst + 1) * 100);
+    }
+}
+
+} // namespace
+} // namespace eaao::exp

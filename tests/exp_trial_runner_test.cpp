@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the deterministic parallel trial harness.
+ *
+ * The determinism contract: the same campaign seed must produce
+ * byte-identical aggregated results no matter how many worker threads
+ * run the trials.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/trial_runner.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/summary.hpp"
+
+namespace eaao::exp {
+namespace {
+
+/** A trial body exercising the per-trial Rng and an EventQueue. */
+double
+simulateTrial(TrialContext &trial)
+{
+    sim::EventQueue eq;
+    double acc = 0.0;
+    for (int burst = 0; burst < 4; ++burst) {
+        eq.scheduleAfter(
+            sim::Duration::millis(
+                static_cast<std::int64_t>(trial.rng.uniformInt(
+                    std::uint64_t{50})) + 1),
+            [&acc, &trial] { acc += trial.rng.uniform(); });
+    }
+    eq.run();
+    return acc + static_cast<double>(trial.index) * 1e-9;
+}
+
+TEST(TrialRunner, SameSeedByteIdenticalAcrossThreadCounts)
+{
+    constexpr std::size_t kTrials = 64;
+    constexpr std::uint64_t kSeed = 0xfeedface;
+
+    const auto r1 = runTrials(kTrials, kSeed, simulateTrial, 1);
+    const auto r2 = runTrials(kTrials, kSeed, simulateTrial, 2);
+    const auto r8 = runTrials(kTrials, kSeed, simulateTrial, 8);
+
+    ASSERT_EQ(r1.size(), kTrials);
+    ASSERT_EQ(r2.size(), kTrials);
+    ASSERT_EQ(r8.size(), kTrials);
+    EXPECT_EQ(0, std::memcmp(r1.data(), r2.data(),
+                             kTrials * sizeof(double)));
+    EXPECT_EQ(0, std::memcmp(r1.data(), r8.data(),
+                             kTrials * sizeof(double)));
+
+    // The aggregated (merged) statistics are bit-identical too.
+    auto reduce = [](const std::vector<double> &xs) {
+        std::vector<stats::OnlineStats> parts(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            parts[i].add(xs[i]);
+        return stats::mergeStats(parts);
+    };
+    const auto s1 = reduce(r1);
+    const auto s8 = reduce(r8);
+    EXPECT_EQ(s1.count(), s8.count());
+    EXPECT_EQ(s1.mean(), s8.mean());
+    EXPECT_EQ(s1.variance(), s8.variance());
+    EXPECT_EQ(s1.sum(), s8.sum());
+}
+
+TEST(TrialRunner, DifferentSeedsDiffer)
+{
+    const auto a = runTrials(8, 1, simulateTrial, 4);
+    const auto b = runTrials(8, 2, simulateTrial, 4);
+    EXPECT_NE(0, std::memcmp(a.data(), b.data(), 8 * sizeof(double)));
+}
+
+TEST(TrialRunner, ContextCarriesIndexCountSeedAndDistinctStreams)
+{
+    struct Snapshot
+    {
+        std::size_t index = 0;
+        std::size_t trials = 0;
+        std::uint64_t campaign_seed = 0;
+        std::uint64_t first_draw = 0;
+        std::uint64_t trial_seed = 0;
+    };
+    const auto snaps = runTrials(
+        16, 99,
+        [](TrialContext &trial) {
+            Snapshot s;
+            s.index = trial.index;
+            s.trials = trial.trials;
+            s.campaign_seed = trial.campaign_seed;
+            s.first_draw = trial.rng();
+            s.trial_seed = trial.trialSeed();
+            return s;
+        },
+        4);
+    ASSERT_EQ(snaps.size(), 16u);
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+        EXPECT_EQ(snaps[i].index, i);
+        EXPECT_EQ(snaps[i].trials, 16u);
+        EXPECT_EQ(snaps[i].campaign_seed, 99u);
+        for (std::size_t j = 0; j < i; ++j) {
+            EXPECT_NE(snaps[i].first_draw, snaps[j].first_draw);
+            EXPECT_NE(snaps[i].trial_seed, snaps[j].trial_seed);
+        }
+    }
+}
+
+TEST(TrialRunner, ExceptionInTrialPropagates)
+{
+    EXPECT_THROW(
+        runTrials(
+            32, 7,
+            [](TrialContext &trial) -> int {
+                if (trial.index == 13)
+                    throw std::runtime_error("trial 13 exploded");
+                return static_cast<int>(trial.index);
+            },
+            4),
+        std::runtime_error);
+
+    // Serial path propagates too.
+    EXPECT_THROW(runTrials(
+                     4, 7,
+                     [](TrialContext &) -> int {
+                         throw std::runtime_error("serial failure");
+                     },
+                     1),
+                 std::runtime_error);
+}
+
+TEST(TrialRunner, ZeroTrialsReturnsEmptyWithoutCallingBody)
+{
+    std::atomic<int> calls{0};
+    const auto out = runTrials(
+        0, 42,
+        [&calls](TrialContext &) {
+            calls.fetch_add(1);
+            return 0;
+        },
+        8);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(TrialRunner, MoreThreadsThanTrialsIsFine)
+{
+    const auto out = runTrials(
+        3, 5, [](TrialContext &trial) { return trial.index * 2; }, 16);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 2u);
+    EXPECT_EQ(out[2], 4u);
+}
+
+} // namespace
+} // namespace eaao::exp

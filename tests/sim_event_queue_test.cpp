@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
 
 namespace eaao::sim {
 namespace {
@@ -103,6 +106,72 @@ TEST(EventQueue, PendingCountsUncancelled)
     EXPECT_EQ(eq.pending(), 1u);
     eq.run();
     EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, PropertyFifoTieBreakAmongRandomSchedules)
+{
+    // Property: execution order equals a stable sort of the insertion
+    // sequence by timestamp — FIFO among same-time events — for
+    // arbitrary interleavings of a small set of times.
+    Rng rng(321);
+    for (int round = 0; round < 20; ++round) {
+        EventQueue eq;
+        std::vector<std::pair<std::int64_t, int>> inserted;
+        std::vector<int> executed;
+        const int n = 50;
+        for (int i = 0; i < n; ++i) {
+            // Few distinct times => many ties.
+            const std::int64_t t =
+                static_cast<std::int64_t>(rng.uniformInt(
+                    std::uint64_t{5})) * 100;
+            inserted.emplace_back(t, i);
+            eq.scheduleAt(SimTime::fromNanos(t),
+                          [&executed, i] { executed.push_back(i); });
+        }
+        eq.run();
+
+        auto expected = inserted;
+        std::stable_sort(expected.begin(), expected.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        ASSERT_EQ(executed.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            EXPECT_EQ(executed[i], expected[i].second)
+                << "round " << round << " position " << i;
+    }
+}
+
+TEST(EventQueue, CancelOfAlreadyFiredIdReturnsFalse)
+{
+    EventQueue eq;
+    bool ran = false;
+    const EventId id =
+        eq.scheduleAfter(Duration::seconds(1), [&] { ran = true; });
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_FALSE(eq.cancel(id));
+    // A cancelled-then-fired-time id also stays false on re-cancel.
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, RunUntilSetsClockToHorizonWithNoEvents)
+{
+    EventQueue eq;
+    const SimTime horizon = SimTime() + Duration::minutes(42);
+    eq.runUntil(horizon);
+    EXPECT_EQ(eq.now(), horizon);
+    EXPECT_EQ(eq.pending(), 0u);
+
+    // Same when the only events lie beyond the horizon: clock lands
+    // exactly on the horizon and the events stay pending.
+    EventQueue eq2;
+    bool ran = false;
+    eq2.scheduleAfter(Duration::hours(2), [&] { ran = true; });
+    eq2.runUntil(SimTime() + Duration::hours(1));
+    EXPECT_EQ(eq2.now(), SimTime() + Duration::hours(1));
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq2.pending(), 1u);
 }
 
 TEST(EventQueue, CancelInsideEventWorks)

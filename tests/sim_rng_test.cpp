@@ -41,6 +41,55 @@ TEST(Rng, ForkIsIndependentAndOrderFree)
     EXPECT_NE(c1(), c2());
 }
 
+TEST(Rng, ForkStreamsAreStatisticallyIndependent)
+{
+    // Determinism contract of the parallel trial harness: adjacent
+    // stream ids must behave as independent generators. Check (a)
+    // Pearson cross-correlation of paired uniforms and (b) a
+    // chi-square uniformity test on the joint 16x16 bin occupancy.
+    const Rng parent(2024);
+    constexpr int kPairs = 25600;
+    for (std::uint64_t id = 0; id < 4; ++id) {
+        Rng a = parent.fork(id);
+        Rng b = parent.fork(id + 1);
+
+        double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+        std::vector<int> bins(16 * 16, 0);
+        for (int i = 0; i < kPairs; ++i) {
+            const double x = a.uniform();
+            const double y = b.uniform();
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+            const int bx = static_cast<int>(x * 16.0);
+            const int by = static_cast<int>(y * 16.0);
+            ++bins[bx * 16 + by];
+        }
+        const double n = kPairs;
+        const double cov = sxy / n - (sx / n) * (sy / n);
+        const double vx = sxx / n - (sx / n) * (sx / n);
+        const double vy = syy / n - (sy / n) * (sy / n);
+        const double corr = cov / std::sqrt(vx * vy);
+        // |r| ~ N(0, 1/sqrt(n)) under independence; 0.05 is 8 sigma.
+        EXPECT_LT(std::fabs(corr), 0.05)
+            << "streams " << id << " and " << id + 1;
+
+        // Joint occupancy: expected 100 per cell, df = 255. The
+        // one-in-a-million upper tail is ~390; the seeds are fixed so
+        // this never flakes.
+        const double expected = n / 256.0;
+        double chi2 = 0.0;
+        for (const int c : bins) {
+            const double d = c - expected;
+            chi2 += d * d / expected;
+        }
+        EXPECT_LT(chi2, 390.0) << "streams " << id << " and " << id + 1;
+        EXPECT_GT(chi2, 150.0) << "suspiciously uniform joint bins";
+    }
+}
+
 TEST(Rng, UniformInUnitInterval)
 {
     Rng rng(3);
