@@ -21,6 +21,7 @@
 #include "exp/trial_runner.hpp"
 #include "stats/clustering.hpp"
 #include "stats/summary.hpp"
+#include "support/bench_timer.hpp"
 #include "support/options.hpp"
 
 namespace {
@@ -88,6 +89,8 @@ main(int argc, char **argv)
     // trial fanned out across the worker pool; slot-per-trial results
     // keep the sweep below byte-identical for any thread count. The
     // p_boot sweep itself is offline over the recorded readings.
+    support::BenchTimer timer("fig04_fingerprint_accuracy", threads,
+                              /*seed=*/1000);
     const std::vector<RunData> runs = exp::runTrials(
         dcs.size() * kRunsPerDc, /*seed=*/1000,
         [&](exp::TrialContext &trial) {
@@ -96,6 +99,7 @@ main(int argc, char **argv)
             return collectRun(dcs[d], 1000 + d * 17 + r);
         },
         threads);
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
 
     core::TextTable table;
     table.header({"p_boot", "FMI", "FMI(sd)", "precision", "prec(sd)",

@@ -27,6 +27,7 @@
 #include "exp/trial_runner.hpp"
 #include "faas/platform.hpp"
 #include "stats/summary.hpp"
+#include "support/bench_timer.hpp"
 #include "support/options.hpp"
 
 namespace {
@@ -92,6 +93,8 @@ main(int argc, char **argv)
     // order, so the serial aggregation below feeds every accumulator
     // in exactly the order the serial loop used to.
     const std::size_t n_trials = dcs.size() * 2 * kRuns;
+    support::BenchTimer timer("fig11_victim_coverage", threads,
+                              /*seed=*/11000);
     const std::vector<TrialSamples> trials = exp::runTrials(
         n_trials, /*seed=*/11000,
         [&](exp::TrialContext &trial) {
@@ -148,6 +151,7 @@ main(int argc, char **argv)
             return out;
         },
         threads);
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
 
     // coverage[dc][victim][sweep-index] -> stats over runs
     std::map<std::string, std::vector<stats::OnlineStats>> table_a;

@@ -1,22 +1,278 @@
 /**
  * @file
  * Micro-benchmarks (google-benchmark) for the library's primitives:
- * fingerprint readings, quantization, covert-channel group tests,
- * scalable-vs-pairwise verification scaling, and orchestrator
- * placement throughput.
+ * the event kernel (schedule/step, schedule+cancel churn, an
+ * orchestrator-shaped mix — each against a legacy map-backed queue for
+ * comparison), fingerprint readings, quantization, covert-channel
+ * group tests, scalable-vs-pairwise verification scaling, and
+ * orchestrator placement throughput.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "channel/covert.hpp"
 #include "core/fingerprint.hpp"
 #include "core/strategy.hpp"
 #include "core/verify.hpp"
 #include "faas/platform.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
 
 namespace {
 
 using namespace eaao;
+
+/**
+ * The pre-slab event queue (heap of entries + unordered_map of
+ * std::function callbacks + tombstone set), kept here verbatim as the
+ * baseline the kernel benchmarks compare against.
+ */
+class LegacyMapQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    sim::SimTime now() const { return now_; }
+
+    std::uint64_t
+    scheduleAt(sim::SimTime when, Callback cb)
+    {
+        const std::uint64_t id = next_id_++;
+        heap_.push(Entry{when, next_seq_++, id});
+        callbacks_.emplace(id, std::move(cb));
+        return id;
+    }
+
+    std::uint64_t
+    scheduleAfter(sim::Duration delay, Callback cb)
+    {
+        return scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    bool
+    cancel(std::uint64_t id)
+    {
+        auto it = callbacks_.find(id);
+        if (it == callbacks_.end())
+            return false;
+        callbacks_.erase(it);
+        cancelled_.insert(id);
+        return true;
+    }
+
+    void
+    run()
+    {
+        while (!heap_.empty())
+            step();
+    }
+
+    void
+    runUntil(sim::SimTime horizon)
+    {
+        while (!heap_.empty() && heap_.top().when <= horizon)
+            step();
+        now_ = horizon;
+    }
+
+  private:
+    struct Entry
+    {
+        sim::SimTime when;
+        std::uint64_t seq;
+        std::uint64_t id;
+    };
+
+    struct EntryLater
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void
+    step()
+    {
+        const Entry e = heap_.top();
+        heap_.pop();
+        if (cancelled_.erase(e.id))
+            return;
+        auto it = callbacks_.find(e.id);
+        Callback cb = std::move(it->second);
+        callbacks_.erase(it);
+        now_ = e.when;
+        cb();
+    }
+
+    sim::SimTime now_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_id_ = 1;
+    std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+constexpr int kKernelEvents = 4096;
+
+/** Precomputed op sequence, so the timed loop is pure queue work. */
+struct KernelOps
+{
+    std::vector<sim::SimTime> at;        //!< absolute schedule times
+    std::vector<sim::Duration> delay;    //!< relative schedule delays
+    std::vector<sim::Duration> complete; //!< orchestrator completion delays
+    std::vector<bool> cancel;            //!< cancel right after schedule?
+    std::vector<std::uint32_t> slot;     //!< orchestrator-mix slot ids
+};
+
+KernelOps
+makeKernelOps()
+{
+    KernelOps ops;
+    for (int i = 0; i < kKernelEvents; ++i) {
+        ops.at.push_back(sim::SimTime::fromNanos(
+            static_cast<std::int64_t>(sim::mix64(i) % 1000000)));
+        ops.delay.push_back(sim::Duration::minutes(
+            2 + static_cast<int>(sim::mix64(i) % 13)));
+        ops.complete.push_back(sim::Duration::millis(
+            50 + static_cast<int>(sim::mix64(i ^ 0x51ab) % 200)));
+        ops.cancel.push_back(sim::mix64(i ^ 0xbeef) % 16 != 0);
+        ops.slot.push_back(
+            static_cast<std::uint32_t>(sim::mix64(i) % 64));
+    }
+    return ops;
+}
+
+/** Schedule a batch at scattered times, then drain it. */
+template <typename Queue>
+void
+scheduleStepWorkload(benchmark::State &state)
+{
+    const KernelOps ops = makeKernelOps();
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        Queue eq;
+        for (int i = 0; i < kKernelEvents; ++i)
+            eq.scheduleAt(ops.at[i], [&fired] { ++fired; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * kKernelEvents);
+}
+
+void
+BM_EventQueueScheduleStep(benchmark::State &state)
+{
+    scheduleStepWorkload<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueScheduleStep);
+
+void
+BM_LegacyQueueScheduleStep(benchmark::State &state)
+{
+    scheduleStepWorkload<LegacyMapQueue>(state);
+}
+BENCHMARK(BM_LegacyQueueScheduleStep);
+
+/**
+ * The reap pattern (Obs 2): every idle transition schedules a reap
+ * minutes out and nearly always cancels it again when the instance is
+ * reused. Schedule+cancel dominates; almost nothing fires.
+ */
+template <typename Queue>
+void
+scheduleCancelChurnWorkload(benchmark::State &state)
+{
+    const KernelOps ops = makeKernelOps();
+    const sim::Duration tick = sim::Duration::seconds(30);
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        Queue eq;
+        for (int i = 0; i < kKernelEvents; ++i) {
+            const auto id =
+                eq.scheduleAfter(ops.delay[i], [&fired] { ++fired; });
+            if (ops.cancel[i])
+                eq.cancel(id);
+            if (i % 256 == 255)
+                eq.runUntil(eq.now() + tick);
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * kKernelEvents);
+}
+
+void
+BM_EventQueueScheduleCancelChurn(benchmark::State &state)
+{
+    scheduleCancelChurnWorkload<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueScheduleCancelChurn);
+
+void
+BM_LegacyQueueScheduleCancelChurn(benchmark::State &state)
+{
+    scheduleCancelChurnWorkload<LegacyMapQueue>(state);
+}
+BENCHMARK(BM_LegacyQueueScheduleCancelChurn);
+
+/**
+ * Orchestrator-shaped mix: per "request", a completion event that
+ * fires, plus a reap event that is cancelled by the next request on
+ * the same slot — interleaved with periodic horizon advances.
+ */
+template <typename Queue>
+void
+mixedOrchestratorWorkload(benchmark::State &state)
+{
+    constexpr int kSlots = 64;
+    const KernelOps ops = makeKernelOps();
+    const sim::Duration reap_delay = sim::Duration::minutes(4);
+    const sim::Duration tick = sim::Duration::seconds(1);
+    std::uint64_t completions = 0;
+    for (auto _ : state) {
+        Queue eq;
+        std::uint64_t reap_ids[kSlots] = {};
+        for (int i = 0; i < kKernelEvents; ++i) {
+            const std::uint32_t slot = ops.slot[i];
+            if (reap_ids[slot] != 0) {
+                eq.cancel(reap_ids[slot]);
+                reap_ids[slot] = 0;
+            }
+            eq.scheduleAfter(ops.complete[i],
+                             [&completions] { ++completions; });
+            reap_ids[slot] =
+                eq.scheduleAfter(reap_delay, [&completions] {});
+            if (i % 64 == 63)
+                eq.runUntil(eq.now() + tick);
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(completions);
+    state.SetItemsProcessed(state.iterations() * kKernelEvents);
+}
+
+void
+BM_EventQueueMixedOrchestrator(benchmark::State &state)
+{
+    mixedOrchestratorWorkload<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueMixedOrchestrator);
+
+void
+BM_LegacyQueueMixedOrchestrator(benchmark::State &state)
+{
+    mixedOrchestratorWorkload<LegacyMapQueue>(state);
+}
+BENCHMARK(BM_LegacyQueueMixedOrchestrator);
 
 faas::PlatformConfig
 baseConfig(std::uint64_t seed)

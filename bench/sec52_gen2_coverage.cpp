@@ -21,6 +21,7 @@
 #include "exp/trial_runner.hpp"
 #include "faas/platform.hpp"
 #include "stats/summary.hpp"
+#include "support/bench_timer.hpp"
 #include "support/options.hpp"
 
 namespace {
@@ -55,6 +56,8 @@ main(int argc, char **argv)
     };
 
     const std::size_t n_trials = dcs.size() * 2 * kRuns;
+    support::BenchTimer timer("sec52_gen2_coverage", threads,
+                              /*seed=*/5300);
     const std::vector<double> coverages = exp::runTrials(
         n_trials, /*seed=*/5300,
         [&](exp::TrialContext &trial) {
@@ -85,6 +88,7 @@ main(int argc, char **argv)
                 .coverage();
         },
         threads);
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
 
     core::TextTable table;
     table.header({"DC / victim", "coverage", "(sd)", "paper"});

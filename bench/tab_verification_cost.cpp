@@ -26,6 +26,7 @@
 #include "exp/trial_runner.hpp"
 #include "faas/platform.hpp"
 #include "stats/clustering.hpp"
+#include "support/bench_timer.hpp"
 #include "support/options.hpp"
 
 namespace {
@@ -91,6 +92,8 @@ main(int argc, char **argv)
     std::printf("=== Section 4.3: co-location verification cost for "
                 "%u instances (us-east1) ===\n\n", kInstances);
 
+    support::BenchTimer timer("tab_verification_cost", threads,
+                              /*seed=*/431);
     const std::vector<MethodResult> methods = exp::runTrials(
         4, /*seed=*/431,
         [&](exp::TrialContext &trial) {
@@ -134,6 +137,7 @@ main(int argc, char **argv)
             return out;
         },
         threads);
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
 
     core::TextTable table;
     table.header({"method", "tests", "wall time", "cost (USD)",

@@ -28,6 +28,7 @@
 #include "core/verify.hpp"
 #include "exp/trial_runner.hpp"
 #include "stats/summary.hpp"
+#include "support/bench_timer.hpp"
 #include "support/options.hpp"
 
 namespace {
@@ -131,12 +132,15 @@ main(int argc, char **argv)
 
     // Replica 0 keeps the classic seed 1337; the others derive theirs
     // from the replica index.
+    support::BenchTimer timer("attack_campaign", threads,
+                              /*seed=*/1337);
     const std::vector<CampaignMetrics> replicas = exp::runTrials(
         kReplicas, /*seed=*/1337,
         [](exp::TrialContext &trial) {
             return runReplica(1337 + trial.index);
         },
         threads);
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
 
     const CampaignMetrics &m = replicas.front();
     std::printf("primed %zu services; holding %zu instances on %zu "

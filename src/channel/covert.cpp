@@ -7,6 +7,7 @@
 
 #include <unordered_map>
 
+#include "support/flat_map.hpp"
 #include "support/logging.hpp"
 
 namespace eaao::channel {
@@ -48,7 +49,9 @@ RngChannel::runConcurrent(
     // Provider-side detection: hosts with >= 2 simultaneous
     // pressurers show a contention burst.
     if (detector_ != nullptr) {
-        std::unordered_map<hw::HostId, std::vector<faas::AccountId>>
+        // Sorted-vector map: the detector's burst log must not inherit
+        // hash-table iteration order (it is observable state).
+        support::SmallFlatMap<hw::HostId, std::vector<faas::AccountId>>
             parties;
         for (const auto &group : groups) {
             for (const faas::InstanceId id : group) {

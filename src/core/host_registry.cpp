@@ -25,11 +25,32 @@ HostRegistry::HostRegistry(const HostRegistryConfig &cfg) : cfg_(cfg)
     EAAO_ASSERT(cfg.tolerance_buckets >= 0, "negative tolerance");
 }
 
+std::optional<ModelId>
+HostRegistry::findModel(const std::string &model) const
+{
+    for (ModelId id = 0; id < model_names_.size(); ++id) {
+        if (model_names_[id] == model)
+            return id;
+    }
+    return std::nullopt;
+}
+
+ModelId
+HostRegistry::internModel(const std::string &model)
+{
+    if (const auto id = findModel(model))
+        return *id;
+    const auto id = static_cast<ModelId>(model_names_.size());
+    model_names_.push_back(model);
+    model_hosts_.emplace_back();
+    return id;
+}
+
 const std::vector<TrackedHostId> *
 HostRegistry::candidates(const std::string &model) const
 {
-    const auto it = by_model_.find(model);
-    return it == by_model_.end() ? nullptr : &it->second;
+    const auto id = findModel(model);
+    return id ? &model_hosts_[*id] : nullptr;
 }
 
 std::optional<TrackedHostId>
@@ -86,11 +107,12 @@ HostRegistry::observe(const Gen1Reading &reading)
     TrackedHost host;
     host.id = static_cast<TrackedHostId>(hosts_.size());
     host.cpu_model = reading.cpu_model;
+    host.model = internModel(reading.cpu_model);
     host.history.add(sim::SimTime::fromSecondsF(reading.wall_s),
                      reading.tboot_s);
     host.last_tboot_s = reading.tboot_s;
     host.last_wall_s = reading.wall_s;
-    by_model_[host.cpu_model].push_back(host.id);
+    model_hosts_[host.model].push_back(host.id);
     hosts_.push_back(std::move(host));
     return {hosts_.back().id, true};
 }
@@ -174,11 +196,12 @@ HostRegistry::deserialize(const std::string &text,
         host.cpu_model = line.substr(bar + 1);
         if (host.cpu_model.empty())
             return std::nullopt;
+        host.model = registry.internModel(host.cpu_model);
         host.last_tboot_s = tboot;
         host.last_wall_s = wall;
         host.drift_per_s = slope;
         host.history.add(sim::SimTime::fromSecondsF(wall), tboot);
-        registry.by_model_[host.cpu_model].push_back(host.id);
+        registry.model_hosts_[host.model].push_back(host.id);
         registry.hosts_.push_back(std::move(host));
     }
     return registry;

@@ -20,7 +20,6 @@
 #define EAAO_CORE_HOST_REGISTRY_HPP
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,11 +32,15 @@ namespace eaao::core {
 /** Attacker-assigned identifier of a tracked host. */
 using TrackedHostId = std::uint32_t;
 
+/** Interned index of a CPU-model string (see HostRegistry). */
+using ModelId = std::uint32_t;
+
 /** One tracked host. */
 struct TrackedHost
 {
     TrackedHostId id = 0;
     std::string cpu_model;
+    ModelId model = 0; //!< interned cpu_model index
     FingerprintHistory history;
 
     /** Last observation. */
@@ -119,13 +122,24 @@ class HostRegistry
                 const HostRegistryConfig &cfg = {});
 
   private:
+    /**
+     * Interned model id for @p model, or nullopt if unseen. A data
+     * center has a handful of CPU SKUs, so a linear scan over the
+     * intern vector beats a string-keyed tree/hash map.
+     */
+    std::optional<ModelId> findModel(const std::string &model) const;
+
+    /** Interned model id for @p model, registering it if unseen. */
+    ModelId internModel(const std::string &model);
+
     /** Candidate ids whose model matches. */
     const std::vector<TrackedHostId> *
     candidates(const std::string &model) const;
 
     HostRegistryConfig cfg_;
     std::vector<TrackedHost> hosts_;
-    std::map<std::string, std::vector<TrackedHostId>> by_model_;
+    std::vector<std::string> model_names_;  //!< intern table, by ModelId
+    std::vector<std::vector<TrackedHostId>> model_hosts_; //!< by ModelId
 };
 
 } // namespace eaao::core

@@ -25,7 +25,6 @@
 
 #include <deque>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "faas/fleet.hpp"
@@ -34,6 +33,7 @@
 #include "faas/types.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "support/flat_map.hpp"
 
 namespace eaao::faas {
 
@@ -332,10 +332,14 @@ class Orchestrator
 
     std::vector<double> host_vcpus_used_;
     std::vector<double> host_mem_used_gb_;
-    /** per-host instance count by account (live instances). */
-    std::vector<std::unordered_map<AccountId, std::uint32_t>> acct_load_;
-    /** per-host instance count by service (live instances). */
-    std::vector<std::unordered_map<ServiceId, std::uint32_t>> svc_load_;
+    /**
+     * Per-host instance count by account / by service (live
+     * instances). Host-local cardinality is ~10 (Obs 1), so a sorted
+     * vector beats a hash table on the placement hot path and iterates
+     * deterministically.
+     */
+    std::vector<support::SmallFlatMap<AccountId, std::uint32_t>> acct_load_;
+    std::vector<support::SmallFlatMap<ServiceId, std::uint32_t>> svc_load_;
 };
 
 } // namespace eaao::faas

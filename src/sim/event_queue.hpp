@@ -6,23 +6,43 @@
  * virtual times, run until quiescence or a horizon, cancel events.
  * Ties are broken by insertion order (FIFO among same-time events) so
  * runs are deterministic.
+ *
+ * Events live in a slab: a recycled slot vector with a free-list. An
+ * EventId is a generation-tagged {slot, gen} handle packed into one
+ * 64-bit word, so cancel() is O(1) slot invalidation — no hash-map of
+ * callbacks, no tombstone set — and a stale handle (slot since reused)
+ * is rejected by its generation mismatch. The ready queue is a 4-ary
+ * min-heap of 24-byte {when, seq, slot, gen} entries kept in one
+ * contiguous vector, fed through an unsorted staging buffer that is
+ * flushed only when the queue needs to pop — so a schedule+cancel
+ * pair (the dominant reap pattern) usually never sifts at all. A
+ * cancelled event's entry is dropped at flush time or lazily when it
+ * surfaces (its generation no longer matches the slot's), while its
+ * slot and callback are reclaimed immediately. Callbacks are
+ * small-buffer-optimized (see inplace_callback.hpp) so the common
+ * simulator lambdas never touch the allocator. See
+ * docs/event-kernel.md.
  */
 
 #ifndef EAAO_SIM_EVENT_QUEUE_HPP
 #define EAAO_SIM_EVENT_QUEUE_HPP
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inplace_callback.hpp"
 #include "sim/time.hpp"
 
 namespace eaao::sim {
 
-/** Handle identifying a scheduled event (for cancellation). */
+/**
+ * Handle identifying a scheduled event (for cancellation).
+ *
+ * Packed {slot, gen}: the low 32 bits index the event slab, the high
+ * 32 bits carry the slot's generation at scheduling time. Generations
+ * start at 1, so a valid handle is never 0 and `EventId id = 0` keeps
+ * working as a null handle.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -31,10 +51,15 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InplaceCallback;
 
     /** Create a queue whose clock starts at @p start. */
     explicit EventQueue(SimTime start = SimTime());
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue();
 
     /** Current virtual time. */
     SimTime now() const { return now_; }
@@ -49,13 +74,22 @@ class EventQueue
     EventId scheduleAfter(Duration delay, Callback cb);
 
     /**
-     * Cancel a pending event.
+     * Cancel a pending event: O(1) slot invalidation (the callback is
+     * destroyed and the slot recycled immediately). A handle that
+     * already fired, was already cancelled, or whose slot has been
+     * reused (stale generation) is refused.
      * @return true if the event was pending and is now cancelled.
      */
     bool cancel(EventId id);
 
     /** Number of pending (non-cancelled) events. */
     std::size_t pending() const;
+
+    /** Pre-size the slab and heap for @p n concurrent events. */
+    void reserve(std::size_t n);
+
+    /** Events executed by this queue so far (cancelled ones excluded). */
+    std::uint64_t processed() const { return processed_; }
 
     /** Run all events until the queue drains. */
     void run();
@@ -70,33 +104,91 @@ class EventQueue
     void advance(Duration d);
 
   private:
-    struct Entry
+    /**
+     * One ready-queue entry. when/seq are duplicated out of the slot
+     * so heap comparisons stay inside the contiguous heap vector
+     * instead of chasing slab pointers.
+     */
+    struct HeapEntry
     {
         SimTime when;
-        std::uint64_t seq;
-        EventId id;
+        std::uint64_t seq; //!< FIFO tie-break
+        std::uint32_t slot;
+        std::uint32_t gen; //!< slot generation at scheduling time
     };
 
-    struct EntryLater
+    /** One slab slot; recycled through the free-list. */
+    struct Slot
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        std::uint32_t gen = 1; //!< bumped on fire/cancel; never 0
+        bool live = false;
+        Callback cb;
     };
 
-    /** Pop and execute the next runnable event. Precondition: non-empty. */
-    void step();
+    static EventId
+    packId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) | slot;
+    }
+
+    static std::uint32_t slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id);
+    }
+
+    static std::uint32_t genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    /** True when entry @p a fires strictly before @p b. */
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    /** True when @p e still refers to a pending event. */
+    bool
+    entryLive(const HeapEntry &e) const
+    {
+        const Slot &slot = slots_[e.slot];
+        return slot.live && slot.gen == e.gen;
+    }
+
+    void heapPush(HeapEntry entry);
+
+    /** Pop the heap top. Precondition: non-empty. */
+    HeapEntry heapPop();
+
+    /**
+     * Move still-live staged entries into the heap. Entries whose
+     * event was cancelled while staged are dropped here without ever
+     * being sifted — in the reap pattern (schedule a timeout, almost
+     * always cancel it before it fires) most entries die in staging
+     * and the heap only ever sees the survivors.
+     */
+    void flushStaging();
+
+    /** Kill @p slot: destroy the callback, retag, recycle. */
+    void retire(std::uint32_t idx);
+
+    /** Pop dead (cancelled) tops so the heap front is live or empty. */
+    void compactTop();
+
+    /** Execute a live popped entry. */
+    void fire(const HeapEntry &top);
 
     SimTime now_;
     std::uint64_t next_seq_ = 0;
-    EventId next_id_ = 1;
-    std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
-    std::unordered_set<EventId> cancelled_;
-    std::unordered_map<EventId, Callback> callbacks_;
+    std::uint64_t processed_ = 0;
+    std::size_t live_ = 0;
+    std::vector<Slot> slots_;
+    std::vector<HeapEntry> heap_;      //!< 4-ary min-heap
+    std::vector<HeapEntry> staging_;   //!< scheduled, not yet in heap_
+    std::vector<std::uint32_t> free_;  //!< recycled slot indices
 };
 
 } // namespace eaao::sim

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable for the event kernel.
+ *
+ * The orchestrator schedules millions of tiny `[this, id]` lambdas per
+ * campaign; wrapping each in a `std::function` costs a heap allocation
+ * and an indirect copyable-wrapper vtable. InplaceCallback stores any
+ * callable up to kInlineSize bytes directly inside the event slot and
+ * falls back to the heap only for oversized captures, so the common
+ * simulator callbacks never allocate.
+ */
+
+#ifndef EAAO_SIM_INPLACE_CALLBACK_HPP
+#define EAAO_SIM_INPLACE_CALLBACK_HPP
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace eaao::sim {
+
+/**
+ * A move-only `void()` callable with inline storage.
+ *
+ * Callables that fit in kInlineSize bytes, satisfy the storage
+ * alignment, and are nothrow-move-constructible live inline; anything
+ * else is heap-allocated behind a pointer. Invocation, move, and
+ * destruction dispatch through a per-type static ops table (one
+ * pointer per callback, no virtual functions).
+ */
+class InplaceCallback
+{
+  public:
+    /** Inline capture budget; fits `std::function` and a few words. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    InplaceCallback() noexcept = default;
+
+    /** Wrap any `void()` callable (implicit, like std::function). */
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InplaceCallback> &&
+                  std::is_invocable_r_v<void, D &>>>
+    InplaceCallback(F &&fn) // NOLINT(google-explicit-constructor)
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(storage_)) D(std::forward<F>(fn));
+            ops_ = &inlineOps<D>();
+        } else {
+            *reinterpret_cast<D **>(storage_) = new D(std::forward<F>(fn));
+            ops_ = &heapOps<D>();
+        }
+    }
+
+    InplaceCallback(InplaceCallback &&other) noexcept
+    {
+        moveFrom(std::move(other));
+    }
+
+    InplaceCallback &
+    operator=(InplaceCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    InplaceCallback(const InplaceCallback &) = delete;
+    InplaceCallback &operator=(const InplaceCallback &) = delete;
+
+    ~InplaceCallback() { reset(); }
+
+    /** Invoke the callable. Precondition: non-empty. */
+    void
+    operator()()
+    {
+        ops_->invoke(storage_);
+    }
+
+    /** True when a callable is stored. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Destroy the stored callable (if any); leaves *this empty. */
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    /** True when the stored callable lives in the inline buffer. */
+    bool
+    isInline() const noexcept
+    {
+        return ops_ != nullptr && ops_->is_inline;
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move-construct into @p dst from @p src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *storage) noexcept;
+        bool is_inline;
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= kInlineSize &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    static const Ops &
+    inlineOps()
+    {
+        static constexpr Ops ops = {
+            [](void *s) { (*std::launder(reinterpret_cast<D *>(s)))(); },
+            [](void *dst, void *src) noexcept {
+                D *from = std::launder(reinterpret_cast<D *>(src));
+                ::new (dst) D(std::move(*from));
+                from->~D();
+            },
+            [](void *s) noexcept {
+                std::launder(reinterpret_cast<D *>(s))->~D();
+            },
+            /*is_inline=*/true,
+        };
+        return ops;
+    }
+
+    template <typename D>
+    static const Ops &
+    heapOps()
+    {
+        static constexpr Ops ops = {
+            [](void *s) { (**reinterpret_cast<D **>(s))(); },
+            [](void *dst, void *src) noexcept {
+                *reinterpret_cast<D **>(dst) =
+                    *reinterpret_cast<D **>(src);
+            },
+            [](void *s) noexcept { delete *reinterpret_cast<D **>(s); },
+            /*is_inline=*/false,
+        };
+        return ops;
+    }
+
+    void
+    moveFrom(InplaceCallback &&other) noexcept
+    {
+        if (other.ops_ != nullptr) {
+            ops_ = other.ops_;
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace eaao::sim
+
+#endif // EAAO_SIM_INPLACE_CALLBACK_HPP

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the bench timing pipeline.
+ */
+
+#include "support/bench_timer.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "support/logging.hpp"
+#include "support/options.hpp"
+
+namespace eaao::support {
+
+namespace {
+
+/** Process-wide executed-event counter (flushed per queue lifetime). */
+std::atomic<std::uint64_t> g_events_processed{0};
+
+} // namespace
+
+void
+noteEventsProcessed(std::uint64_t n) noexcept
+{
+    g_events_processed.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t
+totalEventsProcessed() noexcept
+{
+    return g_events_processed.load(std::memory_order_relaxed);
+}
+
+BenchTimer::BenchTimer(std::string bench, unsigned threads,
+                       std::uint64_t seed)
+    : bench_(std::move(bench)), threads_(threads), seed_(seed),
+      start_(std::chrono::steady_clock::now()),
+      events_start_(totalEventsProcessed())
+{
+}
+
+BenchTimingRecord
+BenchTimer::stop() const
+{
+    BenchTimingRecord record;
+    record.bench = bench_;
+    record.threads = threads_;
+    record.seed = seed_;
+    record.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    record.events_processed = totalEventsProcessed() - events_start_;
+    record.events_per_s =
+        record.wall_s > 0.0
+            ? static_cast<double>(record.events_processed) / record.wall_s
+            : 0.0;
+    return record;
+}
+
+std::string
+toJson(const BenchTimingRecord &record)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bench\": \"%s\", \"wall_s\": %.6f, "
+                  "\"events_processed\": %llu, \"events_per_s\": %.1f, "
+                  "\"threads\": %u, \"seed\": %llu}",
+                  record.bench.c_str(), record.wall_s,
+                  static_cast<unsigned long long>(record.events_processed),
+                  record.events_per_s, record.threads,
+                  static_cast<unsigned long long>(record.seed));
+    return buf;
+}
+
+void
+appendBenchJson(const std::string &path, const BenchTimingRecord &record)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        EAAO_FATAL("cannot open bench-json file '", path, "'");
+    out << toJson(record) << '\n';
+}
+
+void
+maybeWriteBenchJson(int argc, char **argv,
+                    const BenchTimingRecord &record)
+{
+    if (const auto path = benchJsonFromArgs(argc, argv))
+        appendBenchJson(*path, record);
+}
+
+} // namespace eaao::support

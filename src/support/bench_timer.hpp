@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bench timing pipeline: wall-clock timing of a bench's trial loop
+ * plus machine-readable JSON records for the perf trajectory.
+ *
+ * Determinism contract: nothing here ever writes to stdout — bench
+ * stdout stays byte-identical whether or not timing is enabled. The
+ * records go to the file named by `--bench-json <path>` (or the
+ * EAAO_BENCH_JSON environment variable), one JSON object per line, so
+ * CI can append runs into a BENCH_*.json trajectory.
+ */
+
+#ifndef EAAO_SUPPORT_BENCH_TIMER_HPP
+#define EAAO_SUPPORT_BENCH_TIMER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace eaao::support {
+
+/**
+ * Add @p n to the process-wide executed-event counter. Called by
+ * EventQueue's destructor (one relaxed atomic add per queue lifetime,
+ * nothing per event), so the total is exact once the platforms built
+ * inside a trial loop have been destroyed.
+ */
+void noteEventsProcessed(std::uint64_t n) noexcept;
+
+/** Events executed by all destroyed queues so far, process-wide. */
+std::uint64_t totalEventsProcessed() noexcept;
+
+/** One timing record of a bench's trial loop. */
+struct BenchTimingRecord
+{
+    std::string bench;                  //!< bench binary name
+    double wall_s = 0.0;                //!< trial-loop wall time
+    std::uint64_t events_processed = 0; //!< kernel events in the loop
+    double events_per_s = 0.0;          //!< throughput (0 if wall_s==0)
+    unsigned threads = 1;               //!< worker threads used
+    std::uint64_t seed = 0;             //!< campaign seed
+};
+
+/** Render a record as a single-line JSON object (no trailing newline). */
+std::string toJson(const BenchTimingRecord &record);
+
+/**
+ * Scoped timer around a bench's trial loop. Construction snapshots the
+ * steady clock and the event counter; stop() produces the record.
+ */
+class BenchTimer
+{
+  public:
+    BenchTimer(std::string bench, unsigned threads, std::uint64_t seed);
+
+    /** Measure since construction. Callable more than once. */
+    BenchTimingRecord stop() const;
+
+  private:
+    std::string bench_;
+    unsigned threads_;
+    std::uint64_t seed_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t events_start_;
+};
+
+/**
+ * Append @p record as one JSON line to @p path.
+ * A fatal user error if the file cannot be opened.
+ */
+void appendBenchJson(const std::string &path,
+                     const BenchTimingRecord &record);
+
+/**
+ * Append @p record to the path given by `--bench-json` /
+ * EAAO_BENCH_JSON (see options.hpp); a silent no-op when neither is
+ * set. Never touches stdout.
+ */
+void maybeWriteBenchJson(int argc, char **argv,
+                         const BenchTimingRecord &record);
+
+} // namespace eaao::support
+
+#endif // EAAO_SUPPORT_BENCH_TIMER_HPP

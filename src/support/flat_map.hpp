@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Small sorted-vector map for hot low-cardinality tables.
+ *
+ * The orchestrator keeps a per-host count of instances by account and
+ * by service; each host carries ~10 entries, so an unordered_map pays
+ * hashing and node allocations for nothing. SmallFlatMap stores the
+ * entries contiguously in key order: lookups are a binary search over
+ * one cache line or two, iteration is deterministic (sorted by key,
+ * never hash order), and the whole table is a single vector.
+ */
+
+#ifndef EAAO_SUPPORT_FLAT_MAP_HPP
+#define EAAO_SUPPORT_FLAT_MAP_HPP
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace eaao::support {
+
+/**
+ * Sorted-vector map with the subset of the std::map interface the hot
+ * paths use. Keys must be totally ordered by `<`; values must be
+ * default-constructible (operator[] inserts a default).
+ */
+template <typename Key, typename Value>
+class SmallFlatMap
+{
+  public:
+    using value_type = std::pair<Key, Value>;
+    using const_iterator = typename std::vector<value_type>::const_iterator;
+    using iterator = typename std::vector<value_type>::iterator;
+
+    /** Value for @p key, default-inserting it if absent. */
+    Value &
+    operator[](const Key &key)
+    {
+        const auto it = lowerBound(key);
+        if (it != entries_.end() && it->first == key)
+            return it->second;
+        return entries_.insert(it, {key, Value{}})->second;
+    }
+
+    /** Iterator to @p key's entry, or end(). */
+    const_iterator
+    find(const Key &key) const
+    {
+        const auto it = lowerBound(key);
+        return it != entries_.end() && it->first == key ? it
+                                                        : entries_.end();
+    }
+
+    iterator
+    find(const Key &key)
+    {
+        const auto it = lowerBound(key);
+        return it != entries_.end() && it->first == key ? it
+                                                        : entries_.end();
+    }
+
+    /** Remove @p key's entry. @return true if it existed. */
+    bool
+    erase(const Key &key)
+    {
+        const auto it = lowerBound(key);
+        if (it == entries_.end() || it->first != key)
+            return false;
+        entries_.erase(it);
+        return true;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Iteration is in ascending key order — deterministic. */
+    const_iterator begin() const { return entries_.begin(); }
+    const_iterator end() const { return entries_.end(); }
+    iterator begin() { return entries_.begin(); }
+    iterator end() { return entries_.end(); }
+
+  private:
+    iterator
+    lowerBound(const Key &key)
+    {
+        return std::lower_bound(
+            entries_.begin(), entries_.end(), key,
+            [](const value_type &e, const Key &k) { return e.first < k; });
+    }
+
+    const_iterator
+    lowerBound(const Key &key) const
+    {
+        return std::lower_bound(
+            entries_.begin(), entries_.end(), key,
+            [](const value_type &e, const Key &k) { return e.first < k; });
+    }
+
+    std::vector<value_type> entries_;
+};
+
+} // namespace eaao::support
+
+#endif // EAAO_SUPPORT_FLAT_MAP_HPP

@@ -70,4 +70,27 @@ threadsFromArgs(int argc, char **argv)
     return defaultThreads();
 }
 
+std::optional<std::string>
+benchJsonFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--bench-json") == 0) {
+            if (i + 1 >= argc || argv[i + 1][0] == '\0')
+                EAAO_FATAL("--bench-json requires a path");
+            return std::string(argv[i + 1]);
+        }
+        if (std::strncmp(arg, "--bench-json=", 13) == 0) {
+            if (arg[13] == '\0')
+                EAAO_FATAL("--bench-json requires a path");
+            return std::string(arg + 13);
+        }
+    }
+    if (const char *env = std::getenv("EAAO_BENCH_JSON")) {
+        if (*env != '\0')
+            return std::string(env);
+    }
+    return std::nullopt;
+}
+
 } // namespace eaao::support

@@ -7,10 +7,18 @@
  * argv > environment > hardware concurrency. The trial harness
  * guarantees byte-identical output for any thread count, so the knob
  * only changes wall-clock time.
+ *
+ * `--bench-json <path>` (also `--bench-json=<path>`, or the
+ * EAAO_BENCH_JSON environment variable) names a file the bench appends
+ * its timing record to — see bench_timer.hpp. Timing never goes to
+ * stdout, so bench output stays byte-identical either way.
  */
 
 #ifndef EAAO_SUPPORT_OPTIONS_HPP
 #define EAAO_SUPPORT_OPTIONS_HPP
+
+#include <optional>
+#include <string>
 
 namespace eaao::support {
 
@@ -27,6 +35,14 @@ unsigned defaultThreads();
  * error.
  */
 unsigned threadsFromArgs(int argc, char **argv);
+
+/**
+ * Resolve the bench-timing JSON path from `--bench-json <path>` /
+ * `--bench-json=<path>` in @p argv, falling back to EAAO_BENCH_JSON.
+ * nullopt when neither is given (timing disabled); an empty value is
+ * a fatal user error.
+ */
+std::optional<std::string> benchJsonFromArgs(int argc, char **argv);
 
 } // namespace eaao::support
 

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -183,6 +186,172 @@ TEST(EventQueue, CancelInsideEventWorks)
     eq.scheduleAfter(Duration::seconds(1), [&] { eq.cancel(second); });
     eq.run();
     EXPECT_FALSE(second_ran);
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsRefused)
+{
+    // Cancel an event, then schedule again so its slab slot is reused.
+    // The old handle must not cancel (or otherwise affect) the new
+    // occupant: the generation tag distinguishes them.
+    EventQueue eq;
+    const EventId old_id = eq.scheduleAfter(Duration::seconds(1), [] {});
+    ASSERT_TRUE(eq.cancel(old_id));
+
+    bool newer_ran = false;
+    const EventId new_id =
+        eq.scheduleAfter(Duration::seconds(2), [&] { newer_ran = true; });
+    // Slot recycling means the two handles share the low (slot) bits
+    // but differ in generation.
+    ASSERT_NE(old_id, new_id);
+
+    EXPECT_FALSE(eq.cancel(old_id)); // stale generation -> refused
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_TRUE(newer_ran);
+}
+
+TEST(EventQueue, StaleHandleAfterFireAndReuseIsRefused)
+{
+    // Same as above but the slot is freed by firing, not cancelling.
+    EventQueue eq;
+    int fired = 0;
+    const EventId old_id =
+        eq.scheduleAfter(Duration::seconds(1), [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+
+    int second_fired = 0;
+    eq.scheduleAfter(Duration::seconds(1), [&] { ++second_fired; });
+    EXPECT_FALSE(eq.cancel(old_id));
+    eq.run();
+    EXPECT_EQ(second_fired, 1);
+}
+
+TEST(EventQueue, HandlesAreNeverNull)
+{
+    // EventId 0 is the orchestrator's null sentinel; a real handle
+    // must never collide with it, even for the first slot.
+    EventQueue eq;
+    for (int i = 0; i < 100; ++i) {
+        const EventId id = eq.scheduleAfter(Duration::seconds(1), [] {});
+        EXPECT_NE(id, 0u);
+        eq.cancel(id);
+    }
+}
+
+/**
+ * Reference scheduler: std::multimap keyed by (when, seq) with
+ * explicit cancellation by erase. Trivially correct; the arena must
+ * match it event for event.
+ */
+class ReferenceQueue
+{
+  public:
+    SimTime now() const { return now_; }
+
+    std::uint64_t
+    scheduleAfter(Duration delay, std::function<void()> cb)
+    {
+        const std::uint64_t id = next_id_++;
+        pending_.emplace(std::make_pair(now_ + delay, id),
+                         std::move(cb));
+        return id;
+    }
+
+    bool
+    cancel(std::uint64_t id)
+    {
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->first.second == id) {
+                pending_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::size_t pending() const { return pending_.size(); }
+
+    void
+    runUntil(SimTime horizon)
+    {
+        while (!pending_.empty() &&
+               pending_.begin()->first.first <= horizon) {
+            auto it = pending_.begin();
+            now_ = it->first.first;
+            auto cb = std::move(it->second);
+            pending_.erase(it);
+            cb();
+        }
+        now_ = horizon;
+    }
+
+    void
+    run()
+    {
+        while (!pending_.empty())
+            runUntil(pending_.begin()->first.first);
+    }
+
+  private:
+    SimTime now_;
+    std::uint64_t next_id_ = 1;
+    // (when, insertion seq) -> callback; seq keeps FIFO among ties.
+    std::map<std::pair<SimTime, std::uint64_t>, std::function<void()>>
+        pending_;
+};
+
+TEST(EventQueue, PropertyMatchesReferenceOverRandomOps)
+{
+    // 10k mixed schedule/cancel/runUntil ops driven by one RNG against
+    // both the arena and the multimap reference; the observable
+    // execution traces (which event fired, at what virtual time) and
+    // every cancel() verdict must agree exactly.
+    Rng rng(0xeaa0);
+    EventQueue arena;
+    ReferenceQueue ref;
+    std::vector<std::pair<int, std::int64_t>> arena_trace, ref_trace;
+    std::vector<std::pair<EventId, std::uint64_t>> cancellable;
+    int tag = 0;
+
+    for (int op = 0; op < 10000; ++op) {
+        const std::uint64_t kind = rng.uniformInt(std::uint64_t{10});
+        if (kind < 6) { // schedule
+            const Duration d = Duration::millis(static_cast<std::int64_t>(
+                rng.uniformInt(std::uint64_t{5000})));
+            const int t = tag++;
+            const EventId a = arena.scheduleAfter(
+                d, [&arena_trace, &arena, t] {
+                    arena_trace.emplace_back(t, arena.now().ns());
+                });
+            const std::uint64_t r = ref.scheduleAfter(
+                d, [&ref_trace, &ref, t] {
+                    ref_trace.emplace_back(t, ref.now().ns());
+                });
+            if (rng.uniformInt(std::uint64_t{2}) == 0)
+                cancellable.emplace_back(a, r);
+        } else if (kind < 9) { // cancel a remembered handle
+            if (!cancellable.empty()) {
+                const std::uint64_t pick = rng.uniformInt(
+                    static_cast<std::uint64_t>(cancellable.size()));
+                const auto [a, r] = cancellable[pick];
+                cancellable.erase(cancellable.begin() +
+                                  static_cast<std::ptrdiff_t>(pick));
+                EXPECT_EQ(arena.cancel(a), ref.cancel(r));
+            }
+        } else { // advance the horizon
+            const Duration d = Duration::millis(static_cast<std::int64_t>(
+                rng.uniformInt(std::uint64_t{2000})));
+            arena.runUntil(arena.now() + d);
+            ref.runUntil(ref.now() + d);
+            EXPECT_EQ(arena.now(), ref.now());
+        }
+        ASSERT_EQ(arena.pending(), ref.pending()) << "op " << op;
+    }
+    arena.run();
+    ref.run();
+    EXPECT_EQ(arena_trace, ref_trace);
+    EXPECT_EQ(arena.pending(), 0u);
 }
 
 } // namespace

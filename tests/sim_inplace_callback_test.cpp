@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the small-buffer-optimized event callback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/inplace_callback.hpp"
+
+namespace eaao::sim {
+namespace {
+
+/** Counts constructions/destructions to catch leaks and double-frees. */
+struct LifetimeProbe
+{
+    static int alive;
+    LifetimeProbe() { ++alive; }
+    LifetimeProbe(const LifetimeProbe &) { ++alive; }
+    LifetimeProbe(LifetimeProbe &&) noexcept { ++alive; }
+    ~LifetimeProbe() { --alive; }
+};
+int LifetimeProbe::alive = 0;
+
+TEST(InplaceCallback, EmptyByDefault)
+{
+    InplaceCallback cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    EXPECT_FALSE(cb.isInline());
+    cb.reset(); // reset of empty is a no-op
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InplaceCallback, SmallLambdaIsStoredInline)
+{
+    int hits = 0;
+    InplaceCallback cb = [&hits] { ++hits; };
+    ASSERT_TRUE(static_cast<bool>(cb));
+    EXPECT_TRUE(cb.isInline());
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, CaptureAtTheInlineBoundaryStaysInline)
+{
+    // Exactly kInlineSize bytes of capture must still fit.
+    std::array<std::uint8_t, InplaceCallback::kInlineSize> blob{};
+    blob[0] = 7;
+    std::uint8_t seen = 0;
+    auto fn = [blob, &seen]() mutable { seen = blob[0]; };
+    static_assert(sizeof(fn) > InplaceCallback::kInlineSize);
+    InplaceCallback big = std::move(fn);
+    EXPECT_FALSE(big.isInline());
+
+    std::array<std::uint8_t, InplaceCallback::kInlineSize -
+                                 sizeof(std::uint8_t *)> fitting{};
+    fitting[0] = 9;
+    auto fits = [fitting, &seen] { seen = fitting[0]; };
+    InplaceCallback small = std::move(fits);
+    EXPECT_TRUE(small.isInline());
+    small();
+    EXPECT_EQ(seen, 9);
+    big();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(InplaceCallback, OversizedCaptureFallsBackToHeapAndWorks)
+{
+    std::array<std::uint64_t, 32> payload{};
+    payload[31] = 0xabcd;
+    std::uint64_t got = 0;
+    InplaceCallback cb = [payload, &got] { got = payload[31]; };
+    ASSERT_TRUE(static_cast<bool>(cb));
+    EXPECT_FALSE(cb.isInline());
+    cb();
+    EXPECT_EQ(got, 0xabcdu);
+}
+
+TEST(InplaceCallback, MoveTransfersOwnershipInline)
+{
+    int hits = 0;
+    InplaceCallback a = [&hits] { ++hits; };
+    InplaceCallback b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a)); // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    InplaceCallback c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b)); // NOLINT(bugprone-use-after-move)
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, MoveTransfersOwnershipHeap)
+{
+    std::array<std::uint64_t, 32> payload{};
+    payload[0] = 42;
+    std::uint64_t got = 0;
+    InplaceCallback a = [payload, &got] { got = payload[0]; };
+    ASSERT_FALSE(a.isInline());
+    InplaceCallback b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a)); // NOLINT(bugprone-use-after-move)
+    b();
+    EXPECT_EQ(got, 42u);
+}
+
+TEST(InplaceCallback, AssignmentDestroysPreviousCallable)
+{
+    {
+        InplaceCallback cb = [probe = LifetimeProbe{}] { (void)probe; };
+        EXPECT_EQ(LifetimeProbe::alive, 1);
+        cb = [] {};
+        EXPECT_EQ(LifetimeProbe::alive, 0); // old capture destroyed
+        cb();
+    }
+    EXPECT_EQ(LifetimeProbe::alive, 0);
+}
+
+TEST(InplaceCallback, ResetAndDestructorReleaseCaptures)
+{
+    // Inline path.
+    {
+        InplaceCallback cb = [probe = LifetimeProbe{}] { (void)probe; };
+        EXPECT_EQ(LifetimeProbe::alive, 1);
+        cb.reset();
+        EXPECT_EQ(LifetimeProbe::alive, 0);
+        EXPECT_FALSE(static_cast<bool>(cb));
+    }
+    // Heap path: pad the capture past the inline budget.
+    {
+        std::array<std::uint64_t, 32> pad{};
+        InplaceCallback cb =
+            [probe = LifetimeProbe{}, pad] { (void)probe; (void)pad; };
+        EXPECT_FALSE(cb.isInline());
+        EXPECT_EQ(LifetimeProbe::alive, 1);
+    }
+    EXPECT_EQ(LifetimeProbe::alive, 0);
+}
+
+TEST(InplaceCallback, MoveOnlyCapturesAreSupported)
+{
+    auto owned = std::make_unique<int>(31337);
+    int got = 0;
+    InplaceCallback cb = [owned = std::move(owned), &got] {
+        got = *owned;
+    };
+    InplaceCallback moved = std::move(cb);
+    moved();
+    EXPECT_EQ(got, 31337);
+}
+
+TEST(InplaceCallback, SelfMoveAssignmentIsSafe)
+{
+    int hits = 0;
+    InplaceCallback cb = [&hits] { ++hits; };
+    InplaceCallback &alias = cb;
+    cb = std::move(alias);
+    ASSERT_TRUE(static_cast<bool>(cb));
+    cb();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InplaceCallback, ManyWrappersDoNotLeak)
+{
+    std::vector<InplaceCallback> cbs;
+    for (int i = 0; i < 100; ++i) {
+        cbs.emplace_back([probe = LifetimeProbe{}] { (void)probe; });
+        std::array<std::uint64_t, 32> pad{};
+        cbs.emplace_back(
+            [probe = LifetimeProbe{}, pad] { (void)probe; (void)pad; });
+    }
+    EXPECT_EQ(LifetimeProbe::alive, 200);
+    cbs.clear();
+    EXPECT_EQ(LifetimeProbe::alive, 0);
+}
+
+} // namespace
+} // namespace eaao::sim
