@@ -18,6 +18,7 @@
 #include "core/report.hpp"
 #include "core/strategy.hpp"
 #include "faas/platform.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -56,9 +57,13 @@ runVariant(eaao::faas::Platform &platform, eaao::faas::AccountId acct,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace eaao;
+
+    const obs::ObsConfig obs_cfg = obs::ObsConfig::fromArgs(argc, argv);
+    obs::TrialSet obs_set(obs_cfg);
+    obs_set.prepare(1);
 
     std::printf("=== Figure 7 / Experiment 2: repeated cold launches, "
                 "45-minute interval (us-east1) ===\n\n");
@@ -66,6 +71,7 @@ main()
     faas::PlatformConfig cfg;
     cfg.profile = faas::DataCenterProfile::usEast1();
     cfg.seed = 71;
+    cfg.obs = obs_set.observer(0);
     faas::Platform platform(cfg);
     const auto acct = platform.createAccount();
 
@@ -78,5 +84,6 @@ main()
     std::printf("paper shape: ~75 apparent hosts per launch; the "
                 "cumulative count grows\nonly slightly (base hosts are "
                 "account-affine), in both variants.\n");
+    obs::writeOutputs(obs_cfg, obs_set);
     return 0;
 }

@@ -17,11 +17,16 @@
 #include "core/report.hpp"
 #include "core/strategy.hpp"
 #include "faas/platform.hpp"
+#include "obs/export.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace eaao;
+
+    const obs::ObsConfig obs_cfg = obs::ObsConfig::fromArgs(argc, argv);
+    obs::TrialSet obs_set(obs_cfg);
+    obs_set.prepare(1);
 
     std::printf("=== Figure 8 / Experiment 3: launches from three "
                 "accounts (us-east1) ===\n\n");
@@ -29,6 +34,7 @@ main()
     faas::PlatformConfig cfg;
     cfg.profile = faas::DataCenterProfile::usEast1();
     cfg.seed = 81;
+    cfg.obs = obs_set.observer(0);
     faas::Platform platform(cfg);
 
     // Three standard accounts; the platform assigns their home shards
@@ -68,5 +74,6 @@ main()
     std::printf("\npaper shape: cumulative count steps up by roughly "
                 "one base-host set\nwhenever a launch introduces a new "
                 "account, and is nearly flat otherwise.\n");
+    obs::writeOutputs(obs_cfg, obs_set);
     return 0;
 }

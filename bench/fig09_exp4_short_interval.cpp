@@ -18,18 +18,21 @@
 #include "core/report.hpp"
 #include "core/strategy.hpp"
 #include "faas/platform.hpp"
+#include "obs/export.hpp"
 
 namespace sim = eaao::sim;
 
 namespace {
 
 std::size_t
-runInterval(std::uint64_t seed, sim::Duration interval, bool print)
+runInterval(std::uint64_t seed, sim::Duration interval, bool print,
+            eaao::obs::Observer observer)
 {
     using namespace eaao;
     faas::PlatformConfig cfg;
     cfg.profile = faas::DataCenterProfile::usEast1();
     cfg.seed = seed;
+    cfg.obs = observer;
     faas::Platform platform(cfg);
     const auto acct = platform.createAccount();
     const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
@@ -61,22 +64,32 @@ runInterval(std::uint64_t seed, sim::Duration interval, bool print)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    using namespace eaao;
+
+    const obs::ObsConfig obs_cfg = obs::ObsConfig::fromArgs(argc, argv);
+    obs::TrialSet obs_set(obs_cfg);
+    obs_set.prepare(4); // one slot per platform run, in call order
+
     std::printf("=== Figure 9 / Experiment 4: launches at a 10-minute "
                 "interval (us-east1) ===\n\n");
-    runInterval(91, sim::Duration::minutes(10), true);
+    runInterval(91, sim::Duration::minutes(10), true,
+                obs_set.observer(0));
 
     std::printf("\nextra hosts discovered after launch 1, by launch "
                 "interval:\n\n");
     eaao::core::TextTable controls;
     controls.header({"interval", "new hosts after 6 launches"});
     const std::size_t at_2min =
-        runInterval(92, sim::Duration::minutes(2), false);
+        runInterval(92, sim::Duration::minutes(2), false,
+                    obs_set.observer(1));
     const std::size_t at_10min =
-        runInterval(91, sim::Duration::minutes(10), false);
+        runInterval(91, sim::Duration::minutes(10), false,
+                    obs_set.observer(2));
     const std::size_t at_45min =
-        runInterval(93, sim::Duration::minutes(45), false);
+        runInterval(93, sim::Duration::minutes(45), false,
+                    obs_set.observer(3));
     controls.row({"2 min", eaao::core::format("%zu", at_2min)});
     controls.row({"10 min", eaao::core::format("%zu", at_10min)});
     controls.row({"45 min", eaao::core::format("%zu", at_45min)});
@@ -86,5 +99,6 @@ main()
                 "~3 launches at 10 min\n(+177 hosts); almost none at "
                 "2 min (+12) or beyond the 30-minute demand\nwindow "
                 "(45 min).\n");
+    obs::writeOutputs(obs_cfg, obs_set);
     return 0;
 }

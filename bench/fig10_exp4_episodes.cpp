@@ -19,11 +19,16 @@
 #include "core/report.hpp"
 #include "core/strategy.hpp"
 #include "faas/platform.hpp"
+#include "obs/export.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace eaao;
+
+    const obs::ObsConfig obs_cfg = obs::ObsConfig::fromArgs(argc, argv);
+    obs::TrialSet obs_set(obs_cfg);
+    obs_set.prepare(1);
 
     std::printf("=== Figure 10 / Experiment 4 episodes: helper hosts "
                 "across services (us-east1) ===\n\n");
@@ -31,6 +36,7 @@ main()
     faas::PlatformConfig cfg;
     cfg.profile = faas::DataCenterProfile::usEast1();
     cfg.seed = 101;
+    cfg.obs = obs_set.observer(0);
     faas::Platform platform(cfg);
     const auto acct = platform.createAccount();
 
@@ -73,5 +79,6 @@ main()
                 "after every episode,\nbut by less than the episode's "
                 "own helper count — helper sets of different\nservices "
                 "overlap without coinciding (Observation 6).\n");
+    obs::writeOutputs(obs_cfg, obs_set);
     return 0;
 }

@@ -20,6 +20,9 @@
 #include "core/strategy.hpp"
 #include "core/verify.hpp"
 #include "faas/platform.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -410,6 +413,34 @@ BM_PlacementScaleOut(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_PlacementScaleOut)->Arg(100)->Arg(800);
+
+/**
+ * Same placement workload with a live TraceSink + MetricsRegistry
+ * attached. The delta against BM_PlacementScaleOut is the *enabled*
+ * instrumentation cost; the disabled cost (EAAO_ENABLE_OBS=OFF) is
+ * checked by comparing BM_PlacementScaleOut across build trees.
+ */
+void
+BM_PlacementScaleOutTraced(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    obs::TrialObs slot;
+    for (auto _ : state) {
+        state.PauseTiming();
+        slot.trace.clear();
+        faas::PlatformConfig cfg = baseConfig(6);
+        cfg.obs = slot.observer();
+        faas::Platform platform(cfg);
+        const auto acct = platform.createAccount();
+        const auto svc =
+            platform.deployService(acct, faas::ExecEnv::Gen1);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(platform.connect(svc, n));
+    }
+    benchmark::DoNotOptimize(slot.trace.size());
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PlacementScaleOutTraced)->Arg(100)->Arg(800);
 
 void
 BM_FleetConstruction(benchmark::State &state)

@@ -27,6 +27,7 @@
 #include "core/strategy.hpp"
 #include "core/verify.hpp"
 #include "exp/trial_runner.hpp"
+#include "obs/export.hpp"
 #include "stats/summary.hpp"
 #include "support/bench_timer.hpp"
 #include "support/options.hpp"
@@ -54,13 +55,14 @@ struct CampaignMetrics
 };
 
 CampaignMetrics
-runReplica(std::uint64_t seed)
+runReplica(std::uint64_t seed, eaao::obs::Observer observer)
 {
     using namespace eaao;
 
     faas::PlatformConfig cfg;
     cfg.profile = faas::DataCenterProfile::usEast1();
     cfg.seed = seed;
+    cfg.obs = observer;
     faas::Platform platform(cfg);
     const auto attacker = platform.createAccount(0);
     const auto victim = platform.createAccount(2);
@@ -126,6 +128,8 @@ main(int argc, char **argv)
 {
     using namespace eaao;
     const unsigned threads = support::threadsFromArgs(argc, argv);
+    const obs::ObsConfig obs_cfg = obs::ObsConfig::fromArgs(argc, argv);
+    obs::TrialSet obs_set(obs_cfg);
 
     std::printf("=== attack_campaign: Strategy 2 end to end "
                 "(us-east1, %zu replicas) ===\n\n", kReplicas);
@@ -137,10 +141,11 @@ main(int argc, char **argv)
     const std::vector<CampaignMetrics> replicas = exp::runTrials(
         kReplicas, /*seed=*/1337,
         [](exp::TrialContext &trial) {
-            return runReplica(1337 + trial.index);
+            return runReplica(1337 + trial.index, trial.obs);
         },
-        threads);
+        threads, &obs_set);
     support::maybeWriteBenchJson(argc, argv, timer.stop());
+    obs::writeOutputs(obs_cfg, obs_set);
 
     const CampaignMetrics &m = replicas.front();
     std::printf("primed %zu services; holding %zu instances on %zu "

@@ -5,6 +5,8 @@
 
 #include "channel/activity.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "support/logging.hpp"
 
 namespace eaao::channel {
@@ -17,6 +19,12 @@ ActivityProbe::ActivityProbe(faas::Platform &platform,
     EAAO_ASSERT(platform.instanceInfo(foothold).state !=
                     faas::InstanceState::Terminated,
                 "foothold instance is gone");
+#if EAAO_OBS_ENABLED
+    if (obs::MetricsRegistry *metrics = platform.obs().metrics) {
+        c_samples_ = metrics->counter("channel.activity_samples");
+        c_busy_ = metrics->counter("channel.activity_busy");
+    }
+#endif
 }
 
 ActivitySample
@@ -47,6 +55,9 @@ ActivityProbe::sample()
     if (rng.bernoulli(cfg_.background_rate))
         ++s.level;
     s.busy = s.level >= cfg_.busy_threshold;
+    EAAO_OBS_COUNT(c_samples_, 1);
+    if (s.busy)
+        EAAO_OBS_COUNT(c_busy_, 1);
     return s;
 }
 
@@ -55,11 +66,16 @@ ActivityProbe::watch(sim::Duration interval, sim::Duration span)
 {
     EAAO_ASSERT(interval.ns() > 0, "non-positive sampling interval");
     std::vector<ActivitySample> trace;
+    EAAO_OBS_ONLY(const sim::SimTime obs_start = platform_->now();)
     const sim::SimTime end = platform_->now() + span;
     while (platform_->now() < end) {
         trace.push_back(sample());
         platform_->advance(interval);
     }
+    EAAO_OBS_SPAN(platform_->obs(), "channel.activity_watch", "channel",
+                  obs_start, platform_->now(),
+                  {obs::TraceArg::u64("foothold", foothold_),
+                   obs::TraceArg::u64("samples", trace.size())});
     return trace;
 }
 

@@ -73,6 +73,10 @@ class ActivityProbe
     faas::Platform *platform_;
     faas::InstanceId foothold_;
     ActivityProbeConfig cfg_;
+
+    /** Metric handles resolved from the platform's observer (or null). */
+    obs::Counter *c_samples_ = nullptr;
+    obs::Counter *c_busy_ = nullptr;
 };
 
 } // namespace eaao::channel

@@ -7,6 +7,8 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "support/flat_map.hpp"
 #include "support/logging.hpp"
 
@@ -18,6 +20,13 @@ RngChannel::RngChannel(faas::Platform &platform,
 {
     EAAO_ASSERT(cfg_.detect_min <= cfg_.trials,
                 "detection threshold exceeds trial count");
+#if EAAO_OBS_ENABLED
+    if (obs::MetricsRegistry *metrics = platform.obs().metrics) {
+        c_group_tests_ = metrics->counter("channel.group_tests");
+        h_error_rate_ = metrics->histogram("channel.error_rate",
+                                           obs::errorRateBuckets());
+    }
+#endif
 }
 
 sim::Duration
@@ -69,6 +78,8 @@ RngChannel::runConcurrent(
 
     sim::Rng &rng = platform_->measurementRng();
     std::vector<GroupTestResult> results(groups.size());
+    EAAO_OBS_ONLY(const sim::SimTime obs_start = platform_->now();
+                  std::size_t obs_instances = 0;)
 
     for (std::size_t g = 0; g < groups.size(); ++g) {
         results[g].positive.assign(groups[g].size(), false);
@@ -95,9 +106,33 @@ RngChannel::runConcurrent(
             results[g].positive[i] = hits >= cfg_.detect_min;
         }
         ++tests_run_;
+
+#if EAAO_OBS_ENABLED
+        obs_instances += groups[g].size();
+        if (h_error_rate_ != nullptr && !groups[g].empty()) {
+            // Error rate against the simulator's own ground truth: an
+            // instance should read positive iff its host carries >= m
+            // pressure units.
+            std::size_t wrong = 0;
+            for (std::size_t i = 0; i < groups[g].size(); ++i) {
+                const bool truth =
+                    pressure[platform_->oracleHostOf(groups[g][i])] >= m;
+                wrong += results[g].positive[i] != truth;
+            }
+            h_error_rate_->observe(
+                static_cast<double>(wrong) /
+                static_cast<double>(groups[g].size()));
+        }
+#endif
     }
+    EAAO_OBS_COUNT(c_group_tests_, groups.size());
 
     platform_->advance(testDuration());
+    EAAO_OBS_SPAN(platform_->obs(), "channel.ctest", "channel", obs_start,
+                  platform_->now(),
+                  {obs::TraceArg::u64("groups", groups.size()),
+                   obs::TraceArg::u64("instances", obs_instances),
+                   obs::TraceArg::u64("m", m)});
     return results;
 }
 
@@ -112,6 +147,13 @@ MemBusChannel::MemBusChannel(faas::Platform &platform,
                              const MemBusChannelConfig &cfg)
     : platform_(&platform), cfg_(cfg)
 {
+#if EAAO_OBS_ENABLED
+    if (obs::MetricsRegistry *metrics = platform.obs().metrics) {
+        c_pair_tests_ = metrics->counter("channel.pair_tests");
+        h_error_rate_ = metrics->histogram("channel.membus_error_rate",
+                                           obs::errorRateBuckets());
+    }
+#endif
 }
 
 bool
@@ -120,11 +162,18 @@ MemBusChannel::testPair(faas::InstanceId a, faas::InstanceId b)
     sim::Rng &rng = platform_->measurementRng();
     const bool same =
         platform_->oracleHostOf(a) == platform_->oracleHostOf(b);
+    EAAO_OBS_ONLY(const sim::SimTime obs_start = platform_->now();)
     platform_->advance(cfg_.test_duration);
     ++tests_run_;
-    if (same)
-        return rng.bernoulli(cfg_.true_positive_prob);
-    return rng.bernoulli(cfg_.false_positive_prob);
+    const bool measured = same ? rng.bernoulli(cfg_.true_positive_prob)
+                               : rng.bernoulli(cfg_.false_positive_prob);
+    EAAO_OBS_COUNT(c_pair_tests_, 1);
+    EAAO_OBS_OBSERVE(h_error_rate_, measured != same ? 1.0 : 0.0);
+    EAAO_OBS_SPAN(platform_->obs(), "channel.membus_test", "channel",
+                  obs_start, platform_->now(),
+                  {obs::TraceArg::u64("a", a), obs::TraceArg::u64("b", b),
+                   obs::TraceArg::u64("same_host", same ? 1 : 0)});
+    return measured;
 }
 
 } // namespace eaao::channel

@@ -98,6 +98,10 @@ class RngChannel
     RngChannelConfig cfg_;
     std::uint64_t tests_run_ = 0;
     defense::ContentionDetector *detector_ = nullptr;
+
+    /** Metric handles resolved from the platform's observer (or null). */
+    obs::Counter *c_group_tests_ = nullptr;
+    obs::Histogram *h_error_rate_ = nullptr;
 };
 
 /** Tuning of the conventional pairwise memory-bus channel. */
@@ -133,6 +137,10 @@ class MemBusChannel
     faas::Platform *platform_;
     MemBusChannelConfig cfg_;
     std::uint64_t tests_run_ = 0;
+
+    /** Metric handles resolved from the platform's observer (or null). */
+    obs::Counter *c_pair_tests_ = nullptr;
+    obs::Histogram *h_error_rate_ = nullptr;
 };
 
 } // namespace eaao::channel

@@ -12,6 +12,8 @@
 #include "core/freq_estimator.hpp"
 #include "hw/cpu_sku.hpp"
 #include "core/verify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "support/logging.hpp"
 
 namespace eaao::core {
@@ -30,6 +32,30 @@ hashString(const std::string &s)
     return h;
 }
 
+#if EAAO_OBS_ENABLED
+/** Record one finished attack campaign (span + counter).
+ *  @p kind must be a string literal ("optimized" / "naive"). */
+void
+recordCampaign(faas::Platform &platform, const char *kind,
+               sim::SimTime start, const CampaignResult &result)
+{
+    const obs::Observer observer = platform.obs();
+    if (observer.metrics != nullptr)
+        observer.metrics->counter("strategy.campaigns")->add();
+    if (observer.trace != nullptr) {
+        observer.trace->complete(
+            "strategy.campaign", "strategy", start, platform.now(),
+            {obs::TraceArg::str("kind", kind),
+             obs::TraceArg::u64("services", result.services.size()),
+             obs::TraceArg::u64("apparent_hosts",
+                                result.apparent_hosts.size()),
+             obs::TraceArg::u64("final_instances",
+                                result.final_instances.size()),
+             obs::TraceArg::f64("cost_usd", result.cost_usd)});
+    }
+}
+#endif
+
 } // namespace
 
 std::set<std::uint64_t>
@@ -42,6 +68,7 @@ LaunchObservation
 launchAndObserve(faas::Platform &platform, faas::ServiceId service,
                  const LaunchOptions &opts)
 {
+    EAAO_OBS_ONLY(const sim::SimTime obs_start = platform.now();)
     LaunchObservation obs;
     obs.ids = platform.connect(service, opts.instances);
 
@@ -81,6 +108,21 @@ launchAndObserve(faas::Platform &platform, faas::ServiceId service,
     platform.advance(opts.hold);
     if (opts.disconnect_after)
         platform.disconnectAll(service);
+
+#if EAAO_OBS_ENABLED
+    const obs::Observer observer = platform.obs();
+    if (observer.metrics != nullptr)
+        observer.metrics->counter("strategy.launches")->add();
+    if (observer.trace != nullptr) {
+        // apparentHosts() builds a set; compute only while tracing.
+        observer.trace->complete(
+            "strategy.launch", "strategy", obs_start, platform.now(),
+            {obs::TraceArg::u64("service", service),
+             obs::TraceArg::u64("instances", obs.ids.size()),
+             obs::TraceArg::u64("apparent_hosts",
+                                obs.apparentHosts().size())});
+    }
+#endif
     return obs;
 }
 
@@ -107,6 +149,7 @@ CampaignResult
 runOptimizedCampaign(faas::Platform &platform, faas::AccountId attacker,
                      const CampaignConfig &cfg)
 {
+    EAAO_OBS_ONLY(const sim::SimTime obs_start = platform.now();)
     const double spend_before = platform.accountSpendUsd(attacker);
 
     CampaignResult result;
@@ -155,6 +198,7 @@ runOptimizedCampaign(faas::Platform &platform, faas::AccountId attacker,
     for (const faas::InstanceId id : result.final_instances)
         result.occupied_hosts.insert(platform.oracleHostOf(id));
     result.cost_usd = platform.accountSpendUsd(attacker) - spend_before;
+    EAAO_OBS_ONLY(recordCampaign(platform, "optimized", obs_start, result);)
     return result;
 }
 
@@ -164,6 +208,7 @@ runNaiveCampaign(faas::Platform &platform, faas::AccountId attacker,
                  std::uint32_t instances_per_service, faas::ExecEnv env,
                  faas::ContainerSize size)
 {
+    EAAO_OBS_ONLY(const sim::SimTime obs_start = platform.now();)
     const double spend_before = platform.accountSpendUsd(attacker);
 
     CampaignResult result;
@@ -192,6 +237,7 @@ runNaiveCampaign(faas::Platform &platform, faas::AccountId attacker,
     for (const faas::InstanceId id : result.final_instances)
         result.occupied_hosts.insert(platform.oracleHostOf(id));
     result.cost_usd = platform.accountSpendUsd(attacker) - spend_before;
+    EAAO_OBS_ONLY(recordCampaign(platform, "naive", obs_start, result);)
     return result;
 }
 

@@ -7,9 +7,28 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 
 namespace eaao::core {
+
+void
+FingerprintHistory::setObserver(obs::Observer observer)
+{
+#if EAAO_OBS_ENABLED
+    if (observer.metrics != nullptr) {
+        c_observations_ = observer.metrics->counter(
+            "tracker.observations");
+        h_expiration_days_ = observer.metrics->histogram(
+            "tracker.expiration_days", obs::expirationDaysBuckets());
+    } else {
+        c_observations_ = nullptr;
+        h_expiration_days_ = nullptr;
+    }
+#else
+    (void)observer;
+#endif
+}
 
 void
 FingerprintHistory::add(sim::SimTime when, double tboot_s)
@@ -20,6 +39,7 @@ FingerprintHistory::add(sim::SimTime when, double tboot_s)
     }
     wall_s_.push_back(when.secondsF());
     tboot_s_.push_back(tboot_s);
+    EAAO_OBS_COUNT(c_observations_, 1);
 }
 
 sim::Duration
@@ -56,7 +76,9 @@ FingerprintHistory::expirationSeconds(double p_boot_s) const
         distance = tau - (bucket - 0.5) * p_boot_s;
     // Numerical safety: tau can sit exactly on a boundary.
     distance = std::max(distance, 0.0);
-    return distance / std::fabs(fit.slope);
+    const double expiration_s = distance / std::fabs(fit.slope);
+    EAAO_OBS_OBSERVE(h_expiration_days_, expiration_s / 86400.0);
+    return expiration_s;
 }
 
 } // namespace eaao::core

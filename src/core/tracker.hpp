@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "sim/time.hpp"
 #include "stats/regression.hpp"
 
@@ -55,9 +56,19 @@ class FingerprintHistory
     const std::vector<double> &wallSeconds() const { return wall_s_; }
     const std::vector<double> &tbootSeconds() const { return tboot_s_; }
 
+    /**
+     * Attach an observability handle: subsequent add() calls count
+     * into "tracker.observations" and expirationSeconds() results are
+     * recorded into the "tracker.expiration_days" histogram. Trackers
+     * have no platform reference, so the handle is wired explicitly.
+     */
+    void setObserver(obs::Observer observer);
+
   private:
     std::vector<double> wall_s_;
     std::vector<double> tboot_s_;
+    obs::Counter *c_observations_ = nullptr;
+    obs::Histogram *h_expiration_days_ = nullptr;
 };
 
 } // namespace eaao::core

@@ -11,11 +11,38 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "support/logging.hpp"
 
 namespace eaao::core {
 
 namespace {
+
+#if EAAO_OBS_ENABLED
+/** Record one finished verification run (span + counters). */
+void
+recordVerify(faas::Platform &platform, const char *name,
+             sim::SimTime start, std::size_t instances,
+             const VerifyResult &out)
+{
+    const obs::Observer obs = platform.obs();
+    if (obs.metrics != nullptr) {
+        obs.metrics->counter("verify.runs")->add();
+        obs.metrics->counter("verify.group_tests")->add(out.group_tests);
+        obs.metrics->counter("verify.waves")->add(out.waves);
+    }
+    if (obs.trace != nullptr) {
+        obs.trace->complete(
+            name, "verify", start, platform.now(),
+            {obs::TraceArg::u64("instances", instances),
+             obs::TraceArg::u64("tests", out.group_tests),
+             obs::TraceArg::u64("waves", out.waves),
+             obs::TraceArg::u64("clusters", out.clusterCount()),
+             obs::TraceArg::f64("cost_usd", out.cost_usd)});
+    }
+}
+#endif
 
 /** Minimal union-find over instance indices. */
 class Dsu
@@ -341,6 +368,11 @@ verifyScalable(faas::Platform &platform, channel::RngChannel &chan,
             sub.reserve(widx.size());
             for (const std::size_t w : widx)
                 sub.push_back(batch[w]);
+            EAAO_OBS_INSTANT(platform.obs(), "verify.wave", "verify",
+                             platform.now(),
+                             {obs::TraceArg::u64("wave", wave_idx),
+                              obs::TraceArg::u64("groups", widx.size()),
+                              obs::TraceArg::u64("m", m)});
             const auto results = run.chan->runConcurrent(sub, m);
             run.tests += results.size();
             ++run.waves;
@@ -386,6 +418,8 @@ verifyScalable(faas::Platform &platform, channel::RngChannel &chan,
     out.elapsed = platform.now() - start;
     out.cost_usd =
         combinedUsdPerSecond(platform, ids) * out.elapsed.secondsF();
+    EAAO_OBS_ONLY(
+        recordVerify(platform, "verify.scalable", start, ids.size(), out);)
     return out;
 }
 
@@ -414,6 +448,8 @@ verifyPairwise(faas::Platform &platform, channel::RngChannel &pair_channel,
     out.elapsed = platform.now() - start;
     out.cost_usd =
         combinedUsdPerSecond(platform, ids) * out.elapsed.secondsF();
+    EAAO_OBS_ONLY(
+        recordVerify(platform, "verify.pairwise", start, ids.size(), out);)
     return out;
 }
 
@@ -449,6 +485,8 @@ verifyPairwiseMemBus(faas::Platform &platform, channel::MemBusChannel &chan,
     out.elapsed = platform.now() - start;
     out.cost_usd =
         combinedUsdPerSecond(platform, ids) * out.elapsed.secondsF();
+    EAAO_OBS_ONLY(
+        recordVerify(platform, "verify.membus", start, ids.size(), out);)
     return out;
 }
 

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "exp/thread_pool.hpp"
+#include "obs/export.hpp"
+#include "obs/observer.hpp"
 #include "sim/rng.hpp"
 
 namespace eaao::exp {
@@ -48,6 +50,13 @@ struct TrialContext
     sim::Rng rng;
 
     /**
+     * This trial's observability handle (null unless the campaign was
+     * given an obs::TrialSet). Feed it to PlatformConfig::obs so the
+     * trial's platform records into its private slot.
+     */
+    obs::Observer obs;
+
+    /**
      * Deterministic 64-bit per-trial seed, convenient for seeding a
      * per-trial Platform / EventQueue.
      */
@@ -71,10 +80,17 @@ struct TrialContext
  *
  * If any trial throws, the first exception (in completion order) is
  * rethrown after all in-flight trials finish.
+ *
+ * When @p obs_set is non-null it is resized to one recording slot per
+ * trial and each trial's context carries the observer for its own
+ * slot; workers therefore never share a sink, and the caller merges
+ * the slots in trial order afterwards (obs::writeOutputs), keeping
+ * observability output byte-identical for any thread count.
  */
 template <typename Fn>
 auto
-runTrials(std::size_t n, std::uint64_t seed, Fn &&fn, unsigned threads = 1)
+runTrials(std::size_t n, std::uint64_t seed, Fn &&fn, unsigned threads = 1,
+          obs::TrialSet *obs_set = nullptr)
     -> std::vector<std::decay_t<std::invoke_result_t<Fn &, TrialContext &>>>
 {
     using Result = std::decay_t<std::invoke_result_t<Fn &, TrialContext &>>;
@@ -83,6 +99,8 @@ runTrials(std::size_t n, std::uint64_t seed, Fn &&fn, unsigned threads = 1)
                   "pre-allocated slot-per-trial)");
 
     std::vector<Result> results(n);
+    if (obs_set != nullptr)
+        obs_set->prepare(n);
     if (n == 0)
         return results;
 
@@ -93,6 +111,8 @@ runTrials(std::size_t n, std::uint64_t seed, Fn &&fn, unsigned threads = 1)
         ctx.trials = n;
         ctx.campaign_seed = seed;
         ctx.rng = root.fork(i);
+        if (obs_set != nullptr)
+            ctx.obs = obs_set->observer(i);
         results[i] = fn(ctx);
     };
 

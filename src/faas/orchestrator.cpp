@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/distributions.hpp"
 #include "support/logging.hpp"
 
@@ -16,14 +18,36 @@ namespace eaao::faas {
 Orchestrator::Orchestrator(Fleet &fleet, sim::EventQueue &eq,
                            const OrchestratorConfig &cfg,
                            const DataCenterProfile &profile,
-                           const PricingModel &pricing, sim::Rng rng)
+                           const PricingModel &pricing, sim::Rng rng,
+                           obs::Observer obs)
     : fleet_(fleet), eq_(eq), cfg_(cfg), profile_(profile),
-      pricing_(pricing), rng_(rng)
+      pricing_(pricing), rng_(rng), obs_(obs)
 {
     host_vcpus_used_.assign(fleet_.size(), 0.0);
     host_mem_used_gb_.assign(fleet_.size(), 0.0);
     acct_load_.resize(fleet_.size());
     svc_load_.resize(fleet_.size());
+
+#if EAAO_OBS_ENABLED
+    if (obs_.metrics != nullptr) {
+        // Resolve handles once; record sites only null-check.
+        static const char *const kReasonCounters[kPlacementReasonCount] = {
+            "faas.placements.cold_base",    "faas.placements.hot_helper",
+            "faas.placements.cold_spill",   "faas.placements.cold_overflow",
+            "faas.placements.reuse",
+        };
+        for (std::size_t i = 0; i < kPlacementReasonCount; ++i)
+            c_placements_[i] = obs_.metrics->counter(kReasonCounters[i]);
+        c_reaps_ = obs_.metrics->counter("faas.reaps");
+        c_requests_ = obs_.metrics->counter("faas.requests");
+        h_cold_start_s_ = obs_.metrics->histogram(
+            "faas.cold_start_s", obs::coldStartBucketsS());
+        h_instances_per_host_ = obs_.metrics->histogram(
+            "faas.instances_per_host", obs::instancesPerHostBuckets());
+        h_helper_churn_ = obs_.metrics->histogram(
+            "faas.helper_churn", obs::churnFractionBuckets());
+    }
+#endif
 }
 
 AccountId
@@ -123,6 +147,11 @@ Orchestrator::scaleOut(ServiceId service, std::uint32_t n)
         svc.bursts.pop_front();
     svc.bursts.emplace_back(eq_.now(), n);
 
+    EAAO_OBS_INSTANT(obs_, "orch.scale_out", "placement", eq_.now(),
+                     {obs::TraceArg::u64("service", svc.id),
+                      obs::TraceArg::u64("requested", n),
+                      obs::TraceArg::u64("hotness", h)});
+
     // Reuse idle instances first (most-recently idled first).
     while (svc.active.size() < n && !svc.idle.empty()) {
         const InstanceId id = svc.idle.back();
@@ -142,6 +171,13 @@ Orchestrator::scaleOut(ServiceId service, std::uint32_t n)
                                           inst.account, inst.host,
                                           PlacementReason::Reuse});
         }
+        EAAO_OBS_COUNT(
+            c_placements_[static_cast<std::size_t>(PlacementReason::Reuse)],
+            1);
+        EAAO_OBS_INSTANT(obs_, "instance.reuse", "placement", eq_.now(),
+                         {obs::TraceArg::u64("instance", id),
+                          obs::TraceArg::u64("service", svc.id),
+                          obs::TraceArg::u64("host", inst.host)});
     }
 
     // Create the shortfall.
@@ -224,6 +260,7 @@ Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
 
     ++target->in_flight;
     ++svc.requests_served;
+    EAAO_OBS_COUNT(c_requests_, 1);
     const InstanceId id = target->id;
     eq_.scheduleAfter(service_time, [this, id] { completeRequest(id); });
     return id;
@@ -390,6 +427,17 @@ Orchestrator::createInstance(ServiceRecord &svc, std::uint32_t h)
         trace_->record(PlacementEvent{eq_.now(), inst.id, svc.id,
                                       inst.account, host, reason});
     }
+    EAAO_OBS_COUNT(c_placements_[static_cast<std::size_t>(reason)], 1);
+    EAAO_OBS_OBSERVE(h_cold_start_s_, startup);
+    EAAO_OBS_OBSERVE(h_instances_per_host_,
+                     static_cast<double>(acct_load_[host][svc.account]));
+    EAAO_OBS_INSTANT(obs_, "instance.create", "placement", eq_.now(),
+                     {obs::TraceArg::u64("instance", inst.id),
+                      obs::TraceArg::u64("service", svc.id),
+                      obs::TraceArg::u64("account", svc.account),
+                      obs::TraceArg::u64("host", host),
+                      obs::TraceArg::str("reason", toString(reason)),
+                      obs::TraceArg::f64("cold_start_s", startup)});
     return inst.id;
 }
 
@@ -584,6 +632,12 @@ Orchestrator::reap(InstanceId id)
     ServiceRecord &svc = services_[inst.service];
     auto &idle = svc.idle;
     idle.erase(std::find(idle.begin(), idle.end(), id));
+    EAAO_OBS_COUNT(c_reaps_, 1);
+    EAAO_OBS_INSTANT(
+        obs_, "instance.reap", "lifecycle", eq_.now(),
+        {obs::TraceArg::u64("instance", id),
+         obs::TraceArg::f64("idle_s",
+                            (eq_.now() - inst.state_since).secondsF())});
     terminate(inst);
 }
 
@@ -622,6 +676,12 @@ Orchestrator::terminate(InstanceRecord &inst)
     inst.state_since = eq_.now();
     inst.terminated_at = eq_.now();
     inst.in_flight = 0; // in-flight requests die with the instance
+
+    EAAO_OBS_SPAN(obs_, "instance", "lifecycle", inst.created_at, eq_.now(),
+                  {obs::TraceArg::u64("instance", inst.id),
+                   obs::TraceArg::u64("service", inst.service),
+                   obs::TraceArg::u64("account", inst.account),
+                   obs::TraceArg::u64("host", inst.host)});
 }
 
 void
@@ -748,10 +808,36 @@ Orchestrator::refreshPreferences(ServiceRecord &svc, AccountRecord &acct)
         // regenerate the helper permutation each launch.
         acct.base_order =
             buildBaseOrder(acct, profile_.per_launch_jitter, stream);
+#if EAAO_OBS_ENABLED
+        // Helper-set churn: fraction of the previous helper prefix (the
+        // ~50 hosts a hot service actually reaches) absent from the new
+        // one. Pure observation — computed only when a registry is on.
+        const std::vector<hw::HostId> prev_helpers =
+            h_helper_churn_ != nullptr ? svc.helper_order
+                                       : std::vector<hw::HostId>{};
+#endif
         svc.helper_seed = stream();
         svc.helper_order = buildHelperOrder(acct.shard, svc.helper_seed);
         svc.spill_order =
             buildSpillOrder(acct.shard, sim::mix64(svc.helper_seed));
+#if EAAO_OBS_ENABLED
+        if (h_helper_churn_ != nullptr && !prev_helpers.empty()) {
+            const std::size_t prefix = std::min<std::size_t>(
+                {50, prev_helpers.size(), svc.helper_order.size()});
+            if (prefix > 0) {
+                std::size_t kept = 0;
+                const auto new_end = svc.helper_order.begin() +
+                                     static_cast<std::ptrdiff_t>(prefix);
+                for (std::size_t i = 0; i < prefix; ++i) {
+                    kept += std::find(svc.helper_order.begin(), new_end,
+                                      prev_helpers[i]) != new_end;
+                }
+                h_helper_churn_->observe(
+                    1.0 - static_cast<double>(kept) /
+                              static_cast<double>(prefix));
+            }
+        }
+#endif
     } else if (profile_.base_launch_jitter > 0.0) {
         // Static data centers still rotate a few borderline hosts in
         // and out of the base prefix between launches (Fig. 7).

@@ -31,6 +31,7 @@
 #include "faas/trace.hpp"
 #include "faas/pricing.hpp"
 #include "faas/types.hpp"
+#include "obs/observer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "support/flat_map.hpp"
@@ -164,11 +165,13 @@ class Orchestrator
      * @param profile The data-center profile (copied).
      * @param pricing Billing rates.
      * @param rng Root stream; children are forked per purpose.
+     * @param obs Observability handle (optional; see src/obs/).
      */
     Orchestrator(Fleet &fleet, sim::EventQueue &eq,
                  const OrchestratorConfig &cfg,
                  const DataCenterProfile &profile,
-                 const PricingModel &pricing, sim::Rng rng);
+                 const PricingModel &pricing, sim::Rng rng,
+                 obs::Observer obs = {});
 
     /**
      * Register a new account.
@@ -324,6 +327,19 @@ class Orchestrator
     DataCenterProfile profile_;
     PricingModel pricing_;
     mutable sim::Rng rng_;
+
+    /**
+     * Observability handle plus metric handles resolved once at
+     * construction (null when no registry is attached), so each
+     * instrument site is a branch-on-null in the disabled case.
+     */
+    obs::Observer obs_;
+    obs::Counter *c_placements_[kPlacementReasonCount] = {};
+    obs::Counter *c_reaps_ = nullptr;
+    obs::Counter *c_requests_ = nullptr;
+    obs::Histogram *h_cold_start_s_ = nullptr;
+    obs::Histogram *h_instances_per_host_ = nullptr;
+    obs::Histogram *h_helper_churn_ = nullptr;
 
     PlacementTrace *trace_ = nullptr;
     std::vector<AccountRecord> accounts_;

@@ -5,6 +5,8 @@
 
 #include "faas/platform.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "support/logging.hpp"
 
 namespace eaao::faas {
@@ -18,7 +20,21 @@ Platform::Platform(const PlatformConfig &cfg)
                                      cfg.epoch, fleet_rng);
     orch_ = std::make_unique<Orchestrator>(
         *fleet_, eq_, cfg.orchestrator, cfg.profile, cfg.pricing,
-        root_rng_.fork(0x4f524348ULL)); // "ORCH"
+        root_rng_.fork(0x4f524348ULL), cfg.obs); // "ORCH"
+
+    EAAO_OBS_INSTANT(cfg_.obs, "platform.up", "platform", cfg.epoch,
+                     {obs::TraceArg::u64("hosts", fleet_->size()),
+                      obs::TraceArg::u64("shards", fleet_->shardCount())});
+#if EAAO_OBS_ENABLED
+    if (cfg_.obs.metrics != nullptr) {
+        obs::Histogram *uptime = cfg_.obs.metrics->histogram(
+            "fleet.host_uptime_days", obs::uptimeDaysBuckets());
+        for (hw::HostId hid = 0; hid < fleet_->size(); ++hid) {
+            uptime->observe(
+                (cfg.epoch - fleet_->host(hid).tsc().bootTime()).daysF());
+        }
+    }
+#endif
 }
 
 AccountId

@@ -21,6 +21,7 @@
 #include "faas/pricing.hpp"
 #include "faas/sandbox.hpp"
 #include "faas/types.hpp"
+#include "obs/observer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -39,6 +40,14 @@ struct PlatformConfig
 
     /** Simulation epoch ("now" when the platform comes up). */
     sim::SimTime epoch = sim::SimTime::fromNanos(0);
+
+    /**
+     * Observability handle (see src/obs/). Default-null: no tracing,
+     * no metrics, near-zero overhead. In trial campaigns, wire
+     * exp::TrialContext::obs through here so each trial records into
+     * its own slot.
+     */
+    obs::Observer obs;
 };
 
 /**
@@ -131,6 +140,9 @@ class Platform
 
     /** Stream for measurement noise draws (sandbox operations). */
     sim::Rng &measurementRng() { return meas_rng_; }
+
+    /** Observability handle (null members when recording is off). */
+    obs::Observer obs() const { return cfg_.obs; }
 
   private:
     PlatformConfig cfg_;

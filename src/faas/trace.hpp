@@ -30,6 +30,9 @@ enum class PlacementReason {
     Reuse,        //!< an idle instance was reconnected/rewoken
 };
 
+/** Number of PlacementReason values (for per-reason tables). */
+inline constexpr std::size_t kPlacementReasonCount = 5;
+
 /** Render a PlacementReason for reports. */
 const char *toString(PlacementReason reason);
 

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of the observability export wiring.
+ */
+
+#include "obs/export.hpp"
+
+#include <fstream>
+
+#include "support/logging.hpp"
+#include "support/options.hpp"
+
+namespace eaao::obs {
+
+ObsConfig
+ObsConfig::fromArgs(int argc, char **argv)
+{
+    ObsConfig cfg;
+    cfg.trace_path = support::traceJsonFromArgs(argc, argv);
+    cfg.metrics_path = support::metricsJsonFromArgs(argc, argv);
+    return cfg;
+}
+
+void
+TrialSet::prepare(std::size_t trials)
+{
+    slots_.clear();
+    if (enabled_)
+        slots_.resize(trials);
+}
+
+Observer
+TrialSet::observer(std::size_t index)
+{
+    if (!enabled_)
+        return Observer{};
+    EAAO_ASSERT(index < slots_.size(),
+                "trial slot out of range: ", index, " of ", slots_.size());
+    return slots_[index].observer();
+}
+
+void
+writeOutputs(const ObsConfig &config, const TrialSet &set)
+{
+    if (!set.enabled())
+        return;
+
+    if (config.trace_path) {
+        std::vector<const TraceSink *> sinks;
+        sinks.reserve(set.slots().size());
+        for (const TrialObs &slot : set.slots())
+            sinks.push_back(&slot.trace);
+        std::ofstream out(*config.trace_path,
+                          std::ios::out | std::ios::trunc);
+        if (!out)
+            EAAO_FATAL("cannot open trace output '", *config.trace_path,
+                       "'");
+        writeChromeTrace(out, sinks);
+        if (!out)
+            EAAO_FATAL("failed writing trace output '", *config.trace_path,
+                       "'");
+    }
+
+    if (config.metrics_path) {
+        std::vector<MetricsRegistry> parts;
+        parts.reserve(set.slots().size());
+        for (const TrialObs &slot : set.slots())
+            parts.push_back(slot.metrics);
+        const MetricsRegistry merged = mergeRegistries(parts);
+        std::ofstream out(*config.metrics_path,
+                          std::ios::out | std::ios::trunc);
+        if (!out)
+            EAAO_FATAL("cannot open metrics output '", *config.metrics_path,
+                       "'");
+        out << merged.toJson();
+        if (!out)
+            EAAO_FATAL("failed writing metrics output '",
+                       *config.metrics_path, "'");
+    }
+}
+
+} // namespace eaao::obs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Wiring between the observability layer and experiment binaries.
+ *
+ * ObsConfig resolves the `--trace-json` / `--metrics-json` flags (and
+ * their EAAO_TRACE_JSON / EAAO_METRICS_JSON environment fallbacks);
+ * TrialSet owns one TraceSink + MetricsRegistry pair per trial slot so
+ * exp::runTrials workers record without synchronisation; writeOutputs
+ * merges the slots in trial order and writes the requested files.
+ *
+ * Typical use in a bench or example:
+ *
+ *     const auto obs_cfg = obs::ObsConfig::fromArgs(argc, argv);
+ *     obs::TrialSet obs_set(obs_cfg);
+ *     exp::runTrials(n, seed, fn, threads, &obs_set);
+ *     obs::writeOutputs(obs_cfg, obs_set);
+ *
+ * Nothing here touches stdout: bench output stays byte-identical
+ * whether observability is on or off.
+ */
+
+#ifndef EAAO_OBS_EXPORT_HPP
+#define EAAO_OBS_EXPORT_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace eaao::obs {
+
+/** Resolved observability outputs for one binary invocation. */
+struct ObsConfig
+{
+    std::optional<std::string> trace_path;
+    std::optional<std::string> metrics_path;
+
+    /** True when at least one output was requested. */
+    bool
+    enabled() const
+    {
+        return trace_path.has_value() || metrics_path.has_value();
+    }
+
+    /**
+     * Parse `--trace-json` / `--metrics-json` from @p argv with
+     * environment fallbacks (support::traceJsonFromArgs and friends).
+     */
+    static ObsConfig fromArgs(int argc, char **argv);
+};
+
+/** One trial slot's recording state. */
+struct TrialObs
+{
+    TraceSink trace;
+    MetricsRegistry metrics;
+
+    /** Handle wired to this slot's sink and registry. */
+    Observer
+    observer()
+    {
+        return Observer{&trace, &metrics};
+    }
+};
+
+/**
+ * Per-trial recording slots for a parallel campaign.
+ *
+ * When disabled (no outputs requested), prepare() is a no-op and
+ * observer() returns a null Observer, so the instrumented code runs
+ * its cheap disabled path. When enabled, each trial gets a private
+ * slot; slots are only combined after the run, in slot order.
+ */
+class TrialSet
+{
+  public:
+    /** Enable recording iff @p config requests an output. */
+    explicit TrialSet(const ObsConfig &config) : enabled_(config.enabled())
+    {
+    }
+
+    /** Direct control, for tests. */
+    explicit TrialSet(bool enabled) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    /** Size for @p trials slots (drops previous contents). */
+    void prepare(std::size_t trials);
+
+    /**
+     * Observer for trial slot @p index; null when disabled. Valid
+     * until the next prepare().
+     */
+    Observer observer(std::size_t index);
+
+    /** The recorded slots, indexed by trial. */
+    const std::vector<TrialObs> &slots() const { return slots_; }
+    std::vector<TrialObs> &slots() { return slots_; }
+
+  private:
+    bool enabled_;
+    std::vector<TrialObs> slots_;
+};
+
+/**
+ * Merge @p set's slots in trial order and write whichever outputs
+ * @p config requests. Writing is fatal on I/O failure (user error:
+ * they asked for the file). No-op when disabled.
+ */
+void writeOutputs(const ObsConfig &config, const TrialSet &set);
+
+} // namespace eaao::obs
+
+#endif // EAAO_OBS_EXPORT_HPP

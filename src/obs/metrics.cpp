@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Implementation of the metrics registry.
+ */
+
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/logging.hpp"
+
+namespace eaao::obs {
+
+namespace {
+
+/**
+ * Render a double compactly but losslessly enough for determinism:
+ * %.9g is a pure function of the value, and every value we render is
+ * itself deterministic (sums are accumulated in slot order).
+ */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+Histogram::observe(double x)
+{
+    if (counts.empty())
+        counts.assign(bounds.size() + 1, 0);
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), x);
+    ++counts[static_cast<std::size_t>(it - bounds.begin())];
+    if (count == 0) {
+        min = x;
+        max = x;
+    } else {
+        min = std::min(min, x);
+        max = std::max(max, x);
+    }
+    ++count;
+    sum += x;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    EAAO_ASSERT(bounds == other.bounds,
+                "merging histograms with different bucket bounds");
+    if (other.count == 0)
+        return;
+    if (counts.empty())
+        counts.assign(bounds.size() + 1, 0);
+    if (!other.counts.empty()) {
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            counts[i] += other.counts[i];
+    }
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+}
+
+Counter *
+MetricsRegistry::counter(const std::string &name)
+{
+    return &counters_[name];
+}
+
+Histogram *
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<double> &bounds)
+{
+    EAAO_ASSERT(std::is_sorted(bounds.begin(), bounds.end()),
+                "histogram bounds must be ascending: ", name);
+    auto [it, inserted] = histograms_.try_emplace(name);
+    if (inserted) {
+        it->second.bounds = bounds;
+        it->second.counts.assign(bounds.size() + 1, 0);
+    } else {
+        EAAO_ASSERT(it->second.bounds == bounds,
+                    "histogram re-registered with different bounds: ",
+                    name);
+    }
+    return &it->second;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &[name, ctr] : other.counters_)
+        counters_[name].value += ctr.value;
+    for (const auto &[name, hist] : other.histograms_)
+        histogram(name, hist.bounds)->merge(hist);
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, ctr] : counters_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name +
+               "\": " + std::to_string(ctr.value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : histograms_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": {\"bounds\": [";
+        for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += formatDouble(hist.bounds[i]);
+        }
+        out += "], \"counts\": [";
+        for (std::size_t i = 0; i < hist.bounds.size() + 1; ++i) {
+            if (i > 0)
+                out += ", ";
+            out += hist.counts.empty() ? "0"
+                                       : std::to_string(hist.counts[i]);
+        }
+        out += "], \"count\": " + std::to_string(hist.count);
+        out += ", \"sum\": " + formatDouble(hist.sum);
+        if (hist.count > 0) {
+            out += ", \"min\": " + formatDouble(hist.min);
+            out += ", \"max\": " + formatDouble(hist.max);
+        }
+        out += "}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+MetricsRegistry
+mergeRegistries(const std::vector<MetricsRegistry> &parts)
+{
+    MetricsRegistry merged;
+    for (const MetricsRegistry &part : parts)
+        merged.merge(part);
+    return merged;
+}
+
+namespace {
+
+const std::vector<double> kColdStartS = {0.5, 1, 2, 4, 8, 16, 32, 64};
+const std::vector<double> kInstancesPerHost = {1, 2,  4,  6,  8, 10,
+                                               12, 16, 24, 32, 64};
+const std::vector<double> kFraction = {0.01, 0.02, 0.05, 0.1, 0.2,
+                                       0.3,  0.5,  0.75, 1.0};
+const std::vector<double> kDays = {0.25, 0.5, 1, 2, 4, 8, 16, 32, 64};
+
+} // namespace
+
+const std::vector<double> &
+coldStartBucketsS()
+{
+    return kColdStartS;
+}
+
+const std::vector<double> &
+instancesPerHostBuckets()
+{
+    return kInstancesPerHost;
+}
+
+const std::vector<double> &
+churnFractionBuckets()
+{
+    return kFraction;
+}
+
+const std::vector<double> &
+errorRateBuckets()
+{
+    return kFraction;
+}
+
+const std::vector<double> &
+uptimeDaysBuckets()
+{
+    return kDays;
+}
+
+const std::vector<double> &
+expirationDaysBuckets()
+{
+    return kDays;
+}
+
+} // namespace eaao::obs

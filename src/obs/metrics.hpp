@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Sim-time metrics: named counters and fixed-bucket histograms.
+ *
+ * A MetricsRegistry is a per-trial object: every simulated campaign
+ * records into its own registry, and the per-trial registries are
+ * reduced in trial-slot order after exp::runTrials returns (exactly
+ * like stats::mergeStats), so the merged JSON is byte-identical for
+ * any worker-thread count.
+ *
+ * Handles returned by counter()/histogram() are stable for the
+ * lifetime of the registry (node-based storage), so hot instrument
+ * sites resolve them once and pay only a null-check + increment per
+ * event. Bucket boundaries are fixed at registration; merging two
+ * histograms with different boundaries is a programming error.
+ *
+ * See docs/observability.md for the metric reference.
+ */
+
+#ifndef EAAO_OBS_METRICS_HPP
+#define EAAO_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eaao::obs {
+
+/** Monotonic event counter. */
+struct Counter
+{
+    std::uint64_t value = 0;
+
+    /** Add @p n events. */
+    void
+    add(std::uint64_t n = 1) noexcept
+    {
+        value += n;
+    }
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations with
+ * x <= bounds[i] (first matching bucket); one overflow bucket catches
+ * everything above the last bound.
+ */
+struct Histogram
+{
+    std::vector<double> bounds;        //!< ascending upper bounds
+    std::vector<std::uint64_t> counts; //!< bounds.size() + 1 buckets
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0; //!< meaningful only when count > 0
+    double max = 0.0; //!< meaningful only when count > 0
+
+    /** Record one observation. */
+    void observe(double x);
+
+    /** Add another histogram's observations (same bounds required). */
+    void merge(const Histogram &other);
+};
+
+/**
+ * Registry of named counters and histograms.
+ *
+ * Storage is ordered by name, so iteration, merging and JSON
+ * rendering are all deterministic.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Find or create the counter named @p name. Stable pointer. */
+    Counter *counter(const std::string &name);
+
+    /**
+     * Find or create the histogram named @p name with the given
+     * bucket upper bounds (ascending). Re-registration must use the
+     * same bounds. Stable pointer.
+     */
+    Histogram *histogram(const std::string &name,
+                         const std::vector<double> &bounds);
+
+    /** True when nothing has been registered. */
+    bool empty() const { return counters_.empty() && histograms_.empty(); }
+
+    /**
+     * Fold @p other into this registry (values added, histograms
+     * merged bucket-wise). Used slot-by-slot after a trial campaign.
+     */
+    void merge(const MetricsRegistry &other);
+
+    /** Render as a pretty-printed JSON object, names sorted. */
+    std::string toJson() const;
+
+    /** Read-only views (for tests and custom reporting). */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+/**
+ * Reduce per-trial registries into one, merging left-to-right in slot
+ * order. Bit-deterministic for any worker-thread count, because the
+ * merge order is the trial-index order, never the completion order.
+ */
+MetricsRegistry mergeRegistries(const std::vector<MetricsRegistry> &parts);
+
+/** @name Standard bucket boundaries (documented in docs/observability.md)
+ *  @{ */
+
+/** Cold-start latency, seconds (creation startup time). */
+const std::vector<double> &coldStartBucketsS();
+
+/** Live instances co-resident on one host at placement time. */
+const std::vector<double> &instancesPerHostBuckets();
+
+/** Helper-order churn fraction per refresh, in [0, 1]. */
+const std::vector<double> &churnFractionBuckets();
+
+/** Covert-channel per-test error fraction, in [0, 1]. */
+const std::vector<double> &errorRateBuckets();
+
+/** Host uptime at platform start, days. */
+const std::vector<double> &uptimeDaysBuckets();
+
+/** Fingerprint time-to-expiration, days. */
+const std::vector<double> &expirationDaysBuckets();
+
+/** @} */
+
+} // namespace eaao::obs
+
+#endif // EAAO_OBS_METRICS_HPP

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Implementation of the trace sink and Chrome trace_event rendering.
+ */
+
+#include "obs/trace_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace eaao::obs {
+
+std::uint32_t
+TraceSink::trackId(const char *track)
+{
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        if (tracks_[i] == track || std::strcmp(tracks_[i], track) == 0)
+            return static_cast<std::uint32_t>(i);
+    }
+    tracks_.push_back(track);
+    return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void
+TraceSink::push(TraceEvent event, std::initializer_list<TraceArg> args)
+{
+    EAAO_ASSERT(args.size() <= TraceEvent::kMaxArgs,
+                "too many trace args for event ", event.name);
+    event.seq = static_cast<std::uint64_t>(events_.size());
+    event.n_args = static_cast<std::uint8_t>(args.size());
+    std::size_t i = 0;
+    for (const TraceArg &arg : args)
+        event.args[i++] = arg;
+    events_.push_back(event);
+}
+
+void
+TraceSink::instant(const char *name, const char *track, sim::SimTime ts,
+                   std::initializer_list<TraceArg> args)
+{
+    TraceEvent e;
+    e.name = name;
+    e.track = trackId(track);
+    e.phase = 'i';
+    e.ts = ts;
+    push(e, args);
+}
+
+void
+TraceSink::complete(const char *name, const char *track, sim::SimTime start,
+                    sim::SimTime end, std::initializer_list<TraceArg> args)
+{
+    EAAO_ASSERT(end >= start, "span ends before it starts: ", name);
+    TraceEvent e;
+    e.name = name;
+    e.track = trackId(track);
+    e.phase = 'X';
+    e.ts = start;
+    e.dur = end - start;
+    push(e, args);
+}
+
+namespace {
+
+/** Append a JSON string literal with escaping. */
+void
+appendJsonString(std::string &out, const char *s)
+{
+    out += '"';
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Sim nanoseconds as trace microseconds ("%.3f" is exact at ns). */
+void
+appendMicros(std::string &out, std::int64_t ns)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    out += buf;
+}
+
+void
+appendArg(std::string &out, const TraceArg &arg)
+{
+    appendJsonString(out, arg.key);
+    out += ": ";
+    char buf[64];
+    switch (arg.kind) {
+    case TraceArg::Kind::U64:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(arg.u));
+        out += buf;
+        break;
+    case TraceArg::Kind::I64:
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(arg.i));
+        out += buf;
+        break;
+    case TraceArg::Kind::F64:
+        std::snprintf(buf, sizeof(buf), "%.9g", arg.f);
+        out += buf;
+        break;
+    case TraceArg::Kind::Str:
+        appendJsonString(out, arg.s);
+        break;
+    }
+}
+
+/** Render one event as a single JSON object line. */
+void
+appendEvent(std::string &out, const TraceEvent &event, std::size_t pid,
+            const char *track_name)
+{
+    (void)track_name;
+    out += "{\"name\": ";
+    appendJsonString(out, event.name);
+    out += ", \"ph\": \"";
+    out += event.phase;
+    out += "\", \"ts\": ";
+    appendMicros(out, event.ts.ns());
+    if (event.phase == 'X') {
+        out += ", \"dur\": ";
+        appendMicros(out, event.dur.ns());
+    }
+    if (event.phase == 'i')
+        out += ", \"s\": \"t\"";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", \"pid\": %zu, \"tid\": %u", pid,
+                  event.track);
+    out += buf;
+    if (event.n_args > 0) {
+        out += ", \"args\": {";
+        for (std::uint8_t a = 0; a < event.n_args; ++a) {
+            if (a > 0)
+                out += ", ";
+            appendArg(out, event.args[a]);
+        }
+        out += "}";
+    }
+    out += "}";
+}
+
+/** Metadata event naming a process or thread. */
+void
+appendMetadata(std::string &out, const char *what, std::size_t pid,
+               std::uint32_t tid, bool with_tid, const std::string &name)
+{
+    out += "{\"name\": \"";
+    out += what;
+    out += "\", \"ph\": \"M\", \"pid\": ";
+    out += std::to_string(pid);
+    if (with_tid) {
+        out += ", \"tid\": ";
+        out += std::to_string(tid);
+    }
+    out += ", \"args\": {\"name\": ";
+    appendJsonString(out, name.c_str());
+    out += "}}";
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &out,
+                 const std::vector<const TraceSink *> &trials)
+{
+    std::string doc = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+    auto emit = [&doc, &first](const std::string &line) {
+        if (!first)
+            doc += ",\n";
+        first = false;
+        doc += line;
+    };
+
+    for (std::size_t pid = 0; pid < trials.size(); ++pid) {
+        const TraceSink *sink = trials[pid];
+        if (sink == nullptr || sink->events().empty())
+            continue;
+
+        std::string line;
+        appendMetadata(line, "process_name", pid, 0, false,
+                       "trial " + std::to_string(pid));
+        emit(line);
+        for (std::uint32_t t = 0;
+             t < static_cast<std::uint32_t>(sink->tracks().size()); ++t) {
+            line.clear();
+            appendMetadata(line, "thread_name", pid, t, true,
+                           sink->tracks()[t]);
+            emit(line);
+        }
+
+        // Stable order: per track, ascending sim time, emission order
+        // as the tie-break. This keeps each track's timeline monotonic
+        // in the file and the bytes independent of buffering details.
+        std::vector<std::size_t> order(sink->events().size());
+        std::iota(order.begin(), order.end(), 0);
+        const auto &events = sink->events();
+        std::sort(order.begin(), order.end(),
+                  [&events](std::size_t a, std::size_t b) {
+                      const TraceEvent &ea = events[a];
+                      const TraceEvent &eb = events[b];
+                      if (ea.track != eb.track)
+                          return ea.track < eb.track;
+                      if (ea.ts != eb.ts)
+                          return ea.ts < eb.ts;
+                      return ea.seq < eb.seq;
+                  });
+        for (const std::size_t idx : order) {
+            line.clear();
+            appendEvent(line, events[idx], pid,
+                        sink->tracks()[events[idx].track]);
+            emit(line);
+        }
+    }
+
+    doc += "\n]}\n";
+    out << doc;
+}
+
+std::string
+toChromeTraceJson(const std::vector<const TraceSink *> &trials)
+{
+    std::ostringstream oss;
+    writeChromeTrace(oss, trials);
+    return oss.str();
+}
+
+} // namespace eaao::obs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Sim-time structured tracing in Chrome trace_event form.
+ *
+ * A TraceSink buffers span ("ph":"X" complete) and instant ("ph":"i")
+ * events stamped with *virtual* time; writeChromeTrace() renders one
+ * sink per trial into a single JSON file that loads directly in
+ * chrome://tracing or https://ui.perfetto.dev. Each trial becomes a
+ * process (pid = trial slot) and each named track becomes a thread
+ * within it, so a multi-replica campaign reads as side-by-side
+ * timelines.
+ *
+ * Determinism contract: events carry only sim-derived data (no wall
+ * clock, no pointers), per-trial sinks are serialized in trial-slot
+ * order, and events within a track are sorted by (sim time, emission
+ * order) — the file is byte-identical for any worker-thread count.
+ *
+ * All name/track/arg-key strings must have static storage duration
+ * (string literals): the sink stores the pointers, not copies.
+ *
+ * See docs/observability.md for the event schema.
+ */
+
+#ifndef EAAO_OBS_TRACE_SINK_HPP
+#define EAAO_OBS_TRACE_SINK_HPP
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace eaao::obs {
+
+/** One key/value argument attached to a trace event. */
+struct TraceArg
+{
+    enum class Kind : std::uint8_t { U64, I64, F64, Str };
+
+    const char *key = "";
+    Kind kind = Kind::U64;
+    std::uint64_t u = 0;
+    std::int64_t i = 0;
+    double f = 0.0;
+    const char *s = "";
+
+    static TraceArg
+    u64(const char *key, std::uint64_t v)
+    {
+        TraceArg a;
+        a.key = key;
+        a.kind = Kind::U64;
+        a.u = v;
+        return a;
+    }
+
+    static TraceArg
+    i64(const char *key, std::int64_t v)
+    {
+        TraceArg a;
+        a.key = key;
+        a.kind = Kind::I64;
+        a.i = v;
+        return a;
+    }
+
+    static TraceArg
+    f64(const char *key, double v)
+    {
+        TraceArg a;
+        a.key = key;
+        a.kind = Kind::F64;
+        a.f = v;
+        return a;
+    }
+
+    /** @p v must be a static-lifetime string (literal / toString). */
+    static TraceArg
+    str(const char *key, const char *v)
+    {
+        TraceArg a;
+        a.key = key;
+        a.kind = Kind::Str;
+        a.s = v;
+        return a;
+    }
+};
+
+/** One buffered trace event. */
+struct TraceEvent
+{
+    static constexpr std::size_t kMaxArgs = 6;
+
+    const char *name = "";
+    std::uint32_t track = 0;  //!< index into TraceSink::tracks()
+    char phase = 'i';         //!< 'X' complete span, 'i' instant
+    sim::SimTime ts;          //!< span start / instant time
+    sim::Duration dur;        //!< span length (phase 'X' only)
+    std::uint64_t seq = 0;    //!< emission order (sort tie-break)
+    std::uint8_t n_args = 0;
+    TraceArg args[kMaxArgs];
+};
+
+/**
+ * Buffering trace collector for one trial.
+ */
+class TraceSink
+{
+  public:
+    /** Record an instant event on @p track at sim time @p ts. */
+    void instant(const char *name, const char *track, sim::SimTime ts,
+                 std::initializer_list<TraceArg> args = {});
+
+    /**
+     * Record a complete span on @p track covering [start, end].
+     * Call at span end; nesting falls out of the timestamps.
+     */
+    void complete(const char *name, const char *track, sim::SimTime start,
+                  sim::SimTime end,
+                  std::initializer_list<TraceArg> args = {});
+
+    /** Buffered events, in emission order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Track names, indexed by TraceEvent::track. */
+    const std::vector<const char *> &tracks() const { return tracks_; }
+
+    /** Number of buffered events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Drop all buffered events (track table survives). */
+    void clear() { events_.clear(); }
+
+  private:
+    std::uint32_t trackId(const char *track);
+
+    void push(TraceEvent event, std::initializer_list<TraceArg> args);
+
+    std::vector<TraceEvent> events_;
+    std::vector<const char *> tracks_;
+};
+
+/**
+ * Render trial sinks as one Chrome trace_event JSON document.
+ * @p trials are serialized in order; trial i becomes pid i. Null
+ * entries are skipped (their pid is still consumed, keeping trial
+ * numbering stable).
+ */
+void writeChromeTrace(std::ostream &out,
+                      const std::vector<const TraceSink *> &trials);
+
+/** Convenience: render to a string (tests, determinism checks). */
+std::string toChromeTraceJson(const std::vector<const TraceSink *> &trials);
+
+} // namespace eaao::obs
+
+#endif // EAAO_OBS_TRACE_SINK_HPP

@@ -6,8 +6,12 @@
 #include "support/bench_timer.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "support/logging.hpp"
 #include "support/options.hpp"
@@ -76,12 +80,40 @@ toJson(const BenchTimingRecord &record)
 }
 
 void
+appendJsonLine(const std::string &path, const std::string &line)
+{
+    // O_APPEND + one write() per record: POSIX guarantees the file
+    // offset update and the write are atomic, so concurrent appenders
+    // (parallel CI benches sharing one trajectory file) never tear or
+    // interleave a record. The previous ofstream-based version
+    // buffered arbitrarily and could interleave partial lines.
+    const std::string data = line + '\n';
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                          0644);
+    if (fd < 0)
+        EAAO_FATAL("cannot open bench-json file '", path,
+                   "': ", std::strerror(errno));
+    std::size_t done = 0;
+    while (done < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + done, data.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            EAAO_FATAL("failed writing bench-json file '", path,
+                       "': ", std::strerror(err));
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+}
+
+void
 appendBenchJson(const std::string &path, const BenchTimingRecord &record)
 {
-    std::ofstream out(path, std::ios::app);
-    if (!out)
-        EAAO_FATAL("cannot open bench-json file '", path, "'");
-    out << toJson(record) << '\n';
+    appendJsonLine(path, toJson(record));
 }
 
 void

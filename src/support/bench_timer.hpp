@@ -65,7 +65,16 @@ class BenchTimer
 };
 
 /**
- * Append @p record as one JSON line to @p path.
+ * Append @p line (newline added) to @p path atomically with respect to
+ * other appenders: the file is opened O_APPEND and the whole line goes
+ * out in a single write(), so records from concurrent processes or
+ * threads never interleave mid-line. A fatal user error if the file
+ * cannot be opened or the write fails.
+ */
+void appendJsonLine(const std::string &path, const std::string &line);
+
+/**
+ * Append @p record as one JSON line to @p path (via appendJsonLine).
  * A fatal user error if the file cannot be opened.
  */
 void appendBenchJson(const std::string &path,

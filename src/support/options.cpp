@@ -70,27 +70,55 @@ threadsFromArgs(int argc, char **argv)
     return defaultThreads();
 }
 
+namespace {
+
+/**
+ * Shared parser for path-valued flags: `--flag <path>` / `--flag=<path>`
+ * in argv, then the environment variable, then nullopt.
+ */
 std::optional<std::string>
-benchJsonFromArgs(int argc, char **argv)
+pathFromArgs(int argc, char **argv, const char *flag, const char *env_var)
 {
+    const std::size_t flag_len = std::strlen(flag);
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (std::strcmp(arg, "--bench-json") == 0) {
+        if (std::strcmp(arg, flag) == 0) {
             if (i + 1 >= argc || argv[i + 1][0] == '\0')
-                EAAO_FATAL("--bench-json requires a path");
+                EAAO_FATAL(flag, " requires a path");
             return std::string(argv[i + 1]);
         }
-        if (std::strncmp(arg, "--bench-json=", 13) == 0) {
-            if (arg[13] == '\0')
-                EAAO_FATAL("--bench-json requires a path");
-            return std::string(arg + 13);
+        if (std::strncmp(arg, flag, flag_len) == 0 &&
+            arg[flag_len] == '=') {
+            if (arg[flag_len + 1] == '\0')
+                EAAO_FATAL(flag, " requires a path");
+            return std::string(arg + flag_len + 1);
         }
     }
-    if (const char *env = std::getenv("EAAO_BENCH_JSON")) {
+    if (const char *env = std::getenv(env_var)) {
         if (*env != '\0')
             return std::string(env);
     }
     return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::string>
+benchJsonFromArgs(int argc, char **argv)
+{
+    return pathFromArgs(argc, argv, "--bench-json", "EAAO_BENCH_JSON");
+}
+
+std::optional<std::string>
+traceJsonFromArgs(int argc, char **argv)
+{
+    return pathFromArgs(argc, argv, "--trace-json", "EAAO_TRACE_JSON");
+}
+
+std::optional<std::string>
+metricsJsonFromArgs(int argc, char **argv)
+{
+    return pathFromArgs(argc, argv, "--metrics-json", "EAAO_METRICS_JSON");
 }
 
 } // namespace eaao::support

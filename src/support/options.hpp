@@ -12,6 +12,11 @@
  * EAAO_BENCH_JSON environment variable) names a file the bench appends
  * its timing record to — see bench_timer.hpp. Timing never goes to
  * stdout, so bench output stays byte-identical either way.
+ *
+ * `--trace-json <path>` / EAAO_TRACE_JSON and `--metrics-json <path>`
+ * / EAAO_METRICS_JSON name the observability outputs: a Chrome
+ * trace_event file and a metrics JSON file (see src/obs/ and
+ * docs/observability.md). Like timing, they never touch stdout.
  */
 
 #ifndef EAAO_SUPPORT_OPTIONS_HPP
@@ -43,6 +48,22 @@ unsigned threadsFromArgs(int argc, char **argv);
  * a fatal user error.
  */
 std::optional<std::string> benchJsonFromArgs(int argc, char **argv);
+
+/**
+ * Resolve the Chrome trace output path from `--trace-json <path>` /
+ * `--trace-json=<path>`, falling back to EAAO_TRACE_JSON. nullopt when
+ * neither is given (tracing disabled); an empty value is a fatal user
+ * error.
+ */
+std::optional<std::string> traceJsonFromArgs(int argc, char **argv);
+
+/**
+ * Resolve the metrics output path from `--metrics-json <path>` /
+ * `--metrics-json=<path>`, falling back to EAAO_METRICS_JSON. nullopt
+ * when neither is given (metrics disabled); an empty value is a fatal
+ * user error.
+ */
+std::optional<std::string> metricsJsonFromArgs(int argc, char **argv);
 
 } // namespace eaao::support
 

@@ -11,11 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/strategy.hpp"
 #include "faas/platform.hpp"
 #include "faas/trace.hpp"
+#include "obs/export.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace eaao {
 namespace {
@@ -64,6 +67,40 @@ TEST(Determinism, CampaignTraceIsReplayable)
         ASSERT_EQ(a.host, b.host) << "event " << i;
         ASSERT_EQ(a.reason, b.reason) << "event " << i;
     }
+}
+
+/** Run one campaign with the obs layer attached; render its trace. */
+std::string
+obsTracedCampaign(std::uint64_t seed)
+{
+    obs::TrialObs slot;
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = seed;
+    cfg.obs = slot.observer();
+    faas::Platform platform(cfg);
+
+    const auto attacker = platform.createAccount();
+    core::runOptimizedCampaign(platform, attacker,
+                               core::CampaignConfig{});
+
+    return obs::toChromeTraceJson({&slot.trace}) +
+           slot.metrics.toJson();
+}
+
+TEST(Determinism, ObsTraceAndMetricsReplayIdentically)
+{
+    // The observability layer must inherit the replay guarantee: the
+    // rendered trace and metrics JSON are pure functions of the seed.
+    const std::string first = obsTracedCampaign(20260806);
+    const std::string second = obsTracedCampaign(20260806);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+#if EAAO_OBS_ENABLED
+    EXPECT_NE(first.find("instance.create"), std::string::npos);
+    EXPECT_NE(first.find("strategy.campaign"), std::string::npos);
+    EXPECT_NE(first.find("faas.cold_start_s"), std::string::npos);
+#endif
 }
 
 TEST(Determinism, DistinctSeedsDiverge)

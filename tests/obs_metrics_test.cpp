@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the sim-time metrics registry: bucket edge semantics,
+ * stable handles, slot-order merging, and the guarantee the parallel
+ * harness relies on — the merged JSON is byte-identical for any
+ * worker-thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/trial_runner.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace eaao {
+namespace {
+
+TEST(ObsCounter, AddsAndDefaultsToOne)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value, 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value, 42u);
+}
+
+TEST(ObsHistogram, BucketEdgesAreInclusiveUpperBounds)
+{
+    obs::MetricsRegistry reg;
+    obs::Histogram *h = reg.histogram("h", {1.0, 2.0, 4.0});
+    ASSERT_EQ(h->counts.size(), 4u); // 3 bounds + overflow
+
+    h->observe(0.5); // <= 1.0  -> bucket 0
+    h->observe(1.0); // <= 1.0  -> bucket 0 (inclusive)
+    h->observe(1.5); // <= 2.0  -> bucket 1
+    h->observe(4.0); // <= 4.0  -> bucket 2
+    h->observe(9.0); // > 4.0   -> overflow
+
+    EXPECT_EQ(h->counts[0], 2u);
+    EXPECT_EQ(h->counts[1], 1u);
+    EXPECT_EQ(h->counts[2], 1u);
+    EXPECT_EQ(h->counts[3], 1u);
+    EXPECT_EQ(h->count, 5u);
+    EXPECT_DOUBLE_EQ(h->sum, 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+    EXPECT_DOUBLE_EQ(h->min, 0.5);
+    EXPECT_DOUBLE_EQ(h->max, 9.0);
+}
+
+TEST(ObsRegistry, HandlesAreStableAcrossRegistrations)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter *c1 = reg.counter("a");
+    obs::Histogram *h1 = reg.histogram("h", {1.0, 2.0});
+
+    // Register many more names: node-based storage must not move the
+    // earlier handles.
+    for (int i = 0; i < 100; ++i)
+        reg.counter("filler." + std::to_string(i));
+
+    EXPECT_EQ(reg.counter("a"), c1);
+    EXPECT_EQ(reg.histogram("h", {1.0, 2.0}), h1);
+    c1->add(7);
+    EXPECT_EQ(reg.counters().at("a").value, 7u);
+}
+
+TEST(ObsRegistry, MergeAddsCountersAndHistograms)
+{
+    obs::MetricsRegistry a;
+    obs::MetricsRegistry b;
+    a.counter("n")->add(2);
+    b.counter("n")->add(3);
+    b.counter("only_b")->add(1);
+    a.histogram("h", {1.0})->observe(0.5);
+    b.histogram("h", {1.0})->observe(5.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.counters().at("n").value, 5u);
+    EXPECT_EQ(a.counters().at("only_b").value, 1u);
+    const obs::Histogram &h = a.histograms().at("h");
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_EQ(h.counts[0], 1u);
+    EXPECT_EQ(h.counts[1], 1u);
+    EXPECT_DOUBLE_EQ(h.min, 0.5);
+    EXPECT_DOUBLE_EQ(h.max, 5.0);
+}
+
+TEST(ObsRegistry, JsonIsSortedAndStable)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("zebra")->add(1);
+    reg.counter("alpha")->add(2);
+    reg.histogram("mid", {0.5, 1.0})->observe(0.25);
+
+    const std::string json = reg.toJson();
+    // Map storage renders names in sorted order.
+    EXPECT_LT(json.find("\"alpha\""), json.find("\"zebra\""));
+    EXPECT_NE(json.find("\"mid\""), std::string::npos);
+    EXPECT_EQ(json, reg.toJson());
+}
+
+/**
+ * Record a deterministic per-trial workload into the slot registry.
+ * Every trial writes values derived only from its index.
+ */
+void
+recordTrial(exp::TrialContext &trial)
+{
+    if (trial.obs.metrics == nullptr)
+        return;
+    obs::Counter *c = trial.obs.metrics->counter("trial.events");
+    obs::Histogram *h =
+        trial.obs.metrics->histogram("trial.values", {1.0, 4.0, 16.0});
+    for (std::size_t i = 0; i <= trial.index; ++i) {
+        c->add(i + 1);
+        h->observe(static_cast<double>((trial.index * 7 + i) % 20));
+    }
+}
+
+std::string
+mergedJsonAtThreads(unsigned threads)
+{
+    constexpr std::size_t kTrials = 12;
+    obs::TrialSet set(/*enabled=*/true);
+    exp::runTrials(kTrials, /*seed=*/99,
+                   [](exp::TrialContext &trial) {
+                       recordTrial(trial);
+                       return 0;
+                   },
+                   threads, &set);
+    std::vector<obs::MetricsRegistry> parts;
+    for (const obs::TrialObs &slot : set.slots())
+        parts.push_back(slot.metrics);
+    return mergeRegistries(parts).toJson();
+}
+
+TEST(ObsRegistry, MergedJsonIsByteIdenticalAcrossThreadCounts)
+{
+    const std::string t1 = mergedJsonAtThreads(1);
+    const std::string t4 = mergedJsonAtThreads(4);
+    const std::string t8 = mergedJsonAtThreads(8);
+    EXPECT_FALSE(t1.empty());
+    EXPECT_EQ(t1, t4);
+    EXPECT_EQ(t1, t8);
+    // Sanity: the workload actually recorded something.
+    EXPECT_NE(t1.find("trial.events"), std::string::npos);
+    EXPECT_NE(t1.find("trial.values"), std::string::npos);
+}
+
+TEST(ObsTrialSet, DisabledSetHandsOutNullObservers)
+{
+    obs::TrialSet set(/*enabled=*/false);
+    set.prepare(4);
+    const obs::Observer o = set.observer(2);
+    EXPECT_EQ(o.trace, nullptr);
+    EXPECT_EQ(o.metrics, nullptr);
+    EXPECT_FALSE(o.enabled());
+}
+
+} // namespace
+} // namespace eaao

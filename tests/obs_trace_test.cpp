@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the Chrome trace_event sink: span/instant rendering, arg
+ * encoding and escaping, the per-track monotonic-timestamp guarantee
+ * of the serialized file, and byte-determinism across renders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+#include "sim/time.hpp"
+
+namespace eaao {
+namespace {
+
+sim::SimTime
+at(std::int64_t ms)
+{
+    return sim::SimTime::fromNanos(ms * 1000000);
+}
+
+/** Extract the numeric token following `"key": ` on @p line. */
+double
+numberAfter(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t pos = line.find(needle);
+    EXPECT_NE(pos, std::string::npos) << key << " missing in " << line;
+    return std::stod(line.substr(pos + needle.size()));
+}
+
+TEST(ObsTrace, SpansAndInstantsRender)
+{
+    obs::TraceSink sink;
+    sink.instant("platform.up", "platform", at(0),
+                 {obs::TraceArg::u64("hosts", 1850)});
+    sink.complete("instance", "lifecycle", at(10), at(250),
+                  {obs::TraceArg::u64("instance", 7),
+                   obs::TraceArg::f64("cold_start_s", 1.25),
+                   obs::TraceArg::i64("delta", -3),
+                   obs::TraceArg::str("reason", "cold-base")});
+
+    const std::string json = obs::toChromeTraceJson({&sink});
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+    // Instant: phase 'i' with thread scope.
+    EXPECT_NE(json.find("\"name\": \"platform.up\", \"ph\": \"i\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+    // Span: phase 'X' with ts/dur in microseconds (10ms -> 10000us).
+    EXPECT_NE(json.find("\"ph\": \"X\", \"ts\": 10000.000, "
+                        "\"dur\": 240000.000"),
+              std::string::npos);
+    // Args of every kind.
+    EXPECT_NE(json.find("\"hosts\": 1850"), std::string::npos);
+    EXPECT_NE(json.find("\"cold_start_s\": 1.25"), std::string::npos);
+    EXPECT_NE(json.find("\"delta\": -3"), std::string::npos);
+    EXPECT_NE(json.find("\"reason\": \"cold-base\""), std::string::npos);
+    // Metadata names the process and both tracks.
+    EXPECT_NE(json.find("\"name\": \"trial 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"platform\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"lifecycle\""), std::string::npos);
+}
+
+TEST(ObsTrace, StringsAreEscaped)
+{
+    obs::TraceSink sink;
+    sink.instant("quote\"back\\slash", "track\ttab", at(1));
+    const std::string json = obs::toChromeTraceJson({&sink});
+    EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+    EXPECT_NE(json.find("track\\ttab"), std::string::npos);
+}
+
+TEST(ObsTrace, SerializedTimestampsAreMonotonicPerTrack)
+{
+    obs::TraceSink sink;
+    // Emit out of timestamp order on two interleaved tracks; nested
+    // spans close inner-first, so emission order is end-time order.
+    sink.complete("outer", "a", at(0), at(100));
+    sink.instant("i3", "a", at(30));
+    sink.instant("i1", "a", at(10));
+    sink.complete("inner", "a", at(20), at(40));
+    sink.instant("other", "b", at(5));
+    sink.instant("late", "b", at(500));
+
+    const std::string json = obs::toChromeTraceJson({&sink});
+    std::istringstream lines(json);
+    std::string line;
+    std::map<std::pair<long, long>, double> last_ts;
+    std::size_t seen = 0;
+    while (std::getline(lines, line)) {
+        if (line.find("\"ph\": \"i\"") == std::string::npos &&
+            line.find("\"ph\": \"X\"") == std::string::npos)
+            continue;
+        const auto key = std::make_pair(
+            static_cast<long>(numberAfter(line, "pid")),
+            static_cast<long>(numberAfter(line, "tid")));
+        const double ts = numberAfter(line, "ts");
+        auto it = last_ts.find(key);
+        if (it != last_ts.end()) {
+            EXPECT_GE(ts, it->second) << "track went backwards: " << line;
+        }
+        last_ts[key] = ts;
+        ++seen;
+    }
+    EXPECT_EQ(seen, 6u);
+
+    // Nesting check: the outer span must be serialized before the
+    // inner one (same start order as Perfetto expects for stacking).
+    EXPECT_LT(json.find("\"name\": \"outer\""),
+              json.find("\"name\": \"inner\""));
+}
+
+TEST(ObsTrace, RenderIsByteDeterministic)
+{
+    obs::TraceSink a;
+    obs::TraceSink b;
+    for (obs::TraceSink *sink : {&a, &b}) {
+        sink->instant("x", "t", at(3), {obs::TraceArg::u64("k", 1)});
+        sink->complete("y", "t", at(1), at(9));
+    }
+    EXPECT_EQ(obs::toChromeTraceJson({&a}), obs::toChromeTraceJson({&b}));
+}
+
+TEST(ObsTrace, NullAndEmptySlotsKeepPidNumbering)
+{
+    obs::TraceSink empty;
+    obs::TraceSink used;
+    used.instant("e", "t", at(1));
+
+    // Slot 0 is null, slot 1 empty; the used sink keeps pid 2.
+    const std::string json =
+        obs::toChromeTraceJson({nullptr, &empty, &used});
+    EXPECT_NE(json.find("\"name\": \"trial 2\""), std::string::npos);
+    EXPECT_EQ(json.find("\"name\": \"trial 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+}
+
+TEST(ObsTrace, ClearDropsEventsKeepsTracks)
+{
+    obs::TraceSink sink;
+    sink.instant("e", "t", at(1));
+    EXPECT_EQ(sink.size(), 1u);
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+    EXPECT_EQ(sink.tracks().size(), 1u);
+}
+
+} // namespace
+} // namespace eaao

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Regression test for --bench-json appending: concurrent writers to
+ * the same file must never tear or interleave a record. appendJsonLine
+ * uses O_APPEND plus a single write() per record, which POSIX makes
+ * atomic; the old ofstream path could split lines under contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "support/bench_timer.hpp"
+
+namespace eaao {
+namespace {
+
+class BenchJsonFile : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "bench_json_test_" +
+                std::to_string(::getpid()) + ".jsonl";
+        std::remove(path_.c_str());
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    std::vector<std::string>
+    readLines() const
+    {
+        std::ifstream in(path_);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        return lines;
+    }
+
+    std::string path_;
+};
+
+TEST_F(BenchJsonFile, AppendsRecordsAsJsonLines)
+{
+    support::BenchTimingRecord record;
+    record.bench = "unit";
+    record.threads = 2;
+    record.seed = 7;
+    support::appendBenchJson(path_, record);
+    support::appendBenchJson(path_, record);
+
+    const auto lines = readLines();
+    ASSERT_EQ(lines.size(), 2u);
+    for (const std::string &l : lines) {
+        EXPECT_EQ(l.front(), '{');
+        EXPECT_EQ(l.back(), '}');
+        EXPECT_NE(l.find("\"bench\": \"unit\""), std::string::npos);
+        EXPECT_NE(l.find("\"threads\": 2"), std::string::npos);
+        EXPECT_NE(l.find("\"seed\": 7"), std::string::npos);
+    }
+}
+
+TEST_F(BenchJsonFile, ConcurrentAppendersNeverTearLines)
+{
+    // Distinctive payloads long enough that a torn write would be
+    // visible, from enough threads to actually contend.
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kLinesPerThread = 200;
+    const std::string pad(120, 'x');
+
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([this, t, &pad] {
+            for (unsigned i = 0; i < kLinesPerThread; ++i) {
+                support::appendJsonLine(
+                    path_, "{\"thread\": " + std::to_string(t) +
+                               ", \"line\": " + std::to_string(i) +
+                               ", \"pad\": \"" + pad + "\"}");
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    const auto lines = readLines();
+    ASSERT_EQ(lines.size(), kThreads * kLinesPerThread);
+
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (const std::string &l : lines) {
+        unsigned thread = 0;
+        unsigned line = 0;
+        // A torn or interleaved record fails this exact-shape parse.
+        ASSERT_EQ(std::sscanf(l.c_str(),
+                              "{\"thread\": %u, \"line\": %u, ", &thread,
+                              &line),
+                  2)
+            << "malformed line: " << l;
+        EXPECT_NE(l.find("\"pad\": \"" + pad + "\"}"), std::string::npos)
+            << "truncated line: " << l;
+        EXPECT_TRUE(seen.emplace(thread, line).second)
+            << "duplicate record " << thread << "/" << line;
+    }
+    EXPECT_EQ(seen.size(), kThreads * kLinesPerThread);
+}
+
+} // namespace
+} // namespace eaao

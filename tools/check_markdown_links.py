@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Check intra-repository markdown links.
+
+Scans the given markdown files (default: README.md, DESIGN.md,
+EXPERIMENTS.md, ROADMAP.md and everything under docs/) for inline
+links `[text](target)` and verifies that every relative target exists
+in the repository. External links (http/https/mailto) and pure
+anchors (#...) are skipped; `path#anchor` targets are checked for the
+path only. Exits non-zero listing every broken link.
+
+Usage: tools/check_markdown_links.py [file.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline markdown links; images share the syntax with a leading '!'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def default_files():
+    files = [
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "DESIGN.md",
+        REPO_ROOT / "EXPERIMENTS.md",
+        REPO_ROOT / "ROADMAP.md",
+    ]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def strip_code(text):
+    """Drop fenced and inline code spans, which may hold link-like text."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path):
+    broken = []
+    for target in LINK_RE.findall(strip_code(path.read_text())):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            broken.append((target, path))
+    return broken
+
+
+def main(argv):
+    files = [Path(a).resolve() for a in argv[1:]] or default_files()
+    broken = []
+    for f in files:
+        broken.extend(check_file(f))
+    for target, source in broken:
+        rel_source = source.relative_to(REPO_ROOT)
+        print(f"BROKEN: {rel_source}: ({target})")
+    print(f"checked {len(files)} files, {len(broken)} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

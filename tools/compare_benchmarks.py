@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs.
+
+Reads a baseline and a candidate file produced with
+`--benchmark_out_format=json --benchmark_report_aggregates_only=true
+--benchmark_repetitions=N`, matches benchmarks by name using the
+`_median` aggregate (falling back to plain entries for single-rep
+runs), and fails when any candidate median exceeds the baseline by
+more than --max-regression (a fraction; 0.07 allows +7%).
+
+CI uses this to bound the cost of the compiled-in-but-disabled
+observability path against an EAAO_ENABLE_OBS=OFF build: the design
+target is <2% on the placement micro-benchmarks, with the threshold
+held slightly looser to absorb shared-runner noise.
+
+Usage:
+  tools/compare_benchmarks.py baseline.json candidate.json \
+      [--max-regression 0.07]
+"""
+
+import argparse
+import json
+import sys
+
+
+def medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        name = b["name"]
+        if name.endswith("_median"):
+            out[name[: -len("_median")]] = b["real_time"]
+        elif b.get("run_type", "iteration") == "iteration":
+            out.setdefault(name, b["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--max-regression", type=float, default=0.07)
+    args = parser.parse_args()
+
+    base = medians(args.baseline)
+    cand = medians(args.candidate)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("no common benchmarks between the two files")
+        return 1
+
+    failed = False
+    for name in common:
+        ratio = cand[name] / base[name]
+        verdict = "OK"
+        if ratio > 1.0 + args.max_regression:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"{verdict}: {name}: {base[name]:.0f} -> {cand[name]:.0f} ns "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
