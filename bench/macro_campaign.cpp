@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Campaign-scale macro-benchmark over the orchestrator's hot paths.
+ *
+ * One trial drives a single data center through the three workloads
+ * the incremental indexes were built for:
+ *
+ *  1. a priming phase (repeated large launches with disconnects in
+ *     between) that hammers cold/helper placement,
+ *  2. a routing storm (tens of thousands of requests against a large
+ *     active pool with concurrency > 1) with periodic account-spend
+ *     polls, and
+ *  3. a verification pass whose uniform fingerprint keys force the
+ *     oversized-group recursive-resolution path.
+ *
+ * `--legacy` re-runs the identical workload with
+ * `OrchestratorConfig::reference_scan` set, i.e. on the retained
+ * pre-index linear-scan decision paths. Both modes make byte-identical
+ * decisions, so stdout is the same either way (and for any `--threads`
+ * count); only the `--bench-json` record differs — its bench name is
+ * `macro_campaign` or `macro_campaign_legacy`. CI compares the two
+ * wall-clock records on the same machine (the speedup gate) and the
+ * new-path record against the committed BENCH_BASELINE.json (the
+ * workload-drift gate); see tools/compare_benchmarks.py and
+ * docs/performance.md.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "channel/covert.hpp"
+#include "core/verify.hpp"
+#include "exp/trial_runner.hpp"
+#include "stats/summary.hpp"
+#include "support/bench_timer.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+constexpr std::size_t kTrials = 4;
+constexpr std::size_t kServices = 4;
+constexpr std::uint32_t kLaunchSize = 500;
+constexpr std::size_t kPrimeRounds = 3;
+constexpr std::uint32_t kStormPool = 700;
+constexpr std::uint32_t kMaxConcurrency = 4;
+constexpr std::uint64_t kStormRequests = 60000;
+constexpr std::uint64_t kSpendPollEvery = 64;
+constexpr std::uint32_t kVerifyInstances = 300;
+
+struct TrialMetrics
+{
+    std::size_t instances_created = 0;
+    std::uint64_t requests_routed = 0;
+    std::uint64_t spend_polls = 0;
+    double spend_poll_sum_usd = 0.0;
+    double final_spend_usd = 0.0;
+    std::size_t clusters = 0;
+    std::uint64_t group_tests = 0;
+};
+
+TrialMetrics
+runTrial(std::uint64_t seed, bool legacy)
+{
+    using namespace eaao;
+
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = seed;
+    cfg.orchestrator.reference_scan = legacy;
+    faas::Platform platform(cfg);
+    faas::Orchestrator &orch = platform.orchestrator();
+    const auto acct = platform.createAccount(0);
+
+    TrialMetrics m;
+
+    // ---- 1. Priming: repeated launches build hotness and exercise
+    //         the cold-base and hot-helper placement paths. ----
+    std::vector<faas::ServiceId> svcs;
+    for (std::size_t s = 0; s < kServices; ++s)
+        svcs.push_back(platform.deployService(acct, faas::ExecEnv::Gen1));
+    for (std::size_t round = 0; round < kPrimeRounds; ++round) {
+        for (const auto svc : svcs) {
+            platform.connect(svc, kLaunchSize);
+            platform.advance(sim::Duration::minutes(1));
+            platform.disconnectAll(svc);
+        }
+        platform.advance(sim::Duration::minutes(4));
+    }
+
+    // ---- 2. Routing storm against a large active pool, with
+    //         periodic spend polls. One multi-hour request pins each
+    //         pool instance at in_flight >= 1 so none of them idles
+    //         out mid-storm: every short request is routed against the
+    //         full pool, which is exactly the per-request cost the
+    //         routing index removes. ----
+    const auto front = svcs.front();
+    orch.setMaxConcurrency(front, kMaxConcurrency);
+    platform.connect(front, kStormPool);
+    for (std::uint32_t p = 0; p < kStormPool; ++p)
+        orch.routeRequest(front, sim::Duration::hours(2));
+    for (std::uint64_t r = 0; r < kStormRequests; ++r) {
+        const double service_s =
+            0.05 + 0.01 * static_cast<double>(r % 7);
+        orch.routeRequest(front, sim::Duration::fromSecondsF(service_s));
+        ++m.requests_routed;
+        if (r % kSpendPollEvery == 0) {
+            m.spend_poll_sum_usd += platform.accountSpendUsd(acct);
+            ++m.spend_polls;
+        }
+        if (r % 16 == 15)
+            platform.advance(sim::Duration::fromSecondsF(0.02));
+    }
+    platform.advance(sim::Duration::minutes(1));
+
+    // ---- 3. Verification with uniform fingerprint keys: the whole
+    //         set lands in one oversized group, driving the recursive
+    //         resolution (arena) path end to end. ----
+    const auto held = platform.connect(svcs[1], kVerifyInstances);
+    const std::vector<std::uint64_t> fp_keys(held.size(), 7);
+    channel::RngChannel chan(platform);
+    const core::VerifyResult verdict =
+        core::verifyScalable(platform, chan, held, fp_keys, {});
+    m.clusters = verdict.clusterCount();
+    m.group_tests = verdict.group_tests;
+
+    m.instances_created = orch.instanceCount();
+    m.final_spend_usd = platform.accountSpendUsd(acct);
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace eaao;
+    const unsigned threads = support::threadsFromArgs(argc, argv);
+    bool legacy = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--legacy") == 0)
+            legacy = true;
+    }
+
+    std::printf("=== macro_campaign: placement/routing/verification "
+                "hot paths (us-east1, %zu trials) ===\n\n",
+                kTrials);
+
+    support::BenchTimer timer(
+        legacy ? "macro_campaign_legacy" : "macro_campaign", threads,
+        /*seed=*/4242);
+    const std::vector<TrialMetrics> trials = exp::runTrials(
+        kTrials, /*seed=*/4242,
+        [legacy](exp::TrialContext &trial) {
+            return runTrial(4242 + trial.index, legacy);
+        },
+        threads);
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
+
+    const TrialMetrics &t = trials.front();
+    std::printf("trial 0: created %zu instances; routed %llu requests "
+                "(%llu spend polls,\nchecksum %.2f USD); final spend "
+                "%.2f USD\n",
+                t.instances_created,
+                static_cast<unsigned long long>(t.requests_routed),
+                static_cast<unsigned long long>(t.spend_polls),
+                t.spend_poll_sum_usd, t.final_spend_usd);
+    std::printf("trial 0: verified %u uniform-fingerprint instances "
+                "into %zu clusters\n(%llu group tests)\n\n",
+                kVerifyInstances, t.clusters,
+                static_cast<unsigned long long>(t.group_tests));
+
+    stats::OnlineStats created, spend, clusters, tests;
+    for (const TrialMetrics &r : trials) {
+        created.add(static_cast<double>(r.instances_created));
+        spend.add(r.final_spend_usd);
+        clusters.add(static_cast<double>(r.clusters));
+        tests.add(static_cast<double>(r.group_tests));
+    }
+    std::printf("across %zu trials: instances %.1f (sd %.1f), spend "
+                "%.2f USD (sd %.2f),\nclusters %.1f (sd %.1f), group "
+                "tests %.1f (sd %.1f)\n",
+                kTrials, created.mean(), created.stddev(), spend.mean(),
+                spend.stddev(), clusters.mean(), clusters.stddev(),
+                tests.mean(), tests.stddev());
+    return 0;
+}

@@ -11,6 +11,8 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <map>
+#include <numeric>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -441,6 +443,461 @@ BM_PlacementScaleOutTraced(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_PlacementScaleOutTraced)->Arg(100)->Arg(800);
+
+/**
+ * Placement hot path: indexed (min-load tree + dense loads) vs the
+ * retained reference-scan decision path. Same pattern as
+ * LegacyMapQueue: `OrchestratorConfig::reference_scan` keeps the
+ * pre-index implementation alive in the library, and both modes make
+ * byte-identical decisions, so the delta is pure lookup cost.
+ */
+faas::PlatformConfig
+placementConfig(std::uint64_t seed, bool legacy)
+{
+    faas::PlatformConfig cfg = baseConfig(seed);
+    cfg.orchestrator.reference_scan = legacy;
+    return cfg;
+}
+
+void
+pickHostWorkload(benchmark::State &state, bool legacy)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    // The base-prefix scan is demand-sized (prefix ~ live/spread),
+    // so the account must already carry live load for placement cost
+    // to matter; a cold account's prefix is a handful of hosts. The
+    // per-service quota is 1000, so warm two services.
+    constexpr std::uint32_t kWarmInstances = 1000;
+    for (auto _ : state) {
+        state.PauseTiming();
+        faas::Platform platform(placementConfig(8, legacy));
+        const auto acct = platform.createAccount();
+        const auto warm =
+            platform.deployService(acct, faas::ExecEnv::Gen1);
+        platform.connect(warm, kWarmInstances);
+        const auto svc =
+            platform.deployService(acct, faas::ExecEnv::Gen1);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(platform.connect(svc, n));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_PickHost(benchmark::State &state)
+{
+    pickHostWorkload(state, false);
+}
+BENCHMARK(BM_PickHost)->Arg(100)->Arg(800);
+
+void
+BM_PickHostLegacy(benchmark::State &state)
+{
+    pickHostWorkload(state, true);
+}
+BENCHMARK(BM_PickHostLegacy)->Arg(100)->Arg(800);
+
+/**
+ * Request routing against a large pinned active pool: the routing
+ * index picks the least-loaded instance in O(log n); the reference
+ * path scans the whole active list per request. One multi-hour request
+ * pins each pool instance so none of them idles out mid-benchmark.
+ */
+void
+routeRequestWorkload(benchmark::State &state, bool legacy)
+{
+    const auto pool = static_cast<std::uint32_t>(state.range(0));
+    faas::Platform platform(placementConfig(9, legacy));
+    faas::Orchestrator &orch = platform.orchestrator();
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+    orch.setMaxConcurrency(svc, 4);
+    platform.connect(svc, pool);
+    for (std::uint32_t p = 0; p < pool; ++p)
+        orch.routeRequest(svc, sim::Duration::hours(48));
+    std::uint64_t routed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(orch.routeRequest(
+            svc, sim::Duration::fromSecondsF(0.05)));
+        if (++routed % 8 == 0)
+            platform.advance(sim::Duration::fromSecondsF(0.05));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(routed));
+}
+
+void
+BM_RouteRequest(benchmark::State &state)
+{
+    routeRequestWorkload(state, false);
+}
+BENCHMARK(BM_RouteRequest)->Arg(100)->Arg(700);
+
+void
+BM_RouteRequestLegacy(benchmark::State &state)
+{
+    routeRequestWorkload(state, true);
+}
+BENCHMARK(BM_RouteRequestLegacy)->Arg(100)->Arg(700);
+
+/**
+ * Uniform fingerprint keys put every instance in one oversized group,
+ * driving verifyScalable's recursive-resolution (arena) path end to
+ * end through the real covert channel.
+ */
+void
+BM_VerifyScalableUniformFp(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    faas::Platform platform(baseConfig(10));
+    const auto acct = platform.createAccount();
+    const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+    const auto ids = platform.connect(svc, n);
+    const std::vector<std::uint64_t> fp_keys(ids.size(), 7);
+    for (auto _ : state) {
+        channel::RngChannel chan(platform);
+        benchmark::DoNotOptimize(
+            core::verifyScalable(platform, chan, ids, fp_keys, {}));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VerifyScalableUniformFp)->Arg(300);
+
+/**
+ * Verification-resolution kernels driven by a host-assignment oracle
+ * instead of the covert channel, isolating the bookkeeping the arena
+ * rewrite removed (per-recursion vector copies, per-merge std::map)
+ * from channel RNG work. The legacy kernel is the pre-arena
+ * implementation kept verbatim; the arena kernel mirrors the Run in
+ * src/core/verify.cpp.
+ */
+class KernelDsu
+{
+  public:
+    explicit KernelDsu(std::size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::size_t
+    find(std::size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    merge(std::size_t a, std::size_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent_[std::max(a, b)] = std::min(a, b);
+    }
+
+  private:
+    std::vector<std::size_t> parent_;
+};
+
+/** positive[i]: members sharing member i's host in the group >= m. */
+std::vector<char>
+oracleOutcome(const std::vector<std::uint32_t> &host_of,
+              const std::size_t *members, std::size_t count,
+              std::uint32_t m)
+{
+    std::vector<char> positive(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint32_t same = 0;
+        for (std::size_t j = 0; j < count; ++j)
+            same += host_of[members[j]] == host_of[members[i]] ? 1 : 0;
+        positive[i] = same >= m ? 1 : 0;
+    }
+    return positive;
+}
+
+/** The pre-arena resolution kernel, verbatim modulo the test oracle. */
+struct LegacyResolveKernel
+{
+    const std::vector<std::uint32_t> *host_of;
+    std::uint32_t m = 2;
+    std::uint32_t m_max = 16;
+    KernelDsu dsu;
+    std::uint64_t tests = 0;
+
+    explicit LegacyResolveKernel(const std::vector<std::uint32_t> &h)
+        : host_of(&h), dsu(h.size())
+    {
+    }
+
+    std::vector<char>
+    test(const std::vector<std::size_t> &members, std::uint32_t thresh)
+    {
+        ++tests;
+        return oracleOutcome(*host_of, members.data(), members.size(),
+                             thresh);
+    }
+
+    std::uint32_t
+    oneShotThreshold(std::size_t g) const
+    {
+        const auto needed = static_cast<std::uint32_t>((g + 2) / 2);
+        return std::clamp(needed, m, m_max);
+    }
+
+    void
+    resolve(const std::vector<std::size_t> &members)
+    {
+        if (members.size() <= 1)
+            return;
+        if (members.size() > 2ULL * m_max - 1) {
+            const std::size_t half = members.size() / 2;
+            std::vector<std::size_t> a(members.begin(),
+                                       members.begin() + half);
+            std::vector<std::size_t> b(members.begin() + half,
+                                       members.end());
+            resolve(a);
+            resolve(b);
+            mergeAcross(members);
+            return;
+        }
+        const std::uint32_t thresh = oneShotThreshold(members.size());
+        const auto result = test(members, thresh);
+        std::vector<std::size_t> positives, negatives;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            (result[i] ? positives : negatives).push_back(members[i]);
+        }
+        if (positives.size() >= thresh) {
+            for (std::size_t i = 1; i < positives.size(); ++i)
+                dsu.merge(positives[0], positives[i]);
+            resolve(negatives);
+            return;
+        }
+        if (members.size() <= 2 || thresh == m)
+            return;
+        const std::size_t half = members.size() / 2;
+        std::vector<std::size_t> a(members.begin(),
+                                   members.begin() + half);
+        std::vector<std::size_t> b(members.begin() + half,
+                                   members.end());
+        resolve(a);
+        resolve(b);
+        mergeAcross(members);
+    }
+
+    void
+    mergeAcross(const std::vector<std::size_t> &members)
+    {
+        std::map<std::size_t, std::size_t> rep_of_root;
+        for (const std::size_t idx : members)
+            rep_of_root.emplace(dsu.find(idx), idx);
+        if (rep_of_root.size() < 2)
+            return;
+        std::vector<std::size_t> reps;
+        reps.reserve(rep_of_root.size());
+        for (const auto &[root, rep] : rep_of_root)
+            reps.push_back(rep);
+        const auto result = test(reps, m);
+        std::vector<std::size_t> positives;
+        for (std::size_t i = 0; i < reps.size(); ++i) {
+            if (result[i])
+                positives.push_back(reps[i]);
+        }
+        if (positives.size() < 2)
+            return;
+        if (positives.size() == 2) {
+            dsu.merge(positives[0], positives[1]);
+            return;
+        }
+        for (std::size_t i = 0; i < positives.size(); ++i) {
+            for (std::size_t j = i + 1; j < positives.size(); ++j) {
+                if (dsu.find(positives[i]) == dsu.find(positives[j]))
+                    continue;
+                const auto pr =
+                    test({positives[i], positives[j]}, m);
+                if (pr[0] && pr[1])
+                    dsu.merge(positives[i], positives[j]);
+            }
+        }
+    }
+};
+
+/** The arena kernel, mirroring src/core/verify.cpp's rewritten Run. */
+struct ArenaResolveKernel
+{
+    const std::vector<std::uint32_t> *host_of;
+    std::uint32_t m = 2;
+    std::uint32_t m_max = 16;
+    KernelDsu dsu;
+    std::uint64_t tests = 0;
+
+    explicit ArenaResolveKernel(const std::vector<std::uint32_t> &h)
+        : host_of(&h), dsu(h.size())
+    {
+        seen_.assign(h.size(), 0);
+        arena_.reserve(2 * h.size());
+    }
+
+    std::vector<char>
+    test(const std::size_t *members, std::size_t count,
+         std::uint32_t thresh)
+    {
+        ++tests;
+        return oracleOutcome(*host_of, members, count, thresh);
+    }
+
+    std::uint32_t
+    oneShotThreshold(std::size_t g) const
+    {
+        const auto needed = static_cast<std::uint32_t>((g + 2) / 2);
+        return std::clamp(needed, m, m_max);
+    }
+
+    void
+    resolve(const std::vector<std::size_t> &members)
+    {
+        const std::size_t lo = arena_.size();
+        arena_.insert(arena_.end(), members.begin(), members.end());
+        resolveRange(lo, arena_.size());
+        arena_.resize(lo);
+    }
+
+    void
+    resolveRange(std::size_t lo, std::size_t hi)
+    {
+        const std::size_t count = hi - lo;
+        if (count <= 1)
+            return;
+        if (count > 2ULL * m_max - 1) {
+            const std::size_t mid = lo + count / 2;
+            resolveRange(lo, mid);
+            resolveRange(mid, hi);
+            mergeAcrossSpan(arena_.data() + lo, count);
+            return;
+        }
+        const std::uint32_t thresh = oneShotThreshold(count);
+        const auto result = test(arena_.data() + lo, count, thresh);
+        std::size_t n_pos = 0;
+        for (std::size_t i = 0; i < count; ++i)
+            n_pos += result[i] ? 1 : 0;
+        if (n_pos >= thresh) {
+            std::size_t anchor = count;
+            const std::size_t neg_lo = arena_.size();
+            for (std::size_t i = 0; i < count; ++i) {
+                const std::size_t idx = arena_[lo + i];
+                if (result[i]) {
+                    if (anchor == count)
+                        anchor = idx;
+                    else
+                        dsu.merge(anchor, idx);
+                } else {
+                    arena_.push_back(idx);
+                }
+            }
+            resolveRange(neg_lo, arena_.size());
+            arena_.resize(neg_lo);
+            return;
+        }
+        if (count <= 2 || thresh == m)
+            return;
+        const std::size_t mid = lo + count / 2;
+        resolveRange(lo, mid);
+        resolveRange(mid, hi);
+        mergeAcrossSpan(arena_.data() + lo, count);
+    }
+
+    void
+    mergeAcrossSpan(const std::size_t *members, std::size_t count)
+    {
+        ++epoch_;
+        reps_.clear();
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::size_t idx = members[i];
+            const std::size_t root = dsu.find(idx);
+            if (seen_[root] != epoch_) {
+                seen_[root] = epoch_;
+                reps_.push_back({root, idx});
+            }
+        }
+        if (reps_.size() < 2)
+            return;
+        std::sort(reps_.begin(), reps_.end());
+        rep_members_.clear();
+        for (const auto &[root, rep] : reps_)
+            rep_members_.push_back(rep);
+        const auto result =
+            test(rep_members_.data(), rep_members_.size(), m);
+        positives_.clear();
+        for (std::size_t i = 0; i < rep_members_.size(); ++i) {
+            if (result[i])
+                positives_.push_back(rep_members_[i]);
+        }
+        if (positives_.size() < 2)
+            return;
+        if (positives_.size() == 2) {
+            dsu.merge(positives_[0], positives_[1]);
+            return;
+        }
+        for (std::size_t i = 0; i < positives_.size(); ++i) {
+            for (std::size_t j = i + 1; j < positives_.size(); ++j) {
+                if (dsu.find(positives_[i]) == dsu.find(positives_[j]))
+                    continue;
+                const std::size_t pair[2] = {positives_[i],
+                                             positives_[j]};
+                const auto pr = test(pair, 2, m);
+                if (pr[0] && pr[1])
+                    dsu.merge(positives_[i], positives_[j]);
+            }
+        }
+    }
+
+    std::vector<std::size_t> arena_;
+    std::vector<std::uint64_t> seen_;
+    std::uint64_t epoch_ = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> reps_;
+    std::vector<std::size_t> rep_members_;
+    std::vector<std::size_t> positives_;
+};
+
+template <typename Kernel>
+void
+verifyResolveWorkload(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint32_t> host_of(n);
+    const auto hosts = static_cast<std::uint32_t>(n / 11 + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        host_of[i] =
+            static_cast<std::uint32_t>(sim::mix64(i ^ 0x7e57) % hosts);
+    }
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    std::uint64_t tests = 0;
+    for (auto _ : state) {
+        Kernel kernel(host_of);
+        kernel.resolve(all);
+        tests = kernel.tests;
+        benchmark::DoNotOptimize(tests);
+    }
+    state.counters["kernel_tests"] = static_cast<double>(tests);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_VerifyResolveKernel(benchmark::State &state)
+{
+    verifyResolveWorkload<ArenaResolveKernel>(state);
+}
+BENCHMARK(BM_VerifyResolveKernel)->Arg(200)->Arg(800);
+
+void
+BM_VerifyResolveKernelLegacy(benchmark::State &state)
+{
+    verifyResolveWorkload<LegacyResolveKernel>(state);
+}
+BENCHMARK(BM_VerifyResolveKernelLegacy)->Arg(200)->Arg(800);
 
 void
 BM_FleetConstruction(benchmark::State &state)

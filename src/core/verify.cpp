@@ -88,7 +88,21 @@ combinedUsdPerSecond(const faas::Platform &platform,
     return rate;
 }
 
-/** Shared mutable state of one scalable verification run. */
+/**
+ * Shared mutable state of one scalable verification run.
+ *
+ * The resolution fallback used to copy member vectors at every
+ * recursion level and build a fresh `std::map` of cluster
+ * representatives per merge. It now recurses over `[lo, hi)` ranges of
+ * one scratch index arena: a split is two subranges of the same
+ * storage, partition survivors are appended above the current top and
+ * truncated on unwind (ranges are never reordered in place — an
+ * ancestor's merge step must see its members in the original order,
+ * because the first member of a cluster becomes its test
+ * representative, and a different representative would change the
+ * covert-channel group composition and thus its RNG draws). All group
+ * and representative buffers are reused across calls.
+ */
 struct Run
 {
     faas::Platform *platform;
@@ -104,19 +118,27 @@ struct Run
         : platform(&p), chan(&c), ids(&i), dsu(i.size())
     {
         opts = o;
+        seen_.assign(i.size(), 0);
+        arena_.reserve(2 * i.size());
+        group_.reserve(i.size());
     }
 
     /** Run one serialized group test over member indices. */
     channel::GroupTestResult
-    test(const std::vector<std::size_t> &members, std::uint32_t m)
+    test(const std::size_t *members, std::size_t count, std::uint32_t m)
     {
-        std::vector<faas::InstanceId> group;
-        group.reserve(members.size());
-        for (const std::size_t idx : members)
-            group.push_back((*ids)[idx]);
+        group_.clear();
+        for (std::size_t i = 0; i < count; ++i)
+            group_.push_back((*ids)[members[i]]);
         ++tests;
         ++waves;
-        return chan->run(group, m);
+        return chan->run(group_, m);
+    }
+
+    channel::GroupTestResult
+    test(const std::vector<std::size_t> &members, std::uint32_t m)
+    {
+        return test(members.data(), members.size(), m);
     }
 
     /**
@@ -139,44 +161,71 @@ struct Run
     void
     resolve(const std::vector<std::size_t> &members)
     {
-        if (members.size() <= 1)
+        const std::size_t lo = arena_.size();
+        arena_.insert(arena_.end(), members.begin(), members.end());
+        resolveRange(lo, arena_.size());
+        arena_.resize(lo);
+    }
+
+    void
+    mergeAcross(const std::vector<std::size_t> &members)
+    {
+        mergeAcrossSpan(members.data(), members.size());
+    }
+
+  private:
+    void
+    resolveRange(std::size_t lo, std::size_t hi)
+    {
+        const std::size_t count = hi - lo;
+        if (count <= 1)
             return;
-        if (members.size() > 2ULL * opts.m_max - 1) {
+        if (count > 2ULL * opts.m_max - 1) {
             // Too large for one test: split, resolve halves, merge.
-            const std::size_t half = members.size() / 2;
-            std::vector<std::size_t> a(members.begin(),
-                                       members.begin() + half);
-            std::vector<std::size_t> b(members.begin() + half,
-                                       members.end());
-            resolve(a);
-            resolve(b);
-            mergeAcross(members);
+            // The recursion only appends above the current arena top
+            // (and truncates on return), so both halves are intact for
+            // the merge step.
+            const std::size_t mid = lo + count / 2;
+            resolveRange(lo, mid);
+            resolveRange(mid, hi);
+            mergeAcrossSpan(arena_.data() + lo, count);
             return;
         }
 
-        const std::uint32_t m = oneShotThreshold(members.size());
-        const auto result = test(members, m);
-        std::vector<std::size_t> positives, negatives;
-        for (std::size_t i = 0; i < members.size(); ++i) {
-            (result.positive[i] ? positives : negatives)
-                .push_back(members[i]);
-        }
+        const std::uint32_t m = oneShotThreshold(count);
+        const auto result = test(arena_.data() + lo, count, m);
+        std::size_t n_pos = 0;
+        for (std::size_t i = 0; i < count; ++i)
+            n_pos += result.positive[i] ? 1 : 0;
 
-        if (positives.size() >= m) {
-            // The positives share one host (m <= |P| <= 2m-1).
-            for (std::size_t i = 1; i < positives.size(); ++i)
-                dsu.merge(positives[0], positives[i]);
-            resolve(negatives);
+        if (n_pos >= m) {
+            // The positives share one host (m <= |P| <= 2m-1). Merge
+            // them in place, then resolve the negatives from a fresh
+            // range appended above the top.
+            std::size_t anchor = count; // first positive
+            const std::size_t neg_lo = arena_.size();
+            for (std::size_t i = 0; i < count; ++i) {
+                const std::size_t idx = arena_[lo + i];
+                if (result.positive[i]) {
+                    if (anchor == count)
+                        anchor = idx;
+                    else
+                        dsu.merge(anchor, idx);
+                } else {
+                    arena_.push_back(idx);
+                }
+            }
+            resolveRange(neg_lo, arena_.size());
+            arena_.resize(neg_lo);
             return;
         }
-        if (!positives.empty()) {
-            eaao::warn("anomalous covert-channel outcome: ",
-                       positives.size(), " positives below threshold ",
-                       m);
+        if (n_pos > 0) {
+            eaao::warn("anomalous covert-channel outcome: ", n_pos,
+                       " positives below threshold ", m);
         }
         // No host holds >= m members: split and recurse with a lower
         // threshold; merging handles co-location across the halves.
-        if (members.size() <= 2) {
+        if (count <= 2) {
             // Two members that tested negative at m=2 are not
             // co-located; nothing further to learn.
             return;
@@ -187,56 +236,74 @@ struct Run
             // a host. Done.
             return;
         }
-        const std::size_t half = members.size() / 2;
-        std::vector<std::size_t> a(members.begin(),
-                                   members.begin() + half);
-        std::vector<std::size_t> b(members.begin() + half, members.end());
-        resolve(a);
-        resolve(b);
-        mergeAcross(members);
+        const std::size_t mid = lo + count / 2;
+        resolveRange(lo, mid);
+        resolveRange(mid, hi);
+        mergeAcrossSpan(arena_.data() + lo, count);
     }
 
     /**
      * Merge clusters among @p members: one representative per current
      * cluster, one all-at-once base-threshold test, then pairwise
-     * refinement of the positives.
+     * refinement of the positives. The representative of a cluster is
+     * its first member in @p members order; representatives are tested
+     * in ascending-root order (both as the old std::map produced).
      */
     void
-    mergeAcross(const std::vector<std::size_t> &members)
+    mergeAcrossSpan(const std::size_t *members, std::size_t count)
     {
-        std::map<std::size_t, std::size_t> rep_of_root;
-        for (const std::size_t idx : members)
-            rep_of_root.emplace(dsu.find(idx), idx);
-        if (rep_of_root.size() < 2)
+        ++epoch_;
+        reps_.clear();
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::size_t idx = members[i];
+            const std::size_t root = dsu.find(idx);
+            if (seen_[root] != epoch_) {
+                seen_[root] = epoch_;
+                reps_.push_back({root, idx});
+            }
+        }
+        if (reps_.size() < 2)
             return;
-        std::vector<std::size_t> reps;
-        reps.reserve(rep_of_root.size());
-        for (const auto &[root, rep] : rep_of_root)
-            reps.push_back(rep);
+        std::sort(reps_.begin(), reps_.end()); // roots are unique
+        rep_members_.clear();
+        for (const auto &[root, rep] : reps_)
+            rep_members_.push_back(rep);
 
-        const auto result = test(reps, opts.m);
-        std::vector<std::size_t> positives;
-        for (std::size_t i = 0; i < reps.size(); ++i) {
+        const auto result =
+            test(rep_members_.data(), rep_members_.size(), opts.m);
+        positives_.clear();
+        for (std::size_t i = 0; i < rep_members_.size(); ++i) {
             if (result.positive[i])
-                positives.push_back(reps[i]);
+                positives_.push_back(rep_members_[i]);
         }
-        if (positives.size() < 2)
+        if (positives_.size() < 2)
             return;
-        if (positives.size() == 2) {
-            dsu.merge(positives[0], positives[1]);
+        if (positives_.size() == 2) {
+            dsu.merge(positives_[0], positives_[1]);
             return;
         }
-        for (std::size_t i = 0; i < positives.size(); ++i) {
-            for (std::size_t j = i + 1; j < positives.size(); ++j) {
-                if (dsu.find(positives[i]) == dsu.find(positives[j]))
+        for (std::size_t i = 0; i < positives_.size(); ++i) {
+            for (std::size_t j = i + 1; j < positives_.size(); ++j) {
+                if (dsu.find(positives_[i]) == dsu.find(positives_[j]))
                     continue;
-                const auto pair_result =
-                    test({positives[i], positives[j]}, opts.m);
+                const std::size_t pair[2] = {positives_[i],
+                                             positives_[j]};
+                const auto pair_result = test(pair, 2, opts.m);
                 if (pair_result.positive[0] && pair_result.positive[1])
-                    dsu.merge(positives[i], positives[j]);
+                    dsu.merge(positives_[i], positives_[j]);
             }
         }
     }
+
+    /** Scratch member-index arena; resolveRange ranges live here. */
+    std::vector<std::size_t> arena_;
+    std::vector<faas::InstanceId> group_;  //!< reused test group
+    std::vector<std::uint64_t> seen_;      //!< epoch stamp per root
+    std::uint64_t epoch_ = 0;
+    /** (root, first member) per cluster — replaces the per-call map. */
+    std::vector<std::pair<std::size_t, std::size_t>> reps_;
+    std::vector<std::size_t> rep_members_; //!< reps in root order
+    std::vector<std::size_t> positives_;   //!< merge-test positives
 };
 
 } // namespace
@@ -302,6 +369,7 @@ verifyScalable(faas::Platform &platform, channel::RngChannel &chan,
         class_queues[chunks[c].cls].push_back(c);
 
     std::vector<std::vector<std::size_t>> leftovers;
+    std::vector<std::size_t> pos, neg; // reused across chunks
     bool work_left = true;
     std::size_t wave_idx = 0;
     while (work_left) {
@@ -325,7 +393,8 @@ verifyScalable(faas::Platform &platform, channel::RngChannel &chan,
             for (const std::size_t c : wave) {
                 const auto result =
                     run.test(chunks[c].members, chunks[c].m);
-                std::vector<std::size_t> pos, neg;
+                pos.clear();
+                neg.clear();
                 for (std::size_t i = 0; i < chunks[c].members.size();
                      ++i) {
                     (result.positive[i] ? pos : neg)
@@ -378,7 +447,8 @@ verifyScalable(faas::Platform &platform, channel::RngChannel &chan,
             ++run.waves;
             for (std::size_t k = 0; k < widx.size(); ++k) {
                 const Chunk &chunk = chunks[wave[widx[k]]];
-                std::vector<std::size_t> pos, neg;
+                pos.clear();
+                neg.clear();
                 for (std::size_t i = 0; i < chunk.members.size(); ++i) {
                     (results[k].positive[i] ? pos : neg)
                         .push_back(chunk.members[i]);
@@ -499,6 +569,7 @@ singleInstanceElimination(faas::Platform &platform,
     (void)platform;
     const auto result = chan.run(ids, m);
     std::vector<std::size_t> survivors;
+    survivors.reserve(ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) {
         if (result.positive[i])
             survivors.push_back(i);

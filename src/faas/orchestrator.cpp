@@ -69,6 +69,10 @@ Orchestrator::createAccount(std::optional<std::uint32_t> shard,
     acct.base_order =
         buildBaseOrder(acct, profile_.base_order_jitter, stream);
     accounts_.push_back(std::move(acct));
+    base_index_.emplace_back();
+    acct_active_.emplace_back();
+    if (!cfg_.reference_scan)
+        rebuildBaseIndex(accounts_.back());
     return accounts_.back().id;
 }
 
@@ -89,6 +93,10 @@ Orchestrator::deployService(AccountId account, ExecEnv env,
     svc.spill_order = buildSpillOrder(accounts_[account].shard,
                                       sim::mix64(svc.helper_seed));
     services_.push_back(std::move(svc));
+    if (cfg_.reference_scan)
+        svc_host_load_.emplace_back();
+    else
+        svc_host_load_.emplace_back(fleet_.size(), 0u);
     return services_.back().id;
 }
 
@@ -166,6 +174,7 @@ Orchestrator::scaleOut(ServiceId service, std::uint32_t n)
         inst.state = InstanceState::Active;
         inst.state_since = eq_.now();
         svc.active.push_back(id);
+        noteActivated(svc, inst);
         if (trace_ != nullptr) {
             trace_->record(PlacementEvent{eq_.now(), id, svc.id,
                                           inst.account, inst.host,
@@ -201,6 +210,8 @@ Orchestrator::disconnectAll(ServiceId service)
             still_busy.push_back(id);
             continue;
         }
+        if (!cfg_.reference_scan)
+            routing_.remove(svc.id, inst.in_flight, inst.route_seq);
         settleActiveTime(inst);
         inst.state = InstanceState::Idle;
         inst.state_since = eq_.now();
@@ -225,14 +236,24 @@ Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
     EAAO_ASSERT(service_time.ns() > 0, "non-positive service time");
     ServiceRecord &svc = services_[service];
 
-    // 1. An active instance with spare concurrency.
+    // 1. An active instance with spare concurrency. The routing index
+    // yields the same instance the legacy scan found: lowest in_flight,
+    // active-list order (== activation sequence) breaking ties.
     InstanceRecord *target = nullptr;
-    for (const InstanceId id : svc.active) {
-        InstanceRecord &inst = instances_[id];
-        if (inst.in_flight < svc.max_concurrency &&
-            (target == nullptr || inst.in_flight < target->in_flight)) {
-            target = &inst;
+    if (cfg_.reference_scan) {
+        for (const InstanceId id : svc.active) {
+            InstanceRecord &inst = instances_[id];
+            if (inst.in_flight < svc.max_concurrency &&
+                (target == nullptr ||
+                 inst.in_flight < target->in_flight)) {
+                target = &inst;
+            }
         }
+    } else {
+        const InstanceId best =
+            routing_.leastLoaded(service, svc.max_concurrency);
+        if (best != kNoInstance)
+            target = &instances_[best];
     }
 
     // 2. Wake an idle instance (most recently idled first).
@@ -247,6 +268,7 @@ Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
         inst.state = InstanceState::Active;
         inst.state_since = eq_.now();
         svc.active.push_back(id);
+        noteActivated(svc, inst);
         target = &inst;
     }
 
@@ -258,7 +280,12 @@ Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
         target = &instances_[id];
     }
 
+    const std::uint32_t old_in_flight = target->in_flight;
     ++target->in_flight;
+    if (!cfg_.reference_scan) {
+        routing_.reindex(svc.id, target->id, target->route_seq,
+                         old_in_flight, target->in_flight);
+    }
     ++svc.requests_served;
     EAAO_OBS_COUNT(c_requests_, 1);
     const InstanceId id = target->id;
@@ -273,15 +300,24 @@ Orchestrator::completeRequest(InstanceId id)
     if (inst.state == InstanceState::Terminated)
         return; // instance died with the request in flight
     EAAO_ASSERT(inst.in_flight > 0, "completion without request");
+    const std::uint32_t old_in_flight = inst.in_flight;
     --inst.in_flight;
-    if (inst.in_flight > 0 || inst.state != InstanceState::Active)
+    if (inst.in_flight > 0 || inst.state != InstanceState::Active) {
+        if (!cfg_.reference_scan &&
+            inst.state == InstanceState::Active) {
+            routing_.reindex(inst.service, id, inst.route_seq,
+                             old_in_flight, inst.in_flight);
+        }
         return;
+    }
     // Last request done: the instance releases its CPU and idles.
     ServiceRecord &svc = services_[inst.service];
     auto &act = svc.active;
     const auto it = std::find(act.begin(), act.end(), id);
     EAAO_ASSERT(it != act.end(), "active instance missing from list");
     act.erase(it);
+    if (!cfg_.reference_scan)
+        routing_.remove(inst.service, old_in_flight, inst.route_seq);
     settleActiveTime(inst);
     inst.state = InstanceState::Idle;
     inst.state_since = eq_.now();
@@ -332,6 +368,8 @@ Orchestrator::restartInstance(InstanceId id)
         InstanceRecord &inst = instances_[fresh];
         auto &act = svc.active;
         act.erase(std::find(act.begin(), act.end(), fresh));
+        if (!cfg_.reference_scan)
+            routing_.remove(svc.id, inst.in_flight, inst.route_seq);
         settleActiveTime(inst);
         inst.state = InstanceState::Idle;
         inst.state_since = eq_.now();
@@ -367,9 +405,22 @@ Orchestrator::accountSpendUsd(AccountId id) const
 {
     EAAO_ASSERT(id < accounts_.size(), "bad account ", id);
     double usd = accounts_[id].spend_usd;
-    // Add the bill still running on currently-active instances.
-    for (const auto &inst : instances_) {
-        if (inst.account == id && inst.state == InstanceState::Active) {
+    // Add the bill still running on currently-active instances. The
+    // account's active set is kept sorted by instance id, so the
+    // indexed sum visits the same instances in the same order as the
+    // full table scan — identical floating-point result.
+    if (cfg_.reference_scan) {
+        for (const auto &inst : instances_) {
+            if (inst.account == id &&
+                inst.state == InstanceState::Active) {
+                const double s =
+                    (eq_.now() - inst.state_since).secondsF();
+                usd += s * pricing_.usdPerActiveSecond(inst.size);
+            }
+        }
+    } else {
+        for (const InstanceId iid : acct_active_[id]) {
+            const InstanceRecord &inst = instances_[iid];
             const double s = (eq_.now() - inst.state_since).secondsF();
             usd += s * pricing_.usdPerActiveSecond(inst.size);
         }
@@ -417,11 +468,16 @@ Orchestrator::createInstance(ServiceRecord &svc, std::uint32_t h)
 
     host_vcpus_used_[host] += inst.size.vcpus;
     host_mem_used_gb_[host] += inst.size.memory_gb;
-    ++acct_load_[host][inst.account];
+    const std::uint32_t acct_on_host = ++acct_load_[host][inst.account];
     ++svc_load_[host][inst.service];
     ++acct.live_count;
+    if (!cfg_.reference_scan) {
+        base_index_[inst.account].noteLoad(host, acct_on_host);
+        ++svc_host_load_[inst.service][host];
+    }
 
     svc.active.push_back(inst.id);
+    noteActivated(svc, inst);
     instances_.push_back(inst);
     if (trace_ != nullptr) {
         trace_->record(PlacementEvent{eq_.now(), inst.id, svc.id,
@@ -430,7 +486,7 @@ Orchestrator::createInstance(ServiceRecord &svc, std::uint32_t h)
     EAAO_OBS_COUNT(c_placements_[static_cast<std::size_t>(reason)], 1);
     EAAO_OBS_OBSERVE(h_cold_start_s_, startup);
     EAAO_OBS_OBSERVE(h_instances_per_host_,
-                     static_cast<double>(acct_load_[host][svc.account]));
+                     static_cast<double>(acct_on_host));
     EAAO_OBS_INSTANT(obs_, "instance.create", "placement", eq_.now(),
                      {obs::TraceArg::u64("instance", inst.id),
                       obs::TraceArg::u64("service", svc.id),
@@ -484,12 +540,43 @@ std::optional<hw::HostId>
 Orchestrator::pickBaseHost(const ServiceRecord &svc,
                            const AccountRecord &acct) const
 {
+    if (cfg_.reference_scan)
+        return pickBaseHostReference(svc, acct);
+
     const auto &order = acct.base_order;
     if (order.empty())
         return std::nullopt;
 
     // Demand-sized prefix: spread the account's live instances over
     // ceil(demand / spread_target) base hosts (Obs 1: ~10.7 per host).
+    auto prefix = static_cast<std::size_t>(std::ceil(
+        static_cast<double>(acct.live_count + 1) / cfg_.spread_target));
+    prefix = std::clamp<std::size_t>(prefix, 1, order.size());
+
+    // The min-view's (load, position) key makes its argmin the first
+    // prefix host carrying the minimal load — the host the reference
+    // scan's first-strict-improvement rule selects.
+    const PlacementMinIndex &index = base_index_[acct.id];
+    while (true) {
+        const auto host = index.pickMin(
+            order, prefix,
+            [&](hw::HostId hid) { return hasCapacity(hid, svc.size); });
+        if (host)
+            return host;
+        if (prefix == order.size())
+            return std::nullopt; // home shard is full
+        prefix = std::min(prefix * 2, order.size());
+    }
+}
+
+std::optional<hw::HostId>
+Orchestrator::pickBaseHostReference(const ServiceRecord &svc,
+                                    const AccountRecord &acct) const
+{
+    const auto &order = acct.base_order;
+    if (order.empty())
+        return std::nullopt;
+
     auto prefix = static_cast<std::size_t>(std::ceil(
         static_cast<double>(acct.live_count + 1) / cfg_.spread_target));
     prefix = std::clamp<std::size_t>(prefix, 1, order.size());
@@ -538,16 +625,26 @@ Orchestrator::pickHelperHost(const ServiceRecord &svc,
                                     profile_.helper_chunk,
                                 helpers.size()));
 
+    // Hoisted dense per-host loads of this service (indexed mode): one
+    // array read per candidate instead of a SmallFlatMap lookup. The
+    // scan itself is unchanged, so the selection is identical.
+    const std::uint32_t *dense =
+        cfg_.reference_scan ? nullptr : svc_host_load_[svc.id].data();
+
     while (true) {
         const hw::HostId *best = nullptr;
         std::uint32_t best_load = 0;
         auto consider = [&](const hw::HostId &hid) {
             if (!hasCapacity(hid, svc.size))
                 return;
-            const auto &loads = svc_load_[hid];
-            const auto it = loads.find(svc.id);
-            const std::uint32_t load =
-                it == loads.end() ? 0 : it->second;
+            std::uint32_t load;
+            if (dense != nullptr) {
+                load = dense[hid];
+            } else {
+                const auto &loads = svc_load_[hid];
+                const auto it = loads.find(svc.id);
+                load = it == loads.end() ? 0 : it->second;
+            }
             if (best == nullptr || load < best_load) {
                 best = &hid;
                 best_load = load;
@@ -584,6 +681,9 @@ Orchestrator::pickSpillHost(const ServiceRecord &svc) const
         cfg_.spread_target));
     prefix = std::clamp<std::size_t>(prefix, 1, order.size());
 
+    const std::uint32_t *dense =
+        cfg_.reference_scan ? nullptr : svc_host_load_[svc.id].data();
+
     while (true) {
         const hw::HostId *best = nullptr;
         std::uint32_t best_load = 0;
@@ -591,9 +691,14 @@ Orchestrator::pickSpillHost(const ServiceRecord &svc) const
             const hw::HostId hid = order[i];
             if (!hasCapacity(hid, svc.size))
                 continue;
-            const auto &loads = svc_load_[hid];
-            const auto it = loads.find(svc.id);
-            const std::uint32_t load = it == loads.end() ? 0 : it->second;
+            std::uint32_t load;
+            if (dense != nullptr) {
+                load = dense[hid];
+            } else {
+                const auto &loads = svc_load_[hid];
+                const auto it = loads.find(svc.id);
+                load = it == loads.end() ? 0 : it->second;
+            }
             if (best == nullptr || load < best_load) {
                 best = &order[i];
                 best_load = load;
@@ -655,8 +760,11 @@ Orchestrator::terminate(InstanceRecord &inst)
     if (inst.state == InstanceState::Active) {
         auto &act = svc.active;
         const auto it = std::find(act.begin(), act.end(), inst.id);
-        if (it != act.end())
+        if (it != act.end()) {
             act.erase(it);
+            if (!cfg_.reference_scan)
+                routing_.remove(svc.id, inst.in_flight, inst.route_seq);
+        }
     }
     // Callers handling Idle instances remove them from svc.idle.
 
@@ -664,11 +772,16 @@ Orchestrator::terminate(InstanceRecord &inst)
     host_vcpus_used_[inst.host] -= inst.size.vcpus;
     host_mem_used_gb_[inst.host] -= inst.size.memory_gb;
     auto &acct_loads = acct_load_[inst.host];
-    if (--acct_loads[inst.account] == 0)
+    const std::uint32_t acct_on_host = --acct_loads[inst.account];
+    if (acct_on_host == 0)
         acct_loads.erase(inst.account);
     auto &svc_loads = svc_load_[inst.host];
     if (--svc_loads[inst.service] == 0)
         svc_loads.erase(inst.service);
+    if (!cfg_.reference_scan) {
+        base_index_[inst.account].noteLoad(inst.host, acct_on_host);
+        --svc_host_load_[inst.service][inst.host];
+    }
     EAAO_ASSERT(acct.live_count > 0, "live-count underflow");
     --acct.live_count;
 
@@ -693,6 +806,38 @@ Orchestrator::settleActiveTime(InstanceRecord &inst)
     inst.active_seconds += s;
     accounts_[inst.account].spend_usd +=
         s * pricing_.usdPerActiveSecond(inst.size);
+    // Every transition out of Active settles here, so this is the one
+    // place the account's active set needs maintenance on exit.
+    if (!cfg_.reference_scan) {
+        auto &act = acct_active_[inst.account];
+        const auto it =
+            std::lower_bound(act.begin(), act.end(), inst.id);
+        EAAO_ASSERT(it != act.end() && *it == inst.id,
+                    "active set out of sync for instance ", inst.id);
+        act.erase(it);
+    }
+}
+
+void
+Orchestrator::noteActivated(ServiceRecord &svc, InstanceRecord &inst)
+{
+    if (cfg_.reference_scan)
+        return;
+    inst.route_seq = routing_.add(svc.id, inst.id, inst.in_flight);
+    auto &act = acct_active_[inst.account];
+    act.insert(std::lower_bound(act.begin(), act.end(), inst.id),
+               inst.id);
+}
+
+void
+Orchestrator::rebuildBaseIndex(const AccountRecord &acct)
+{
+    base_index_[acct.id].rebuild(
+        acct.base_order, fleet_.size(), [&](hw::HostId hid) {
+            const auto &loads = acct_load_[hid];
+            const auto it = loads.find(acct.id);
+            return it == loads.end() ? 0u : it->second;
+        });
 }
 
 bool
@@ -808,6 +953,8 @@ Orchestrator::refreshPreferences(ServiceRecord &svc, AccountRecord &acct)
         // regenerate the helper permutation each launch.
         acct.base_order =
             buildBaseOrder(acct, profile_.per_launch_jitter, stream);
+        if (!cfg_.reference_scan)
+            rebuildBaseIndex(acct);
 #if EAAO_OBS_ENABLED
         // Helper-set churn: fraction of the previous helper prefix (the
         // ~50 hosts a hot service actually reaches) absent from the new
@@ -843,6 +990,8 @@ Orchestrator::refreshPreferences(ServiceRecord &svc, AccountRecord &acct)
         // and out of the base prefix between launches (Fig. 7).
         acct.base_order =
             buildBaseOrder(acct, profile_.base_launch_jitter, stream);
+        if (!cfg_.reference_scan)
+            rebuildBaseIndex(acct);
     }
 }
 

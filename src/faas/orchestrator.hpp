@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "faas/fleet.hpp"
+#include "faas/placement_index.hpp"
+#include "faas/routing_index.hpp"
 #include "faas/trace.hpp"
 #include "faas/pricing.hpp"
 #include "faas/types.hpp"
@@ -90,6 +92,16 @@ struct OrchestratorConfig
      * service can no longer relieve pressure DC-wide).
      */
     bool isolate_accounts = false;
+
+    /**
+     * Keep the pre-index linear-scan decision paths (prefix re-scan
+     * with a map lookup per placement candidate, full active-list scan
+     * per routed request, full instance-table scan per spend query)
+     * and skip index maintenance entirely. Decisions are byte-identical
+     * either way; this mode exists as the property-test oracle and as
+     * an honest same-machine baseline for `bench/macro_campaign`.
+     */
+    bool reference_scan = false;
 };
 
 /** One container instance's bookkeeping record. */
@@ -109,6 +121,7 @@ struct InstanceRecord
     std::uint64_t vm_tsc_offset = 0;        //!< Gen 2 TSC offset
     std::optional<sim::SimTime> terminated_at;
     sim::EventId reap_event = 0;
+    std::uint64_t route_seq = 0; //!< routing-index key while Active
 };
 
 /** A deployed service (function). */
@@ -271,6 +284,11 @@ class Orchestrator
                                            const AccountRecord &acct)
         const;
 
+    /** Pre-index linear-scan body of pickBaseHost (reference mode). */
+    std::optional<hw::HostId>
+    pickBaseHostReference(const ServiceRecord &svc,
+                          const AccountRecord &acct) const;
+
     /**
      * Hot path: least-loaded host among the demand-sized base prefix
      * plus the hotness-sized helper prefix (the load balancer relieves
@@ -301,6 +319,16 @@ class Orchestrator
 
     /** Move an instance out of Active, crediting billing. */
     void settleActiveTime(InstanceRecord &inst);
+
+    /**
+     * Index bookkeeping for an instance entering the Active state (it
+     * was just appended to its service's active list): registers it
+     * with the routing index and the account's active-instance set.
+     */
+    void noteActivated(ServiceRecord &svc, InstanceRecord &inst);
+
+    /** Rebuild an account's placement min-view after an order change. */
+    void rebuildBaseIndex(const AccountRecord &acct);
 
     /** Capacity check for one more instance of @p size on @p host. */
     bool hasCapacity(hw::HostId host, const ContainerSize &size) const;
@@ -356,6 +384,21 @@ class Orchestrator
      */
     std::vector<support::SmallFlatMap<AccountId, std::uint32_t>> acct_load_;
     std::vector<support::SmallFlatMap<ServiceId, std::uint32_t>> svc_load_;
+
+    /**
+     * Incremental decision indexes (empty shells when
+     * cfg_.reference_scan — the maps above stay the source of truth
+     * either way; see docs/performance.md for the invariants).
+     */
+    RoutingIndex routing_;                        //!< least-loaded routing
+    std::vector<PlacementMinIndex> base_index_;   //!< per account
+    /** Per account: Active instance ids, sorted ascending (so the
+     *  incremental spend query sums in the same order the legacy full
+     *  scan did — bit-identical doubles). */
+    std::vector<std::vector<InstanceId>> acct_active_;
+    /** Per service: dense per-host live-instance counts (replaces the
+     *  SmallFlatMap lookup per helper/spill scan candidate). */
+    std::vector<std::vector<std::uint32_t>> svc_host_load_;
 };
 
 } // namespace eaao::faas

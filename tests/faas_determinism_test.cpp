@@ -25,11 +25,12 @@ namespace {
 
 /** Run one optimized campaign and return the full placement trace. */
 std::vector<faas::PlacementEvent>
-tracedCampaign(std::uint64_t seed)
+tracedCampaign(std::uint64_t seed, bool reference_scan = false)
 {
     faas::PlatformConfig cfg;
     cfg.profile = faas::DataCenterProfile::usEast1();
     cfg.seed = seed;
+    cfg.orchestrator.reference_scan = reference_scan;
     faas::Platform platform(cfg);
 
     faas::PlacementTrace trace;
@@ -60,6 +61,29 @@ TEST(Determinism, CampaignTraceIsReplayable)
     for (std::size_t i = 0; i < first.size(); ++i) {
         const faas::PlacementEvent &a = first[i];
         const faas::PlacementEvent &b = second[i];
+        ASSERT_EQ(a.when, b.when) << "event " << i;
+        ASSERT_EQ(a.instance, b.instance) << "event " << i;
+        ASSERT_EQ(a.service, b.service) << "event " << i;
+        ASSERT_EQ(a.account, b.account) << "event " << i;
+        ASSERT_EQ(a.host, b.host) << "event " << i;
+        ASSERT_EQ(a.reason, b.reason) << "event " << i;
+    }
+}
+
+TEST(Determinism, IndexedAndReferenceScanTracesMatch)
+{
+    // The incremental placement/routing indexes are pure accelerations
+    // of the retained reference-scan decision paths: replaying the
+    // campaign with `reference_scan` set must reproduce the indexed
+    // trace event for event.
+    const auto indexed = tracedCampaign(20260806, false);
+    const auto reference = tracedCampaign(20260806, true);
+
+    ASSERT_FALSE(indexed.empty());
+    ASSERT_EQ(indexed.size(), reference.size());
+    for (std::size_t i = 0; i < indexed.size(); ++i) {
+        const faas::PlacementEvent &a = indexed[i];
+        const faas::PlacementEvent &b = reference[i];
         ASSERT_EQ(a.when, b.when) << "event " << i;
         ASSERT_EQ(a.instance, b.instance) << "event " << i;
         ASSERT_EQ(a.service, b.service) << "event " << i;

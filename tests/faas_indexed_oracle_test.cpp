@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Indexed-vs-reference oracle: the incremental placement/routing/spend
+ * indexes must reproduce the retained linear-scan decision paths
+ * exactly, not just statistically.
+ *
+ * `OrchestratorConfig::reference_scan` keeps the pre-index
+ * implementations alive (full base-prefix scans, active-list routing
+ * scans, whole-table spend scans). A randomized multi-service workload
+ * is scripted once and replayed against both modes from the same seed;
+ * every observable decision — placed hosts, placement reasons, routing
+ * targets, restart replacements, account spend at arbitrary poll
+ * points — must be identical. Spend is compared with EXPECT_EQ on
+ * doubles, i.e. bit-exact, which is stronger than the "agree to the
+ * cent" contract the experiments rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "faas/platform.hpp"
+#include "faas/trace.hpp"
+#include "sim/rng.hpp"
+
+namespace eaao {
+namespace {
+
+/** One scripted operation; sampled once, replayed on both platforms. */
+struct Op
+{
+    enum Kind : std::uint8_t {
+        Route,
+        Connect,
+        Advance,
+        SpendProbe,
+        DisconnectAll,
+        Restart,
+        SetConcurrency,
+    };
+    Kind kind = Route;
+    std::uint32_t a = 0; //!< service index / instance pick / limit
+    std::uint32_t b = 0; //!< connect size / duration knob
+};
+
+std::vector<Op>
+makeScript(std::uint64_t seed, std::size_t steps)
+{
+    sim::Rng rng(seed);
+    std::vector<Op> script;
+    script.reserve(steps);
+    for (std::size_t i = 0; i < steps; ++i) {
+        Op op;
+        const std::uint64_t roll = rng.uniformInt(std::uint64_t{10});
+        switch (roll) {
+        case 0:
+        case 1:
+        case 2:
+        case 3: op.kind = Op::Route; break;
+        case 4: op.kind = Op::Connect; break;
+        case 5: op.kind = Op::Advance; break;
+        case 6: op.kind = Op::SpendProbe; break;
+        case 7: op.kind = Op::DisconnectAll; break;
+        case 8: op.kind = Op::Restart; break;
+        default: op.kind = Op::SetConcurrency; break;
+        }
+        op.a = static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{1} << 30));
+        op.b = static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{1} << 30));
+        script.push_back(op);
+    }
+    return script;
+}
+
+/** Everything observable from one replay of the script. */
+struct WorkloadLog
+{
+    std::vector<faas::PlacementEvent> trace;
+    std::vector<faas::InstanceId> routed;
+    std::vector<faas::InstanceId> restarted;
+    std::vector<double> spend;
+    std::size_t instance_count = 0;
+    double final_spend_a = 0.0;
+    double final_spend_b = 0.0;
+};
+
+WorkloadLog
+runWorkload(const std::vector<Op> &script, std::uint64_t seed,
+            bool reference)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.seed = seed;
+    cfg.orchestrator.reference_scan = reference;
+    faas::Platform platform(cfg);
+    faas::Orchestrator &orch = platform.orchestrator();
+
+    faas::PlacementTrace trace;
+    orch.attachTrace(&trace);
+
+    const auto acct_a = platform.createAccount();
+    const auto acct_b = platform.createAccount(2);
+    std::vector<faas::ServiceId> svcs;
+    for (int s = 0; s < 3; ++s)
+        svcs.push_back(platform.deployService(acct_a, faas::ExecEnv::Gen1));
+    svcs.push_back(platform.deployService(acct_b, faas::ExecEnv::Gen1));
+
+    WorkloadLog log;
+    std::vector<faas::InstanceId> created;
+    for (const Op &op : script) {
+        const auto svc = svcs[op.a % svcs.size()];
+        switch (op.kind) {
+        case Op::Route: {
+            const double service_s =
+                0.02 + 0.01 * static_cast<double>(op.b % 6);
+            log.routed.push_back(orch.routeRequest(
+                svc, sim::Duration::fromSecondsF(service_s)));
+            break;
+        }
+        case Op::Connect: {
+            const auto ids = platform.connect(svc, 10 + op.b % 50);
+            created.insert(created.end(), ids.begin(), ids.end());
+            break;
+        }
+        case Op::Advance:
+            platform.advance(
+                sim::Duration::fromSecondsF(0.05 + 0.25 * (op.b % 8)));
+            break;
+        case Op::SpendProbe:
+            log.spend.push_back(platform.accountSpendUsd(acct_a));
+            log.spend.push_back(platform.accountSpendUsd(acct_b));
+            break;
+        case Op::DisconnectAll:
+            platform.disconnectAll(svc);
+            break;
+        case Op::Restart: {
+            if (created.empty())
+                break;
+            const auto id = created[op.b % created.size()];
+            if (platform.instanceInfo(id).state ==
+                faas::InstanceState::Terminated)
+                break;
+            log.restarted.push_back(platform.restartInstance(id));
+            break;
+        }
+        case Op::SetConcurrency:
+            orch.setMaxConcurrency(svc, 1 + op.b % 4);
+            break;
+        }
+    }
+
+    // Let in-flight work and idle reaps settle, then take the final
+    // spends (the settle-on-transition paths all fire here).
+    platform.advance(sim::Duration::minutes(30));
+    log.final_spend_a = platform.accountSpendUsd(acct_a);
+    log.final_spend_b = platform.accountSpendUsd(acct_b);
+    log.instance_count = orch.instanceCount();
+
+    orch.attachTrace(nullptr);
+    log.trace = trace.events();
+    return log;
+}
+
+void
+expectIdentical(const WorkloadLog &idx, const WorkloadLog &ref)
+{
+    ASSERT_EQ(idx.trace.size(), ref.trace.size());
+    for (std::size_t i = 0; i < idx.trace.size(); ++i) {
+        const faas::PlacementEvent &a = idx.trace[i];
+        const faas::PlacementEvent &b = ref.trace[i];
+        ASSERT_EQ(a.when, b.when) << "event " << i;
+        ASSERT_EQ(a.instance, b.instance) << "event " << i;
+        ASSERT_EQ(a.service, b.service) << "event " << i;
+        ASSERT_EQ(a.account, b.account) << "event " << i;
+        ASSERT_EQ(a.host, b.host) << "event " << i;
+        ASSERT_EQ(a.reason, b.reason) << "event " << i;
+    }
+    ASSERT_EQ(idx.routed, ref.routed);
+    ASSERT_EQ(idx.restarted, ref.restarted);
+    ASSERT_EQ(idx.spend.size(), ref.spend.size());
+    for (std::size_t i = 0; i < idx.spend.size(); ++i)
+        EXPECT_EQ(idx.spend[i], ref.spend[i]) << "spend probe " << i;
+    EXPECT_EQ(idx.final_spend_a, ref.final_spend_a);
+    EXPECT_EQ(idx.final_spend_b, ref.final_spend_b);
+    EXPECT_EQ(idx.instance_count, ref.instance_count);
+}
+
+TEST(IndexedOracle, RandomWorkloadMatchesReferenceScan)
+{
+    for (const std::uint64_t seed : {7ULL, 20260806ULL, 999331ULL}) {
+        SCOPED_TRACE(testing::Message() << "seed " << seed);
+        const auto script = makeScript(seed ^ 0x5eed, 400);
+        const WorkloadLog idx = runWorkload(script, seed, false);
+        const WorkloadLog ref = runWorkload(script, seed, true);
+        ASSERT_FALSE(idx.trace.empty());
+        ASSERT_FALSE(idx.routed.empty());
+        ASSERT_FALSE(idx.spend.empty());
+        expectIdentical(idx, ref);
+    }
+}
+
+TEST(IndexedOracle, DynamicPlacementProfileMatchesReferenceScan)
+{
+    // us-central1 re-jitters the base order every launch, forcing a
+    // placement-index rebuild per scale-out; the rebuilt tree must
+    // keep agreeing with the scan.
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usCentral1();
+    cfg.seed = 42;
+
+    const auto script = makeScript(0xcafe, 250);
+    std::vector<Op> launches_heavy = script;
+    for (std::size_t i = 0; i < launches_heavy.size(); i += 5)
+        launches_heavy[i].kind = Op::Connect;
+
+    WorkloadLog logs[2];
+    for (const bool reference : {false, true}) {
+        cfg.orchestrator.reference_scan = reference;
+        faas::Platform platform(cfg);
+        faas::Orchestrator &orch = platform.orchestrator();
+        faas::PlacementTrace trace;
+        orch.attachTrace(&trace);
+        const auto acct = platform.createAccount();
+        const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+        WorkloadLog &log = logs[reference ? 1 : 0];
+        for (const Op &op : launches_heavy) {
+            switch (op.kind) {
+            case Op::Connect:
+                platform.connect(svc, 10 + op.b % 80);
+                break;
+            case Op::Advance:
+                platform.advance(
+                    sim::Duration::fromSecondsF(0.5 + 0.5 * (op.b % 4)));
+                break;
+            case Op::DisconnectAll:
+                platform.disconnectAll(svc);
+                break;
+            default:
+                log.spend.push_back(platform.accountSpendUsd(acct));
+                break;
+            }
+        }
+        platform.advance(sim::Duration::minutes(30));
+        log.final_spend_a = platform.accountSpendUsd(acct);
+        log.instance_count = orch.instanceCount();
+        orch.attachTrace(nullptr);
+        log.trace = trace.events();
+    }
+    ASSERT_FALSE(logs[0].trace.empty());
+    expectIdentical(logs[0], logs[1]);
+}
+
+/**
+ * Spend must settle active time exactly once per Active-exit
+ * transition: request completion draining in_flight to zero,
+ * disconnect, idle reap, and restart all route through the same
+ * settle point. Polls straddling each transition must agree with the
+ * reference full-table scan to the cent (bit-exact, in fact).
+ */
+TEST(IndexedOracle, SpendSettlesOnEveryTransition)
+{
+    std::vector<double> spends[2];
+    std::size_t counts[2] = {0, 0};
+    for (const bool reference : {false, true}) {
+        faas::PlatformConfig cfg;
+        cfg.profile = faas::DataCenterProfile::usEast1();
+        cfg.seed = 1234;
+        cfg.orchestrator.reference_scan = reference;
+        faas::Platform platform(cfg);
+        faas::Orchestrator &orch = platform.orchestrator();
+        const auto acct = platform.createAccount();
+        const auto svc = platform.deployService(acct, faas::ExecEnv::Gen1);
+        auto &out = spends[reference ? 1 : 0];
+        const auto poll = [&] { out.push_back(platform.accountSpendUsd(acct)); };
+
+        const auto ids = platform.connect(svc, 40);
+        poll();
+
+        // Mid-flight: requests still running when polled.
+        orch.setMaxConcurrency(svc, 2);
+        for (int r = 0; r < 10; ++r)
+            orch.routeRequest(svc, sim::Duration::fromSecondsF(1.0));
+        poll();
+        platform.advance(sim::Duration::fromSecondsF(0.5));
+        poll(); // in flight
+        platform.advance(sim::Duration::fromSecondsF(0.6));
+        poll(); // just completed; instances drained to idle
+
+        // Restart of an idle instance (terminate + replace).
+        platform.restartInstance(ids.front());
+        poll();
+
+        // Disconnect everything, then let the idle reap expire them.
+        platform.disconnectAll(svc);
+        poll();
+        platform.advance(sim::Duration::minutes(20));
+        poll(); // after reap: spend must be frozen
+        platform.advance(sim::Duration::minutes(20));
+        poll(); // and stay frozen
+        counts[reference ? 1 : 0] = orch.instanceCount();
+    }
+    ASSERT_EQ(spends[0].size(), spends[1].size());
+    for (std::size_t i = 0; i < spends[0].size(); ++i)
+        EXPECT_EQ(spends[0][i], spends[1][i]) << "poll " << i;
+    EXPECT_EQ(counts[0], counts[1]);
+    // The frozen-after-reap polls really are equal and non-zero.
+    const std::size_t n = spends[0].size();
+    EXPECT_GT(spends[0][n - 2], 0.0);
+    EXPECT_EQ(spends[0][n - 2], spends[0][n - 1]);
+}
+
+} // namespace
+} // namespace eaao
