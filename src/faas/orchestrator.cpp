@@ -250,8 +250,18 @@ Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
             }
         }
     } else {
-        const InstanceId best =
+        InstanceId best =
             routing_.leastLoaded(service, svc.max_concurrency);
+        if (cfg_.fault_injection == 1) {
+            // Injected bug (mutation self-test): drop the
+            // lowest-in-flight rule and grab the most recently
+            // activated instance that still has spare concurrency.
+            best = kNoInstance;
+            for (const InstanceId id : svc.active) {
+                if (instances_[id].in_flight < svc.max_concurrency)
+                    best = id;
+            }
+        }
         if (best != kNoInstance)
             target = &instances_[best];
     }
@@ -552,6 +562,8 @@ Orchestrator::pickBaseHost(const ServiceRecord &svc,
     auto prefix = static_cast<std::size_t>(std::ceil(
         static_cast<double>(acct.live_count + 1) / cfg_.spread_target));
     prefix = std::clamp<std::size_t>(prefix, 1, order.size());
+    if (cfg_.fault_injection == 2 && prefix > 1)
+        --prefix; // injected bug (mutation self-test): prefix short by 1
 
     // The min-view's (load, position) key makes its argmin the first
     // prefix host carrying the minimal load — the host the reference

@@ -102,6 +102,17 @@ struct OrchestratorConfig
      * an honest same-machine baseline for `bench/macro_campaign`.
      */
     bool reference_scan = false;
+
+    /**
+     * Deliberate bug injection for the scenario fuzzer's mutation
+     * self-test (`tools/fuzz_scenarios --inject-fault N`; see
+     * docs/testing.md). The faults perturb only the *indexed* decision
+     * paths, so the indexed-vs-reference oracle is the one that must
+     * catch them. 0 = off; 1 = routing takes the most recently
+     * activated spare instance instead of the least-loaded one;
+     * 2 = cold placement's demand prefix is off by one.
+     */
+    std::uint32_t fault_injection = 0;
 };
 
 /** One container instance's bookkeeping record. */

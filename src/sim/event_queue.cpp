@@ -120,6 +120,7 @@ EventQueue::scheduleAt(SimTime when, Callback cb)
     slot.cb = std::move(cb);
     staging_.push_back(HeapEntry{when, next_seq_++, idx, slot.gen});
     ++live_;
+    ++scheduled_;
     return packId(idx, slot.gen);
 }
 
@@ -142,6 +143,7 @@ EventQueue::cancel(EventId id)
     // now; the heap entry goes stale (generation mismatch) and is
     // dropped when it surfaces.
     retire(idx);
+    ++cancelled_;
     // Eager compaction: cancelling the front event pops it (and any
     // dead run behind it) immediately instead of letting it linger
     // until the clock reaches its timestamp.

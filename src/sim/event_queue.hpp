@@ -91,6 +91,12 @@ class EventQueue
     /** Events executed by this queue so far (cancelled ones excluded). */
     std::uint64_t processed() const { return processed_; }
 
+    /** Events ever accepted by scheduleAt/scheduleAfter. */
+    std::uint64_t scheduled() const { return scheduled_; }
+
+    /** Events successfully cancelled before firing. */
+    std::uint64_t cancelled() const { return cancelled_; }
+
     /** Run all events until the queue drains. */
     void run();
 
@@ -184,6 +190,8 @@ class EventQueue
     SimTime now_;
     std::uint64_t next_seq_ = 0;
     std::uint64_t processed_ = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t cancelled_ = 0;
     std::size_t live_ = 0;
     std::vector<Slot> slots_;
     std::vector<HeapEntry> heap_;      //!< 4-ary min-heap

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Implementation of the invariant oracles.
+ */
+
+#include "testkit/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/strategy.hpp"
+#include "core/verify.hpp"
+#include "exp/trial_runner.hpp"
+#include "obs/export.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/clustering.hpp"
+#include "testkit/runner.hpp"
+
+namespace eaao::testkit {
+
+namespace {
+
+/** First line where @p a and @p b diverge, quoted for the report. */
+std::string
+firstDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a);
+    std::istringstream sb(b);
+    std::string la;
+    std::string lb;
+    std::size_t line = 0;
+    while (true) {
+        ++line;
+        const bool ga = static_cast<bool>(std::getline(sa, la));
+        const bool gb = static_cast<bool>(std::getline(sb, lb));
+        if (!ga && !gb)
+            return "identical"; // only sizes differed upstream
+        if (!ga || !gb || la != lb) {
+            std::ostringstream out;
+            out << "line " << line << ": '" << (ga ? la : "<eof>") << "' vs '"
+                << (gb ? lb : "<eof>") << "'";
+            return out.str();
+        }
+    }
+}
+
+void
+checkReference(const Scenario &sc, const std::string &indexed,
+               std::vector<Violation> &out)
+{
+    RunOptions ro;
+    ro.reference_scan = true;
+    const std::string reference = runScenario(sc, ro).render();
+    if (reference != indexed)
+        out.push_back({"reference", firstDiff(indexed, reference)});
+}
+
+void
+checkObs(const Scenario &sc, const std::string &plain,
+         std::vector<Violation> &out)
+{
+    obs::TrialObs slot;
+    RunOptions ro;
+    ro.obs = slot.observer();
+    const std::string observed = runScenario(sc, ro).render();
+    if (observed != plain)
+        out.push_back({"obs", firstDiff(plain, observed)});
+}
+
+void
+checkThreads(const Scenario &sc, const InvariantOptions &opts,
+             std::vector<Violation> &out)
+{
+    const auto body = [&sc](exp::TrialContext &ctx) -> std::string {
+        RunOptions ro;
+        ro.obs = ctx.obs;
+        ro.seed_override = ctx.trialSeed();
+        return runScenario(sc, ro).render();
+    };
+
+    const auto campaign = [&](unsigned threads, obs::TrialSet &set) {
+        return exp::runTrials(opts.thread_trials, sc.seed, body, threads,
+                              &set);
+    };
+
+    obs::TrialSet set1(true);
+    obs::TrialSet setN(true);
+    const std::vector<std::string> logs1 = campaign(1, set1);
+    const std::vector<std::string> logsN = campaign(opts.threads, setN);
+
+    for (std::size_t i = 0; i < logs1.size(); ++i) {
+        if (logs1[i] != logsN[i]) {
+            std::ostringstream detail;
+            detail << "trial " << i << " log: "
+                   << firstDiff(logs1[i], logsN[i]);
+            out.push_back({"threads", detail.str()});
+            return;
+        }
+    }
+
+    const auto mergedMetrics = [](obs::TrialSet &set) {
+        std::vector<obs::MetricsRegistry> parts;
+        parts.reserve(set.slots().size());
+        for (obs::TrialObs &slot : set.slots())
+            parts.push_back(slot.metrics);
+        return obs::mergeRegistries(parts).toJson();
+    };
+    const std::string m1 = mergedMetrics(set1);
+    const std::string mN = mergedMetrics(setN);
+    if (m1 != mN) {
+        out.push_back({"threads", "merged metrics: " + firstDiff(m1, mN)});
+        return;
+    }
+
+    const auto traceJson = [](const obs::TrialSet &set) {
+        std::vector<const obs::TraceSink *> sinks;
+        sinks.reserve(set.slots().size());
+        for (const obs::TrialObs &slot : set.slots())
+            sinks.push_back(&slot.trace);
+        return obs::toChromeTraceJson(sinks);
+    };
+    const std::string t1 = traceJson(set1);
+    const std::string tN = traceJson(setN);
+    if (t1 != tN)
+        out.push_back({"threads", "chrome trace: " + firstDiff(t1, tN)});
+}
+
+void
+checkEvents(const ScenarioLog &log, std::vector<Violation> &out)
+{
+    if (log.events_scheduled !=
+        log.events_processed + log.events_cancelled + log.events_pending) {
+        std::ostringstream detail;
+        detail << "conservation: scheduled=" << log.events_scheduled
+               << " != processed=" << log.events_processed
+               << " + cancelled=" << log.events_cancelled
+               << " + pending=" << log.events_pending;
+        out.push_back({"events", detail.str()});
+    }
+
+    // Generation-tag probes on a standalone queue: stale handles must
+    // be refused in every slot-reuse order.
+    sim::EventQueue eq;
+    int fired_a = 0;
+    int fired_b = 0;
+    const sim::EventId a =
+        eq.scheduleAfter(sim::Duration::millis(1), [&] { ++fired_a; });
+    const sim::EventId b =
+        eq.scheduleAfter(sim::Duration::millis(2), [&] { ++fired_b; });
+    if (!eq.cancel(a))
+        out.push_back({"events", "cancel of a pending event refused"});
+    if (eq.cancel(a))
+        out.push_back({"events", "double-cancel accepted"});
+    // a's slot is free again; c reuses it with a bumped generation.
+    int fired_c = 0;
+    const sim::EventId c =
+        eq.scheduleAfter(sim::Duration::millis(3), [&] { ++fired_c; });
+    if (eq.cancel(a))
+        out.push_back({"events", "stale handle accepted after slot reuse"});
+    eq.advance(sim::Duration::millis(10));
+    if (fired_a != 0)
+        out.push_back({"events", "cancelled event fired"});
+    if (fired_b != 1 || fired_c != 1)
+        out.push_back({"events", "live event lost after cancellations"});
+    if (eq.cancel(b))
+        out.push_back({"events", "cancel-after-fire accepted"});
+    if (eq.cancel(c))
+        out.push_back({"events", "cancel-after-fire accepted (reused slot)"});
+    if (eq.pending() != 0)
+        out.push_back({"events", "probe queue did not drain"});
+}
+
+/** Platform config oracle E uses: scenario shape, fresh tenant. */
+faas::PlatformConfig
+verifyPlatformConfig(const Scenario &sc)
+{
+    faas::PlatformConfig cfg;
+    if (sc.profile == 1)
+        cfg.profile = faas::DataCenterProfile::usCentral1();
+    else if (sc.profile == 2)
+        cfg.profile = faas::DataCenterProfile::usWest1();
+    if (sc.host_count != 0)
+        cfg.profile.host_count = sc.host_count;
+    cfg.orchestrator.isolate_accounts = sc.isolate_accounts;
+    cfg.seed = sc.seed;
+    return cfg;
+}
+
+void
+checkVerify(const Scenario &sc, std::vector<Violation> &out)
+{
+    constexpr std::uint32_t kInstances = 64;
+
+    const auto launchLabels =
+        [&](const std::vector<std::size_t> &order) -> std::vector<std::uint64_t> {
+        faas::Platform platform(verifyPlatformConfig(sc));
+        const faas::AccountId acct = platform.createAccount({}, 1000);
+        const faas::ServiceId svc =
+            platform.deployService(acct, faas::ExecEnv::Gen1);
+        core::LaunchOptions lo;
+        lo.instances = kInstances;
+        lo.hold = sim::Duration::seconds(5);
+        lo.disconnect_after = false;
+        const core::LaunchObservation obs =
+            core::launchAndObserve(platform, svc, lo);
+
+        std::vector<faas::InstanceId> ids;
+        std::vector<std::uint64_t> fp;
+        std::vector<std::uint64_t> cls;
+        ids.reserve(order.size());
+        for (const std::size_t i : order) {
+            ids.push_back(obs.ids[i]);
+            fp.push_back(obs.fp_keys[i]);
+            cls.push_back(obs.class_keys[i]);
+        }
+        channel::RngChannel chan(platform);
+        const core::VerifyResult res =
+            core::verifyScalable(platform, chan, ids, fp, cls);
+
+        // Undo the permutation so labels are comparable slot-by-slot.
+        std::vector<std::uint64_t> labels(order.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            labels[order[i]] = res.cluster_of[i];
+        return labels;
+    };
+
+    std::vector<std::size_t> identity(kInstances);
+    for (std::size_t i = 0; i < identity.size(); ++i)
+        identity[i] = i;
+    std::vector<std::size_t> permuted = identity;
+    sim::Rng perm_rng = sim::Rng(sc.seed).fork(0xE5);
+    for (std::size_t i = permuted.size(); i > 1; --i)
+        std::swap(permuted[i - 1], permuted[perm_rng.uniformInt(i)]);
+
+    const std::vector<std::uint64_t> base = launchLabels(identity);
+    const std::vector<std::uint64_t> shuffled = launchLabels(permuted);
+
+    const stats::PairConfusion cmp = stats::comparePairs(shuffled, base);
+    if (cmp.fp != 0 || cmp.fn != 0) {
+        std::ostringstream detail;
+        detail << "clustering changed under party permutation: fp=" << cmp.fp
+               << " fn=" << cmp.fn << " (of "
+               << (cmp.tp + cmp.fp + cmp.tn + cmp.fn) << " pairs)";
+        out.push_back({"verify", detail.str()});
+    }
+}
+
+} // namespace
+
+std::vector<Violation>
+checkInvariants(const Scenario &scenario, const InvariantOptions &opts)
+{
+    std::vector<Violation> out;
+
+    const ScenarioLog indexed = runScenario(scenario, {});
+    const std::string indexed_log = indexed.render();
+
+    if (opts.check_events)
+        checkEvents(indexed, out);
+    if (opts.check_reference)
+        checkReference(scenario, indexed_log, out);
+    if (opts.check_obs)
+        checkObs(scenario, indexed_log, out);
+    if (opts.check_threads)
+        checkThreads(scenario, opts, out);
+    if (opts.check_verify)
+        checkVerify(scenario, out);
+    return out;
+}
+
+} // namespace eaao::testkit

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The invariant oracles the scenario fuzzer checks on every scenario.
+ *
+ * Each oracle compares two executions that the codebase promises are
+ * equivalent, or checks an internal conservation law:
+ *
+ *  - reference: the incremental placement/routing/spend indexes must
+ *    reproduce the pre-index linear scans byte-for-byte
+ *    (OrchestratorConfig::reference_scan).
+ *  - threads: an exp::runTrials campaign over the scenario must render
+ *    identical logs, merged metrics JSON, and Chrome trace JSON for
+ *    1 worker and N workers.
+ *  - obs: attaching a trace sink + metrics registry must not perturb
+ *    any simulation decision (log equality with the unobserved run).
+ *  - events: the kernel conserves events (scheduled = processed +
+ *    cancelled + pending) and generation-tagged EventIds refuse stale
+ *    handles after slot reuse.
+ *  - verify: core::verifyScalable's clustering is invariant under a
+ *    permutation of the participating instances.
+ */
+
+#ifndef EAAO_TESTKIT_INVARIANTS_HPP
+#define EAAO_TESTKIT_INVARIANTS_HPP
+
+#include <string>
+#include <vector>
+
+#include "testkit/scenario.hpp"
+
+namespace eaao::testkit {
+
+/** One oracle failure. */
+struct Violation
+{
+    std::string oracle; //!< "reference", "threads", "obs", "events", "verify"
+    std::string detail; //!< first point of divergence
+};
+
+/** Which oracles to run, and how hard. */
+struct InvariantOptions
+{
+    unsigned threads = 4;       //!< worker count of the N-thread arm
+    std::size_t thread_trials = 3; //!< trials per runTrials campaign
+
+    bool check_reference = true;
+    bool check_threads = true;
+    bool check_obs = true;
+    bool check_events = true;
+
+    /**
+     * The verify-permutation oracle costs a covert-channel campaign per
+     * scenario; the fuzz driver samples it (--verify-every) instead of
+     * paying it everywhere.
+     */
+    bool check_verify = false;
+};
+
+/**
+ * Run the selected oracles on @p scenario.
+ * @return All violations found (empty = scenario holds).
+ */
+std::vector<Violation> checkInvariants(const Scenario &scenario,
+                                       const InvariantOptions &opts = {});
+
+} // namespace eaao::testkit
+
+#endif // EAAO_TESTKIT_INVARIANTS_HPP

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Scenario execution against a live platform.
+ */
+
+#include "testkit/runner.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "faas/platform.hpp"
+
+namespace eaao::testkit {
+
+namespace {
+
+faas::ContainerSize
+sizeOf(std::uint8_t idx)
+{
+    switch (idx) {
+    case 0:
+        return faas::sizes::kPico;
+    case 2:
+        return faas::sizes::kMedium;
+    case 3:
+        return faas::sizes::kLarge;
+    default:
+        return faas::sizes::kSmall;
+    }
+}
+
+faas::DataCenterProfile
+profileOf(std::uint8_t idx)
+{
+    switch (idx) {
+    case 1:
+        return faas::DataCenterProfile::usCentral1();
+    case 2:
+        return faas::DataCenterProfile::usWest1();
+    default:
+        return faas::DataCenterProfile::usEast1();
+    }
+}
+
+std::string
+fmtUsd(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+ScenarioLog::render() const
+{
+    std::ostringstream out;
+    out << "trace " << trace.size() << "\n";
+    for (const faas::PlacementEvent &e : trace) {
+        out << "  t=" << e.when.ns() << " inst=" << e.instance
+            << " svc=" << e.service << " acct=" << e.account
+            << " host=" << e.host << " why=" << faas::toString(e.reason)
+            << "\n";
+    }
+    out << "routed " << routed.size() << "\n";
+    for (const std::string &line : routed)
+        out << "  " << line << "\n";
+    out << "restarted " << restarted.size() << "\n";
+    for (const std::string &line : restarted)
+        out << "  " << line << "\n";
+    out << "spend " << spend.size() << "\n";
+    for (const std::string &line : spend)
+        out << "  " << line << "\n";
+    out << "final_spend";
+    for (const double v : final_spend_usd)
+        out << " " << fmtUsd(v);
+    out << "\n";
+    out << "instances " << instance_count << "\n";
+    out << "events scheduled=" << events_scheduled
+        << " processed=" << events_processed
+        << " cancelled=" << events_cancelled << " pending=" << events_pending
+        << "\n";
+    return out.str();
+}
+
+ScenarioLog
+runScenario(const Scenario &scenario, const RunOptions &opts)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = profileOf(scenario.profile);
+    if (scenario.host_count != 0)
+        cfg.profile.host_count = scenario.host_count;
+    cfg.orchestrator.reference_scan = opts.reference_scan;
+    cfg.orchestrator.isolate_accounts = scenario.isolate_accounts;
+    if (scenario.hot_burst_min != 0)
+        cfg.orchestrator.hot_burst_min = scenario.hot_burst_min;
+    cfg.orchestrator.fault_injection =
+        opts.fault_override != ~0u ? opts.fault_override : scenario.fault;
+    cfg.seed = opts.seed_override != 0 ? opts.seed_override : scenario.seed;
+    cfg.obs = opts.obs;
+
+    faas::Platform platform(cfg);
+    faas::PlacementTrace trace;
+    platform.orchestrator().attachTrace(&trace);
+
+    std::vector<faas::AccountId> accounts;
+    accounts.reserve(scenario.accounts.size());
+    for (const ScenarioAccount &a : scenario.accounts) {
+        std::optional<std::uint32_t> shard;
+        if (a.shard >= 0)
+            shard = static_cast<std::uint32_t>(a.shard);
+        accounts.push_back(platform.createAccount(shard, a.quota));
+    }
+
+    std::vector<faas::ServiceId> services;
+    services.reserve(scenario.services.size());
+    for (const ScenarioService &s : scenario.services) {
+        services.push_back(platform.deployService(
+            accounts[s.account % accounts.size()], // parse() validates; the
+                                                   // shrinker may not
+            s.env == 1 ? faas::ExecEnv::Gen2 : faas::ExecEnv::Gen1,
+            sizeOf(s.size)));
+    }
+
+    ScenarioLog log;
+    // Instances ever created through any path, in creation order; the
+    // Restart step indexes into this so a raw payload always resolves.
+    std::vector<faas::InstanceId> created;
+    const auto noteCreated = [&](std::size_t trace_from) {
+        for (std::size_t i = trace_from; i < trace.events().size(); ++i) {
+            if (trace.events()[i].reason != faas::PlacementReason::Reuse)
+                created.push_back(trace.events()[i].instance);
+        }
+    };
+
+    std::uint32_t step_no = 0;
+    for (const ScenarioStep &st : scenario.steps) {
+        const std::size_t trace_mark = trace.events().size();
+        const faas::ServiceId svc =
+            services[st.target % services.size()];
+        switch (st.kind) {
+        case ScenarioStep::Kind::Connect:
+            platform.connect(svc, st.a == 0 ? 1 : st.a);
+            break;
+        case ScenarioStep::Kind::Disconnect:
+            platform.disconnectAll(svc);
+            break;
+        case ScenarioStep::Kind::Route: {
+            const faas::InstanceId inst = platform.orchestrator().routeRequest(
+                svc, sim::Duration::millis(st.a == 0 ? 1 : st.a));
+            std::ostringstream line;
+            line << "step=" << step_no << " inst=" << inst
+                 << " host=" << platform.oracleHostOf(inst);
+            log.routed.push_back(line.str());
+            break;
+        }
+        case ScenarioStep::Kind::Burst: {
+            const std::uint32_t n = st.a == 0 ? 1 : st.a;
+            const sim::Duration svc_time =
+                sim::Duration::millis(st.b == 0 ? 1 : st.b);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const faas::InstanceId inst =
+                    platform.orchestrator().routeRequest(svc, svc_time);
+                std::ostringstream line;
+                line << "step=" << step_no << "." << i << " inst=" << inst
+                     << " host=" << platform.oracleHostOf(inst);
+                log.routed.push_back(line.str());
+                // Small inter-arrival gap: keeps the burst inside one
+                // demand window while letting completions interleave.
+                platform.advance(sim::Duration::millis(2));
+            }
+            break;
+        }
+        case ScenarioStep::Kind::Advance:
+            platform.advance(sim::Duration::millis(st.a == 0 ? 1 : st.a));
+            break;
+        case ScenarioStep::Kind::Restart: {
+            if (created.empty())
+                break;
+            const faas::InstanceId victim = created[st.a % created.size()];
+            if (platform.instanceInfo(victim).state ==
+                faas::InstanceState::Terminated)
+                break;
+            const faas::InstanceId repl = platform.restartInstance(victim);
+            std::ostringstream line;
+            line << "step=" << step_no << " old=" << victim
+                 << " new=" << repl;
+            log.restarted.push_back(line.str());
+            break;
+        }
+        case ScenarioStep::Kind::SetConcurrency:
+            platform.orchestrator().setMaxConcurrency(svc,
+                                                      st.a == 0 ? 1 : st.a);
+            break;
+        case ScenarioStep::Kind::SetQuota:
+            platform.setAccountQuota(
+                accounts[st.target % accounts.size()],
+                st.a == 0 ? 1 : st.a);
+            break;
+        case ScenarioStep::Kind::Redeploy:
+            platform.redeployService(svc);
+            break;
+        case ScenarioStep::Kind::SpendProbe:
+            for (std::size_t a = 0; a < accounts.size(); ++a) {
+                std::ostringstream line;
+                line << "step=" << step_no << " acct=" << a
+                     << " usd=" << fmtUsd(platform.accountSpendUsd(
+                            accounts[a]));
+                log.spend.push_back(line.str());
+            }
+            break;
+        }
+        noteCreated(trace_mark);
+        ++step_no;
+    }
+
+    // Drain: everything idle passes idle_max (15 min), so all reaps
+    // fire or are cancelled and billing settles.
+    platform.advance(sim::Duration::minutes(20));
+
+    for (const faas::AccountId id : accounts)
+        log.final_spend_usd.push_back(platform.accountSpendUsd(id));
+    log.trace = trace.events();
+    log.instance_count = platform.orchestrator().instanceCount();
+    log.events_scheduled = platform.clock().scheduled();
+    log.events_processed = platform.clock().processed();
+    log.events_cancelled = platform.clock().cancelled();
+    log.events_pending = platform.clock().pending();
+    return log;
+}
+
+} // namespace eaao::testkit

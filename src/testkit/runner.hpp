@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scenario runner: executes a Scenario against a live faas::Platform
+ * and folds everything observable into a canonical text log.
+ *
+ * The log (ScenarioLog::render) is the unit the invariant oracles
+ * compare: it captures every placement decision with its reason, every
+ * routed request's serving instance, every restart mapping, spend
+ * probes, final per-account spend, and the event-kernel conservation
+ * counters. Two runs whose logs are byte-identical made the same
+ * decisions at the same virtual times.
+ */
+
+#ifndef EAAO_TESTKIT_RUNNER_HPP
+#define EAAO_TESTKIT_RUNNER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faas/trace.hpp"
+#include "obs/observer.hpp"
+#include "testkit/scenario.hpp"
+
+namespace eaao::testkit {
+
+/** Knobs of one scenario execution. */
+struct RunOptions
+{
+    /** Run the orchestrator's pre-index linear-scan oracle paths. */
+    bool reference_scan = false;
+
+    /** Force this fault_injection value; ~0u keeps the scenario's. */
+    std::uint32_t fault_override = ~0u;
+
+    /** Observability handle wired into PlatformConfig. */
+    obs::Observer obs;
+
+    /** Replace Scenario::seed; 0 keeps it. */
+    std::uint64_t seed_override = 0;
+};
+
+/** Everything a scenario run exposes for comparison. */
+struct ScenarioLog
+{
+    std::vector<faas::PlacementEvent> trace;
+
+    /** "step=<i> inst=<id> host=<h>" per routed request. */
+    std::vector<std::string> routed;
+
+    /** "step=<i> old=<id> new=<id>" per restart. */
+    std::vector<std::string> restarted;
+
+    /** "step=<i> acct=<a> usd=<x>" per SpendProbe line. */
+    std::vector<std::string> spend;
+
+    std::vector<double> final_spend_usd; //!< per account, after drain
+    std::uint64_t instance_count = 0;
+
+    std::uint64_t events_scheduled = 0;
+    std::uint64_t events_processed = 0;
+    std::uint64_t events_cancelled = 0;
+    std::uint64_t events_pending = 0;
+
+    /** Canonical text form; doubles rendered with %.17g. */
+    std::string render() const;
+};
+
+/**
+ * Execute @p scenario. Steps that reference terminated instances or
+ * hit platform clamps are made total deterministically (documented per
+ * step in the implementation), so every generated scenario is
+ * runnable. Ends with a 20-minute drain so all reaps settle.
+ */
+ScenarioLog runScenario(const Scenario &scenario, const RunOptions &opts = {});
+
+} // namespace eaao::testkit
+
+#endif // EAAO_TESTKIT_RUNNER_HPP

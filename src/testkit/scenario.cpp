@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Scenario serialization and the seeded scenario generator.
+ */
+
+#include "testkit/scenario.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace eaao::testkit {
+
+namespace {
+
+/** Replay-file tokens, indexed by ScenarioStep::Kind. */
+constexpr const char *kKindTokens[kStepKindCount] = {
+    "connect",   "disconnect", "route",           "burst",
+    "advance",   "restart",    "set_concurrency", "set_quota",
+    "redeploy",  "spend_probe",
+};
+
+bool
+parseKind(const std::string &token, ScenarioStep::Kind &out)
+{
+    for (std::size_t i = 0; i < kStepKindCount; ++i) {
+        if (token == kKindTokens[i]) {
+            out = static_cast<ScenarioStep::Kind>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+toString(ScenarioStep::Kind kind)
+{
+    const auto i = static_cast<std::size_t>(kind);
+    EAAO_ASSERT(i < kStepKindCount, "bad step kind");
+    return kKindTokens[i];
+}
+
+std::string
+Scenario::serialize() const
+{
+    std::ostringstream out;
+    out << "eaao-scenario v1\n";
+    out << "seed " << seed << "\n";
+    out << "profile " << static_cast<unsigned>(profile) << "\n";
+    out << "hosts " << host_count << "\n";
+    out << "isolate " << (isolate_accounts ? 1 : 0) << "\n";
+    out << "hot_burst_min " << hot_burst_min << "\n";
+    out << "fault " << fault << "\n";
+    for (const ScenarioAccount &a : accounts)
+        out << "account " << a.shard << " " << a.quota << "\n";
+    for (const ScenarioService &s : services) {
+        out << "service " << s.account << " " << static_cast<unsigned>(s.env)
+            << " " << static_cast<unsigned>(s.size) << "\n";
+    }
+    for (const ScenarioStep &s : steps) {
+        out << "step " << toString(s.kind) << " " << s.target << " " << s.a
+            << " " << s.b << "\n";
+    }
+    return out.str();
+}
+
+bool
+Scenario::parse(const std::string &text, Scenario &out, std::string &error)
+{
+    out = Scenario{};
+    out.accounts.clear();
+    out.services.clear();
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_header = false;
+
+    const auto fail = [&](const std::string &why) {
+        std::ostringstream msg;
+        msg << "line " << line_no << ": " << why;
+        error = msg.str();
+        return false;
+    };
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (!saw_header) {
+            if (line != "eaao-scenario v1")
+                return fail("expected header 'eaao-scenario v1'");
+            saw_header = true;
+            continue;
+        }
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "seed") {
+            if (!(ls >> out.seed))
+                return fail("bad seed");
+        } else if (key == "profile") {
+            unsigned v = 0;
+            if (!(ls >> v) || v > 2)
+                return fail("bad profile (want 0..2)");
+            out.profile = static_cast<std::uint8_t>(v);
+        } else if (key == "hosts") {
+            if (!(ls >> out.host_count))
+                return fail("bad hosts");
+        } else if (key == "isolate") {
+            unsigned v = 0;
+            if (!(ls >> v) || v > 1)
+                return fail("bad isolate (want 0/1)");
+            out.isolate_accounts = v != 0;
+        } else if (key == "hot_burst_min") {
+            if (!(ls >> out.hot_burst_min))
+                return fail("bad hot_burst_min");
+        } else if (key == "fault") {
+            if (!(ls >> out.fault))
+                return fail("bad fault");
+        } else if (key == "account") {
+            ScenarioAccount a;
+            if (!(ls >> a.shard >> a.quota))
+                return fail("bad account line (want: account <shard> <quota>)");
+            out.accounts.push_back(a);
+        } else if (key == "service") {
+            ScenarioService s;
+            unsigned env = 0, size = 0;
+            if (!(ls >> s.account >> env >> size) || env > 1 || size > 3)
+                return fail("bad service line "
+                            "(want: service <account> <env 0/1> <size 0..3>)");
+            s.env = static_cast<std::uint8_t>(env);
+            s.size = static_cast<std::uint8_t>(size);
+            out.services.push_back(s);
+        } else if (key == "step") {
+            std::string token;
+            ScenarioStep s;
+            if (!(ls >> token >> s.target >> s.a >> s.b))
+                return fail("bad step line "
+                            "(want: step <kind> <target> <a> <b>)");
+            if (!parseKind(token, s.kind))
+                return fail("unknown step kind '" + token + "'");
+            out.steps.push_back(s);
+        } else {
+            return fail("unknown key '" + key + "'");
+        }
+    }
+    if (!saw_header) {
+        error = "empty file (no header)";
+        return false;
+    }
+    if (out.accounts.empty()) {
+        error = "scenario has no accounts";
+        return false;
+    }
+    if (out.services.empty()) {
+        error = "scenario has no services";
+        return false;
+    }
+    for (std::size_t i = 0; i < out.services.size(); ++i) {
+        if (out.services[i].account >= out.accounts.size()) {
+            std::ostringstream msg;
+            msg << "service " << i << " references account "
+                << out.services[i].account << " of " << out.accounts.size();
+            error = msg.str();
+            return false;
+        }
+    }
+    error.clear();
+    return true;
+}
+
+Scenario
+generateScenario(std::uint64_t base_seed, std::uint64_t index,
+                 const GeneratorOptions &opts)
+{
+    sim::Rng rng = sim::Rng(base_seed).fork(index);
+
+    Scenario sc;
+    sc.seed = rng();
+    if (sc.seed == 0)
+        sc.seed = 1;
+
+    // Platform shape. us-central1's preset is ~3500 hosts; every
+    // profile gets a small-fleet override so a fuzz campaign clears
+    // thousands of scenarios per minute. The shard structure survives:
+    // 330 hosts at shard_size 110 is still 3 shards.
+    sc.profile = opts.allow_dynamic_profile
+                     ? static_cast<std::uint8_t>(rng.uniformInt(3))
+                     : static_cast<std::uint8_t>(rng.uniformInt(2) == 0 ? 0
+                                                                        : 2);
+    sc.host_count = 330;
+    sc.isolate_accounts = rng.bernoulli(0.15);
+    // Occasionally lower the hotness threshold so small bursts flip
+    // services hot and exercise the helper-placement path.
+    sc.hot_burst_min = rng.bernoulli(0.4)
+                           ? static_cast<std::uint32_t>(rng.uniformInt(5, 40))
+                           : 0;
+
+    const auto n_accounts =
+        static_cast<std::uint32_t>(rng.uniformInt(1, opts.max_accounts));
+    for (std::uint32_t i = 0; i < n_accounts; ++i) {
+        ScenarioAccount a;
+        a.shard = rng.bernoulli(0.5)
+                      ? static_cast<std::int32_t>(rng.uniformInt(3))
+                      : -1;
+        // Mix fresh capped accounts with established ones (§5.2 quota).
+        const std::uint32_t quotas[4] = {4, 10, 60, 1000};
+        a.quota = quotas[rng.uniformInt(4)];
+        sc.accounts.push_back(a);
+    }
+
+    const auto n_services =
+        static_cast<std::uint32_t>(rng.uniformInt(1, opts.max_services));
+    for (std::uint32_t i = 0; i < n_services; ++i) {
+        ScenarioService s;
+        s.account = static_cast<std::uint32_t>(rng.uniformInt(n_accounts));
+        s.env = opts.allow_gen2 && rng.bernoulli(0.35) ? 1 : 0;
+        s.size = static_cast<std::uint8_t>(rng.uniformInt(4));
+        sc.services.push_back(s);
+    }
+
+    const auto n_steps = static_cast<std::uint32_t>(
+        rng.uniformInt(opts.min_steps, opts.max_steps));
+    const auto svc = [&] {
+        return static_cast<std::uint32_t>(rng.uniformInt(n_services));
+    };
+    for (std::uint32_t i = 0; i < n_steps; ++i) {
+        ScenarioStep st;
+        // Weighted kinds. Connect/advance/burst dominate because the
+        // paper's placement behaviours (hotness, helper growth, reap)
+        // are driven by launch surges and idle gaps.
+        const std::uint64_t w = rng.uniformInt(100);
+        if (w < 24) {
+            st.kind = ScenarioStep::Kind::Connect;
+            st.target = svc();
+            st.a = static_cast<std::uint32_t>(
+                rng.uniformInt(1, opts.max_connect));
+        } else if (w < 32) {
+            st.kind = ScenarioStep::Kind::Disconnect;
+            st.target = svc();
+        } else if (w < 44) {
+            st.kind = ScenarioStep::Kind::Route;
+            st.target = svc();
+            st.a = static_cast<std::uint32_t>(rng.uniformInt(1, 2000)); // ms
+        } else if (w < 56) {
+            st.kind = ScenarioStep::Kind::Burst;
+            st.target = svc();
+            st.a = static_cast<std::uint32_t>(
+                rng.uniformInt(2, opts.max_burst));
+            st.b = static_cast<std::uint32_t>(rng.uniformInt(1, 500)); // ms
+        } else if (w < 80) {
+            st.kind = ScenarioStep::Kind::Advance;
+            // Idle-gap buckets chosen to straddle the reap window:
+            // short gaps (< idle_hold = 2 min), gaps just around the
+            // hold boundary, and long gaps past idle_max = 15 min.
+            const std::uint64_t bucket = rng.uniformInt(4);
+            if (bucket == 0)
+                st.a = static_cast<std::uint32_t>(rng.uniformInt(1, 5'000));
+            else if (bucket == 1)
+                st.a = static_cast<std::uint32_t>(
+                    rng.uniformInt(100'000, 140'000));
+            else if (bucket == 2)
+                st.a = static_cast<std::uint32_t>(
+                    rng.uniformInt(5'000, opts.max_advance_ms));
+            else
+                st.a = static_cast<std::uint32_t>(
+                    rng.uniformInt(900'000, 1'100'000));
+        } else if (w < 85) {
+            st.kind = ScenarioStep::Kind::Restart;
+            st.a = static_cast<std::uint32_t>(rng.uniformInt(1u << 16));
+        } else if (w < 89) {
+            st.kind = ScenarioStep::Kind::SetConcurrency;
+            st.target = svc();
+            st.a = static_cast<std::uint32_t>(rng.uniformInt(1, 8));
+        } else if (w < 93) {
+            st.kind = ScenarioStep::Kind::SetQuota;
+            st.target = static_cast<std::uint32_t>(rng.uniformInt(n_accounts));
+            const std::uint32_t quotas[3] = {10, 120, 1000};
+            st.a = quotas[rng.uniformInt(3)];
+        } else if (w < 96) {
+            st.kind = ScenarioStep::Kind::Redeploy;
+            st.target = svc();
+        } else {
+            st.kind = ScenarioStep::Kind::SpendProbe;
+        }
+        sc.steps.push_back(st);
+    }
+    return sc;
+}
+
+} // namespace eaao::testkit

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Greedy fixpoint shrinking over scenario structure.
+ */
+
+#include "testkit/shrink.hpp"
+
+#include <algorithm>
+
+namespace eaao::testkit {
+
+namespace {
+
+/** Budgeted predicate wrapper shared by all passes. */
+struct Budget
+{
+    const FailurePredicate &pred;
+    std::uint32_t attempts = 0;
+    std::uint32_t successes = 0;
+    std::uint32_t max_attempts;
+
+    bool
+    exhausted() const
+    {
+        return attempts >= max_attempts;
+    }
+
+    /** Try a candidate; on success adopt it into @p current. */
+    bool
+    accept(Scenario &current, const Scenario &candidate)
+    {
+        if (exhausted())
+            return false;
+        ++attempts;
+        if (!pred(candidate))
+            return false;
+        ++successes;
+        current = candidate;
+        return true;
+    }
+};
+
+/** ddmin-style chunked step removal: halves first, single steps last. */
+bool
+shrinkSteps(Scenario &sc, Budget &budget)
+{
+    bool progressed = false;
+    std::size_t chunk = std::max<std::size_t>(1, sc.steps.size() / 2);
+    while (chunk >= 1 && !budget.exhausted()) {
+        bool removed_any = false;
+        for (std::size_t start = 0;
+             start < sc.steps.size() && !budget.exhausted();) {
+            Scenario candidate = sc;
+            const std::size_t end =
+                std::min(start + chunk, candidate.steps.size());
+            candidate.steps.erase(candidate.steps.begin() +
+                                      static_cast<std::ptrdiff_t>(start),
+                                  candidate.steps.begin() +
+                                      static_cast<std::ptrdiff_t>(end));
+            if (budget.accept(sc, candidate)) {
+                removed_any = true;
+                progressed = true;
+                // sc shrank in place; retry the same offset.
+            } else {
+                start += chunk;
+            }
+        }
+        if (!removed_any && chunk == 1)
+            break;
+        if (!removed_any)
+            chunk /= 2;
+    }
+    return progressed;
+}
+
+/** Drop a whole service, remapping step targets past it. */
+bool
+shrinkServices(Scenario &sc, Budget &budget)
+{
+    bool progressed = false;
+    for (std::size_t victim = 0;
+         sc.services.size() > 1 && victim < sc.services.size() &&
+         !budget.exhausted();) {
+        Scenario candidate = sc;
+        candidate.services.erase(candidate.services.begin() +
+                                 static_cast<std::ptrdiff_t>(victim));
+        for (ScenarioStep &st : candidate.steps) {
+            // SetQuota targets accounts; everything else with a service
+            // target gets remapped around the hole. Raw modulo in the
+            // runner keeps out-of-range targets total either way.
+            if (st.kind == ScenarioStep::Kind::SetQuota ||
+                st.kind == ScenarioStep::Kind::Restart ||
+                st.kind == ScenarioStep::Kind::SpendProbe)
+                continue;
+            if (st.target > victim)
+                --st.target;
+            else if (st.target == victim)
+                st.target = 0;
+        }
+        if (budget.accept(sc, candidate))
+            progressed = true; // same index now names the next service
+        else
+            ++victim;
+    }
+    return progressed;
+}
+
+/** Drop accounts no remaining service references. */
+bool
+shrinkAccounts(Scenario &sc, Budget &budget)
+{
+    bool progressed = false;
+    for (std::size_t victim = 0;
+         sc.accounts.size() > 1 && victim < sc.accounts.size() &&
+         !budget.exhausted();) {
+        const bool used = std::any_of(
+            sc.services.begin(), sc.services.end(),
+            [&](const ScenarioService &s) { return s.account == victim; });
+        if (used) {
+            ++victim;
+            continue;
+        }
+        Scenario candidate = sc;
+        candidate.accounts.erase(candidate.accounts.begin() +
+                                 static_cast<std::ptrdiff_t>(victim));
+        for (ScenarioService &s : candidate.services) {
+            if (s.account > victim)
+                --s.account;
+        }
+        for (ScenarioStep &st : candidate.steps) {
+            if (st.kind == ScenarioStep::Kind::SetQuota && st.target > victim)
+                --st.target;
+        }
+        if (budget.accept(sc, candidate))
+            progressed = true;
+        else
+            ++victim;
+    }
+    return progressed;
+}
+
+/** Halve step payloads toward 1 (smaller bursts, shorter gaps). */
+bool
+shrinkPayloads(Scenario &sc, Budget &budget)
+{
+    bool progressed = false;
+    for (std::size_t i = 0; i < sc.steps.size() && !budget.exhausted(); ++i) {
+        for (const bool field_a : {true, false}) {
+            const std::uint32_t v = field_a ? sc.steps[i].a : sc.steps[i].b;
+            if (v <= 1)
+                continue;
+            Scenario candidate = sc;
+            if (field_a)
+                candidate.steps[i].a = v / 2;
+            else
+                candidate.steps[i].b = v / 2;
+            if (budget.accept(sc, candidate))
+                progressed = true;
+        }
+    }
+    return progressed;
+}
+
+/** Halve the fleet (clamped so shard structure survives). */
+bool
+shrinkHosts(Scenario &sc, Budget &budget)
+{
+    bool progressed = false;
+    while (sc.host_count > 120 && !budget.exhausted()) {
+        Scenario candidate = sc;
+        candidate.host_count = std::max(120u, sc.host_count / 2);
+        if (!budget.accept(sc, candidate))
+            break;
+        progressed = true;
+    }
+    return progressed;
+}
+
+} // namespace
+
+ShrinkResult
+shrink(const Scenario &failing, const FailurePredicate &still_fails,
+       std::uint32_t max_attempts)
+{
+    Budget budget{still_fails, 0, 0, max_attempts};
+    Scenario current = failing;
+
+    // Fixpoint over all passes: structure removal first (biggest wins),
+    // payload and fleet reduction after.
+    bool progressed = true;
+    while (progressed && !budget.exhausted()) {
+        progressed = false;
+        progressed |= shrinkSteps(current, budget);
+        progressed |= shrinkServices(current, budget);
+        progressed |= shrinkAccounts(current, budget);
+        progressed |= shrinkPayloads(current, budget);
+        progressed |= shrinkHosts(current, budget);
+    }
+    return ShrinkResult{current, budget.attempts, budget.successes};
+}
+
+} // namespace eaao::testkit

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Greedy structural scenario shrinker.
+ *
+ * Given a failing scenario and a predicate that re-checks the failure,
+ * shrink() repeatedly tries structure-removing edits — delta-debugging
+ * style step-chunk removal, service and unused-account removal, payload
+ * halving, fleet halving — keeping any edit under which the failure
+ * persists, until a full pass over all edits makes no progress. The
+ * result is a minimal-ish scenario whose replay file is small enough to
+ * read, commit to tests/corpus/, and attach to a bug report.
+ */
+
+#ifndef EAAO_TESTKIT_SHRINK_HPP
+#define EAAO_TESTKIT_SHRINK_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "testkit/scenario.hpp"
+
+namespace eaao::testkit {
+
+/** Re-check the failure on a candidate; true = still fails. */
+using FailurePredicate = std::function<bool(const Scenario &)>;
+
+/** Outcome of a shrink run. */
+struct ShrinkResult
+{
+    Scenario scenario;         //!< smallest still-failing scenario found
+    std::uint32_t attempts = 0;  //!< predicate evaluations
+    std::uint32_t successes = 0; //!< edits that kept the failure
+};
+
+/**
+ * Shrink @p failing under @p still_fails. The input must satisfy the
+ * predicate; the result always does. At most @p max_attempts predicate
+ * evaluations are spent (each one replays the scenario, so this bounds
+ * shrink time).
+ */
+ShrinkResult shrink(const Scenario &failing,
+                    const FailurePredicate &still_fails,
+                    std::uint32_t max_attempts = 2000);
+
+} // namespace eaao::testkit
+
+#endif // EAAO_TESTKIT_SHRINK_HPP

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Edge-case tests for the Section 6 defenses: contention-detector
+ * threshold and window boundaries, and the interaction between the TSC
+ * policies and the Gen 2 frequency fingerprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/strategy.hpp"
+#include "defense/detector.hpp"
+#include "defense/tsc_defense.hpp"
+#include "faas/platform.hpp"
+#include "stats/clustering.hpp"
+
+namespace eaao::defense {
+namespace {
+
+sim::SimTime
+at(std::int64_t seconds)
+{
+    return sim::SimTime::fromNanos(seconds * 1'000'000'000);
+}
+
+DetectorConfig
+smallConfig()
+{
+    DetectorConfig cfg;
+    cfg.window = sim::Duration::minutes(10);
+    cfg.burst_threshold = 3;
+    return cfg;
+}
+
+TEST(ContentionDetectorEdge, FlagsExactlyAtThreshold)
+{
+    ContentionDetector det(smallConfig());
+    det.recordBurst(at(10), 7, {1}, 2);
+    EXPECT_TRUE(det.flaggedHosts(at(10)).empty());
+    det.recordBurst(at(11), 7, {1}, 1);
+    // count == threshold must flag (>=, not >).
+    EXPECT_EQ(det.flaggedHosts(at(11)), std::vector<hw::HostId>{7});
+}
+
+TEST(ContentionDetectorEdge, AccumulatesAcrossCalls)
+{
+    ContentionDetector det(smallConfig());
+    for (int i = 0; i < 3; ++i)
+        det.recordBurst(at(10 + i), 4, {2}, 1);
+    EXPECT_EQ(det.flaggedHosts(at(13)), std::vector<hw::HostId>{4});
+    EXPECT_EQ(det.totalBursts(), 3u);
+}
+
+TEST(ContentionDetectorEdge, EventExactlyAtCutoffSurvives)
+{
+    // expire() drops `when < cutoff`: an event aged exactly the window
+    // length still counts, one nanosecond older does not.
+    ContentionDetector det(smallConfig());
+    det.recordBurst(at(0), 9, {1}, 3);
+    const sim::SimTime exactly = at(0) + det.config().window;
+    EXPECT_EQ(det.flaggedHosts(exactly), std::vector<hw::HostId>{9});
+    EXPECT_TRUE(
+        det.flaggedHosts(exactly + sim::Duration::nanos(1)).empty());
+}
+
+TEST(ContentionDetectorEdge, ExpiryDecrementsPartially)
+{
+    ContentionDetector det(smallConfig());
+    det.recordBurst(at(0), 5, {1}, 2);
+    det.recordBurst(at(300), 5, {1}, 2);
+    EXPECT_EQ(det.flaggedHosts(at(300)), std::vector<hw::HostId>{5});
+    // The first burst ages out; the survivor alone is under threshold.
+    EXPECT_TRUE(det.flaggedHosts(at(650)).empty());
+    // New pressure re-flags the host without double-counting history.
+    det.recordBurst(at(660), 5, {3}, 1);
+    EXPECT_EQ(det.flaggedHosts(at(660)), std::vector<hw::HostId>{5});
+}
+
+TEST(ContentionDetectorEdge, FlaggedHostsSortedAcrossInsertOrder)
+{
+    ContentionDetector det(smallConfig());
+    det.recordBurst(at(1), 42, {1}, 3);
+    det.recordBurst(at(2), 7, {1}, 3);
+    det.recordBurst(at(3), 19, {1}, 3);
+    EXPECT_EQ(det.flaggedHosts(at(3)),
+              (std::vector<hw::HostId>{7, 19, 42}));
+}
+
+TEST(ContentionDetectorEdge, ImplicatesOnlyAccountsOnFlaggedHosts)
+{
+    ContentionDetector det(smallConfig());
+    det.recordBurst(at(1), 1, {10, 11}, 3); // flagged
+    det.recordBurst(at(2), 2, {12}, 1);     // below threshold
+    det.recordBurst(at(3), 1, {10, 13}, 1); // same host, dedup accounts
+    const std::set<faas::AccountId> got = det.implicatedAccounts(at(3));
+    EXPECT_EQ(got, (std::set<faas::AccountId>{10, 11, 13}));
+}
+
+TEST(ContentionDetectorEdge, ZeroEventRecordIsInert)
+{
+    ContentionDetector det(smallConfig());
+    det.recordBurst(at(1), 3, {1}, 0);
+    EXPECT_TRUE(det.flaggedHosts(at(1)).empty());
+    EXPECT_EQ(det.totalBursts(), 0u);
+}
+
+// --- TSC policies versus the Gen 2 frequency fingerprint -----------
+
+faas::PlatformConfig
+gen2Config(std::uint64_t seed)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.profile.host_count = 330;
+    cfg.seed = seed;
+    return cfg;
+}
+
+core::LaunchObservation
+launchGen2(faas::Platform &platform, std::uint32_t instances)
+{
+    const faas::AccountId acct = platform.createAccount();
+    const faas::ServiceId svc =
+        platform.deployService(acct, faas::ExecEnv::Gen2);
+    core::LaunchOptions launch;
+    launch.instances = instances;
+    launch.disconnect_after = false;
+    return core::launchAndObserve(platform, svc, launch);
+}
+
+TEST(TscDefenseGen2, OffsetOnlyFingerprintTracksHosts)
+{
+    faas::Platform p(gen2Config(11));
+    const core::LaunchObservation obs = launchGen2(p, 150);
+    std::vector<std::uint64_t> oracle;
+    for (const faas::InstanceId id : obs.ids)
+        oracle.push_back(p.oracleHostOf(id));
+    const stats::PairConfusion pc = stats::comparePairs(obs.fp_keys, oracle);
+    // The kernel-refined frequency is near-unique per host: the
+    // fingerprint clusters track physical hosts tightly. Precision is
+    // below 1 because a few hosts collide at kHz granularity, but it
+    // stays far above the OffsetAndScale collapse (< 0.3 below).
+    EXPECT_GT(pc.recall(), 0.95);
+    EXPECT_GT(pc.precision(), 0.7);
+}
+
+TEST(TscDefenseGen2, OffsetAndScaleCollapsesFingerprintPrecision)
+{
+    faas::PlatformConfig cfg = gen2Config(11);
+    cfg.tsc_defense.gen2 = Gen2TscPolicy::OffsetAndScale;
+    faas::Platform p(cfg);
+    const core::LaunchObservation obs = launchGen2(p, 150);
+    std::vector<std::uint64_t> oracle;
+    for (const faas::InstanceId id : obs.ids)
+        oracle.push_back(p.oracleHostOf(id));
+    // Scaling leaves only per-SKU nominal frequencies: instances on
+    // different hosts of the same SKU become indistinguishable, so the
+    // fingerprint lumps many hosts together (precision collapses) even
+    // though co-located instances still match (recall stays high).
+    EXPECT_LE(stats::distinctCount(obs.fp_keys), 8u);
+    const stats::PairConfusion pc = stats::comparePairs(obs.fp_keys, oracle);
+    EXPECT_GT(pc.recall(), 0.95);
+    EXPECT_LT(pc.precision(), 0.3);
+}
+
+TEST(TscDefenseGen2, Gen1TrapEmulateLeavesGen2Untouched)
+{
+    // The Gen 1 trap-and-emulate policy must not perturb Gen 2
+    // readings: same seed, different gen1 policy, identical keys.
+    faas::PlatformConfig native = gen2Config(12);
+    faas::PlatformConfig trapped = gen2Config(12);
+    trapped.tsc_defense.gen1 = Gen1TscPolicy::TrapEmulate;
+
+    faas::Platform pn(native);
+    faas::Platform pt(trapped);
+    const core::LaunchObservation on = launchGen2(pn, 60);
+    const core::LaunchObservation ot = launchGen2(pt, 60);
+    EXPECT_EQ(on.fp_keys, ot.fp_keys);
+    EXPECT_EQ(on.class_keys, ot.class_keys);
+}
+
+} // namespace
+} // namespace eaao::defense

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Property tests for the support containers backing the orchestrator's
+ * hot paths: SmallFlatMap against std::map, and MinLoadTree against a
+ * brute-force prefix scan, under long random operation sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "support/flat_map.hpp"
+#include "support/min_load_tree.hpp"
+
+namespace eaao::support {
+namespace {
+
+TEST(SmallFlatMapProperty, MatchesStdMapOverRandomOps)
+{
+    sim::Rng rng(2024);
+    SmallFlatMap<std::uint32_t, std::uint64_t> flat;
+    std::map<std::uint32_t, std::uint64_t> model;
+
+    // A small key universe forces plenty of hits, overwrites and
+    // erase-then-reinsert slot churn.
+    constexpr std::uint32_t kKeys = 64;
+    for (int op = 0; op < 10'000; ++op) {
+        const auto key = static_cast<std::uint32_t>(rng.uniformInt(kKeys));
+        switch (rng.uniformInt(4)) {
+        case 0: { // default-insert / overwrite via operator[]
+            const std::uint64_t value = rng();
+            flat[key] = value;
+            model[key] = value;
+            break;
+        }
+        case 1: { // read-modify-write via operator[]
+            flat[key] += 1;
+            model[key] += 1;
+            break;
+        }
+        case 2: { // find
+            const auto fit = flat.find(key);
+            const auto mit = model.find(key);
+            ASSERT_EQ(fit == flat.end(), mit == model.end())
+                << "op " << op << " key " << key;
+            if (mit != model.end()) {
+                ASSERT_EQ(fit->second, mit->second);
+            }
+            break;
+        }
+        default: { // erase
+            ASSERT_EQ(flat.erase(key), model.erase(key) == 1)
+                << "op " << op << " key " << key;
+            break;
+        }
+        }
+        ASSERT_EQ(flat.size(), model.size());
+    }
+
+    // Final sweep: identical contents in identical (sorted) order.
+    auto mit = model.begin();
+    for (const auto &[key, value] : flat) {
+        ASSERT_NE(mit, model.end());
+        EXPECT_EQ(key, mit->first);
+        EXPECT_EQ(value, mit->second);
+        ++mit;
+    }
+    EXPECT_EQ(mit, model.end());
+}
+
+TEST(SmallFlatMapProperty, IterationStaysSorted)
+{
+    sim::Rng rng(7);
+    SmallFlatMap<std::uint64_t, int> flat;
+    for (int i = 0; i < 500; ++i)
+        flat[rng()] = i;
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const auto &[key, value] : flat) {
+        (void)value;
+        if (!first) {
+            EXPECT_LT(prev, key);
+        }
+        prev = key;
+        first = false;
+    }
+}
+
+/** Brute-force reference for MinLoadTree::minInPrefix. */
+template <typename Accept>
+std::optional<std::size_t>
+referenceMinInPrefix(const std::vector<std::uint32_t> &loads,
+                     std::size_t prefix, Accept &&accept)
+{
+    prefix = std::min(prefix, loads.size());
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < prefix; ++i) {
+        if (!accept(i))
+            continue;
+        if (!best || loads[i] < loads[*best])
+            best = i; // first position with strictly minimal load wins
+    }
+    return best;
+}
+
+TEST(MinLoadTreeProperty, MatchesBruteForceOverRandomOps)
+{
+    sim::Rng rng(5150);
+    constexpr std::size_t kPositions = 97; // non-power-of-two on purpose
+    std::vector<std::uint32_t> loads(kPositions);
+    for (std::uint32_t &l : loads)
+        l = static_cast<std::uint32_t>(rng.uniformInt(12));
+
+    MinLoadTree tree;
+    tree.assign(loads);
+    ASSERT_EQ(tree.size(), kPositions);
+
+    // Capacity predicate of the placement path: some positions are
+    // "full" and must be skipped even when they carry the minimum.
+    std::vector<bool> full(kPositions, false);
+
+    for (int op = 0; op < 10'000; ++op) {
+        switch (rng.uniformInt(3)) {
+        case 0: { // load update
+            const auto pos =
+                static_cast<std::size_t>(rng.uniformInt(kPositions));
+            const auto load =
+                static_cast<std::uint32_t>(rng.uniformInt(12));
+            loads[pos] = load;
+            tree.update(pos, load);
+            break;
+        }
+        case 1: { // flip a position's capacity
+            const auto pos =
+                static_cast<std::size_t>(rng.uniformInt(kPositions));
+            full[pos] = !full[pos];
+            break;
+        }
+        default: { // query a random prefix (incl. 0 and > size)
+            const auto prefix =
+                static_cast<std::size_t>(rng.uniformInt(kPositions + 10));
+            const auto accept = [&](std::size_t i) { return !full[i]; };
+            ASSERT_EQ(tree.minInPrefix(prefix, accept),
+                      referenceMinInPrefix(loads, prefix, accept))
+                << "op " << op << " prefix " << prefix;
+            break;
+        }
+        }
+    }
+}
+
+TEST(MinLoadTreeProperty, EmptyAndDegenerateCases)
+{
+    MinLoadTree tree;
+    const auto any = [](std::size_t) { return true; };
+    EXPECT_EQ(tree.minInPrefix(5, any), std::nullopt);
+
+    tree.assign({3});
+    EXPECT_EQ(tree.minInPrefix(0, any), std::nullopt);
+    EXPECT_EQ(tree.minInPrefix(1, any), std::optional<std::size_t>{0});
+    EXPECT_EQ(tree.minInPrefix(99, any), std::optional<std::size_t>{0});
+    const auto none = [](std::size_t) { return false; };
+    EXPECT_EQ(tree.minInPrefix(1, none), std::nullopt);
+
+    // Ties break toward the first position, matching the legacy scan.
+    tree.assign({5, 5, 5});
+    EXPECT_EQ(tree.minInPrefix(3, any), std::optional<std::size_t>{0});
+    const auto skip0 = [](std::size_t i) { return i != 0; };
+    EXPECT_EQ(tree.minInPrefix(3, skip0), std::optional<std::size_t>{1});
+}
+
+} // namespace
+} // namespace eaao::support

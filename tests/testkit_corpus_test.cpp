@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regression corpus replay: every committed replay file under
+ * tests/corpus/ must parse, carry no fault injection, hold every
+ * invariant oracle, and produce byte-identical logs across thread
+ * counts. New reproducers earned by the fuzzer are added to the corpus
+ * and automatically enforced here forever after.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "testkit/invariants.hpp"
+#include "testkit/scenario.hpp"
+
+#ifndef EAAO_CORPUS_DIR
+#error "EAAO_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace eaao::testkit {
+namespace {
+
+std::vector<std::filesystem::path>
+corpusFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(EAAO_CORPUS_DIR)) {
+        if (entry.path().extension() == ".scenario")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+Scenario
+load(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Scenario sc;
+    std::string error;
+    EXPECT_TRUE(Scenario::parse(buf.str(), sc, error))
+        << path << ": " << error;
+    return sc;
+}
+
+TEST(Corpus, HasCommittedScenarios)
+{
+    EXPECT_GE(corpusFiles().size(), 5u);
+}
+
+TEST(Corpus, EveryFileReplaysGreen)
+{
+    const std::vector<std::filesystem::path> files = corpusFiles();
+    ASSERT_FALSE(files.empty());
+    for (const std::filesystem::path &path : files) {
+        SCOPED_TRACE(path.filename().string());
+        const Scenario sc = load(path);
+        // Committed corpus files describe main-branch behaviour; a
+        // reproducer is only committed after its bug is fixed and its
+        // fault knob reset.
+        EXPECT_EQ(sc.fault, 0u);
+
+        InvariantOptions opts;
+        opts.threads = 8; // --threads 1 vs 8 byte-equality per issue spec
+        opts.thread_trials = 2;
+        const std::vector<Violation> violations = checkInvariants(sc, opts);
+        for (const Violation &v : violations)
+            ADD_FAILURE() << "[" << v.oracle << "] " << v.detail;
+    }
+}
+
+} // namespace
+} // namespace eaao::testkit

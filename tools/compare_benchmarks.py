@@ -160,7 +160,13 @@ def main():
             min_ratio = float(min_ratio)
         except ValueError:
             raise SystemExit(f"bad --assert-speedup spec: {spec}")
-        missing = [n for n in (slow, fast) if n not in cand]
+        # The gate compares two candidate records, but both names must
+        # exist in BOTH files: a record absent from the baseline means
+        # the benchmark was renamed or deleted and the gate would
+        # otherwise pass vacuously forever.
+        missing = [f"{n} ({src})"
+                   for src, table in (("baseline", base), ("candidate", cand))
+                   for n in (slow, fast) if n not in table]
         if missing:
             print(f"SPEEDUP: missing bench records: {', '.join(missing)}")
             failed = True

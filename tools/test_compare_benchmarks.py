@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/compare_benchmarks.py.
+
+Run directly (python3 tools/test_compare_benchmarks.py) or through
+ctest as `tools_compare_benchmarks`. Exercises both input formats and,
+in particular, the --assert-speedup missing-record rules: a bench name
+absent from EITHER file must be a hard failure, not a silent pass.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare_benchmarks  # noqa: E402
+
+
+def jsonl(records):
+    return "\n".join(json.dumps(r) for r in records) + "\n"
+
+
+def record(bench, wall_s, events=1000):
+    return {"bench": bench, "wall_s": wall_s, "events_processed": events}
+
+
+class CompareBenchmarksTest(unittest.TestCase):
+    def run_main(self, baseline_text, candidate_text, extra_args=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = os.path.join(tmp, "baseline.json")
+            cand = os.path.join(tmp, "candidate.json")
+            with open(base, "w") as f:
+                f.write(baseline_text)
+            with open(cand, "w") as f:
+                f.write(candidate_text)
+            argv = sys.argv
+            try:
+                sys.argv = ["compare_benchmarks.py", base, cand,
+                            *extra_args]
+                return compare_benchmarks.main()
+            finally:
+                sys.argv = argv
+
+    def test_identical_files_pass(self):
+        text = jsonl([record("a", 1.0), record("b", 2.0)])
+        self.assertEqual(self.run_main(text, text), 0)
+
+    def test_regression_fails(self):
+        base = jsonl([record("a", 1.0)])
+        cand = jsonl([record("a", 1.5)])
+        self.assertEqual(
+            self.run_main(base, cand, ["--max-regression", "0.07"]), 1)
+
+    def test_within_tolerance_passes(self):
+        base = jsonl([record("a", 1.0)])
+        cand = jsonl([record("a", 1.05)])
+        self.assertEqual(
+            self.run_main(base, cand, ["--max-regression", "0.07"]), 0)
+
+    def test_workload_drift_fails(self):
+        base = jsonl([record("a", 1.0, events=1000)])
+        cand = jsonl([record("a", 1.0, events=999)])
+        self.assertEqual(self.run_main(base, cand), 1)
+
+    def test_speedup_gate_passes(self):
+        text = jsonl([record("slow", 3.0), record("fast", 1.0)])
+        self.assertEqual(
+            self.run_main(text, text,
+                          ["--assert-speedup", "slow:fast:2.0"]), 0)
+
+    def test_speedup_gate_too_slow_fails(self):
+        text = jsonl([record("slow", 1.5), record("fast", 1.0)])
+        self.assertEqual(
+            self.run_main(text, text,
+                          ["--assert-speedup", "slow:fast:2.0"]), 1)
+
+    def test_speedup_name_missing_from_candidate_fails(self):
+        base = jsonl([record("slow", 3.0), record("fast", 1.0)])
+        cand = jsonl([record("slow", 3.0)])
+        self.assertEqual(
+            self.run_main(base, cand,
+                          ["--assert-speedup", "slow:fast:2.0"]), 1)
+
+    def test_speedup_name_missing_from_baseline_fails(self):
+        # The regression this file exists for: the gate compares two
+        # candidate records, but a name absent from the *baseline*
+        # (benchmark renamed or deleted) used to pass silently.
+        base = jsonl([record("fast", 1.0)])
+        cand = jsonl([record("slow", 3.0), record("fast", 1.0)])
+        self.assertEqual(
+            self.run_main(base, cand,
+                          ["--assert-speedup", "slow:fast:2.0"]), 1)
+
+    def test_speedup_name_missing_from_both_fails(self):
+        base = jsonl([record("fast", 1.0)])
+        cand = jsonl([record("fast", 1.0)])
+        self.assertEqual(
+            self.run_main(base, cand,
+                          ["--assert-speedup", "slow:fast:2.0"]), 1)
+
+    def test_no_common_benchmarks_fails(self):
+        base = jsonl([record("a", 1.0)])
+        cand = jsonl([record("b", 1.0)])
+        self.assertEqual(self.run_main(base, cand), 1)
+
+    def test_google_benchmark_format(self):
+        def gb(benchmarks):
+            return json.dumps({"benchmarks": benchmarks})
+
+        base = gb([{"name": "bm_x_median", "real_time": 100.0,
+                    "run_type": "aggregate"}])
+        cand_ok = gb([{"name": "bm_x_median", "real_time": 101.0,
+                       "run_type": "aggregate"}])
+        cand_bad = gb([{"name": "bm_x_median", "real_time": 200.0,
+                        "run_type": "aggregate"}])
+        self.assertEqual(self.run_main(base, cand_ok), 0)
+        self.assertEqual(self.run_main(base, cand_bad), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
