@@ -23,14 +23,26 @@
  * new-path record against the committed BENCH_BASELINE.json (the
  * workload-drift gate); see tools/compare_benchmarks.py and
  * docs/performance.md.
+ *
+ * `--sharded` instead drives ONE intra-trial-parallel campaign on the
+ * sharded platform (faas::ShardedPlatform, docs/sharding.md): a
+ * 100k-host fleet partitioned into 16 lanes, one pinned account per
+ * lane, each priming a pool and then absorbing a routing storm —
+ * 10M+ requests total by default (`--hosts` / `--requests` resize it).
+ * stdout and every total are byte-identical for any `--shards` /
+ * `--threads` grouping; CI byte-diffs shards {1,8} x threads {1,8} and
+ * gates the grouped wall clock against the single-group record
+ * (bench names `macro_campaign_sharded` vs `macro_campaign_sharded_s1`).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "channel/covert.hpp"
 #include "core/verify.hpp"
 #include "exp/trial_runner.hpp"
+#include "faas/sharded.hpp"
 #include "stats/summary.hpp"
 #include "support/bench_timer.hpp"
 #include "support/options.hpp"
@@ -128,18 +140,160 @@ runTrial(std::uint64_t seed, bool legacy)
     return m;
 }
 
+// ---- Sharded campaign (--sharded) ----
+
+constexpr std::uint32_t kShardedHosts = 100'000;
+constexpr std::uint64_t kShardedRequests = 10'400'000;
+constexpr std::uint32_t kShardedPool = 650;
+constexpr std::uint32_t kShardedPrimeRounds = 2;
+constexpr std::uint32_t kShardedPrimeLaunch = 300;
+
+/**
+ * One lane's script: prime a service hot, pin a concurrency-4 pool
+ * with multi-hour requests, then run the storm as a single RouteStorm
+ * op (requests are generated inside the window loop, so 10M+ of them
+ * never materialize as individual ops).
+ */
+void
+laneScript(std::vector<eaao::faas::ShardOp> &ops,
+           eaao::faas::ServiceId svc, std::uint64_t storm_requests)
+{
+    using namespace eaao;
+    using Kind = faas::ShardOp::Kind;
+
+    sim::SimTime t;
+    std::uint32_t step = 0;
+    const auto push = [&](Kind kind) -> faas::ShardOp & {
+        faas::ShardOp op;
+        op.kind = kind;
+        op.at = t;
+        op.step = step++;
+        op.service = svc;
+        ops.push_back(op);
+        return ops.back();
+    };
+
+    for (std::uint32_t round = 0; round < kShardedPrimeRounds; ++round) {
+        push(Kind::Connect).a = kShardedPrimeLaunch;
+        t = t + sim::Duration::minutes(1);
+        push(Kind::Disconnect);
+        t = t + sim::Duration::minutes(4);
+    }
+
+    push(Kind::SetConcurrency).a = kMaxConcurrency;
+    push(Kind::Connect).a = kShardedPool;
+    for (std::uint32_t p = 0; p < kShardedPool; ++p) {
+        faas::ShardOp &pin = push(Kind::Route);
+        pin.sub = p;
+        pin.dur = sim::Duration::hours(2);
+    }
+
+    faas::ShardOp &storm = push(Kind::RouteStorm);
+    storm.n = storm_requests;
+    storm.dur = sim::Duration::fromSecondsF(0.05);
+    storm.dur_step = sim::Duration::fromSecondsF(0.01);
+    storm.dur_mod = 7;
+    storm.gap_every = 16;
+    storm.gap = sim::Duration::fromSecondsF(0.02);
+    storm.spend_every = kSpendPollEvery;
+}
+
+eaao::faas::ShardedTotals
+runShardedCampaign(std::uint32_t shards, unsigned threads,
+                   std::uint32_t hosts, std::uint64_t requests)
+{
+    using namespace eaao;
+
+    faas::ShardedConfig cfg;
+    cfg.profile = faas::DataCenterProfile::usEast1();
+    cfg.profile.host_count = hosts;
+    cfg.seed = 4242;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    faas::ShardedPlatform platform(cfg);
+
+    const std::uint32_t lanes = platform.laneCount();
+    const std::uint64_t per_lane = requests / lanes;
+    std::vector<faas::ShardOp> ops;
+    sim::SimTime horizon;
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+        const auto acct = platform.createAccount(lane);
+        const auto svc =
+            platform.deployService(acct, faas::ExecEnv::Gen1);
+        laneScript(ops, svc, per_lane);
+        horizon = ops.back().at +
+                  sim::Duration::fromSecondsF(0.02) *
+                      static_cast<std::int64_t>(per_lane / 16) +
+                  sim::Duration::minutes(10);
+    }
+    platform.run(std::move(ops), horizon);
+    return platform.totals();
+}
+
+int
+shardedMain(int argc, char **argv)
+{
+    using namespace eaao;
+    const unsigned threads = support::threadsFromArgs(argc, argv);
+    std::uint32_t shards = 1;
+    std::uint32_t hosts = kShardedHosts;
+    std::uint64_t requests = kShardedRequests;
+    for (int i = 1; i < argc - 1; ++i) {
+        if (std::strcmp(argv[i], "--shards") == 0)
+            shards = static_cast<std::uint32_t>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+        else if (std::strcmp(argv[i], "--hosts") == 0)
+            hosts = static_cast<std::uint32_t>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+        else if (std::strcmp(argv[i], "--requests") == 0)
+            requests = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (shards == 0)
+        shards = 1;
+
+    // stdout depends only on (hosts, requests): the sharded platform's
+    // totals are grouping-invariant, so any --shards/--threads pair
+    // byte-matches — the property CI's determinism matrix diffs.
+    std::printf("=== macro_campaign --sharded: window-barrier lanes "
+                "(us-east1, %u hosts, %llu requests) ===\n\n",
+                hosts, static_cast<unsigned long long>(requests));
+
+    support::BenchTimer timer(shards > 1 ? "macro_campaign_sharded"
+                                         : "macro_campaign_sharded_s1",
+                              threads, /*seed=*/4242);
+    const faas::ShardedTotals t =
+        runShardedCampaign(shards, threads, hosts, requests);
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
+
+    std::printf("routed %llu requests across %u windows; created %llu "
+                "instances\n",
+                static_cast<unsigned long long>(t.routed), t.windows,
+                static_cast<unsigned long long>(t.instances));
+    std::printf("spend checksum %.2f USD; final spend %.2f USD\n",
+                t.spend_checksum, t.final_spend_usd);
+    std::printf("events scheduled=%llu processed=%llu cancelled=%llu "
+                "pending=%llu\n",
+                static_cast<unsigned long long>(t.events_scheduled),
+                static_cast<unsigned long long>(t.events_processed),
+                static_cast<unsigned long long>(t.events_cancelled),
+                static_cast<unsigned long long>(t.events_pending));
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace eaao;
-    const unsigned threads = support::threadsFromArgs(argc, argv);
     bool legacy = false;
     for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sharded") == 0)
+            return shardedMain(argc, argv);
         if (std::strcmp(argv[i], "--legacy") == 0)
             legacy = true;
     }
+    const unsigned threads = support::threadsFromArgs(argc, argv);
 
     std::printf("=== macro_campaign: placement/routing/verification "
                 "hot paths (us-east1, %zu trials) ===\n\n",

@@ -23,8 +23,7 @@ Orchestrator::Orchestrator(Fleet &fleet, sim::EventQueue &eq,
     : fleet_(fleet), eq_(eq), cfg_(cfg), profile_(profile),
       pricing_(pricing), rng_(rng), obs_(obs)
 {
-    host_vcpus_used_.assign(fleet_.size(), 0.0);
-    host_mem_used_gb_.assign(fleet_.size(), 0.0);
+    host_load_.assign(fleet_.size());
     acct_load_.resize(fleet_.size());
     svc_load_.resize(fleet_.size());
 
@@ -476,8 +475,7 @@ Orchestrator::createInstance(ServiceRecord &svc, std::uint32_t h)
     inst.active_seconds += startup;
     acct.spend_usd += startup * pricing_.usdPerActiveSecond(inst.size);
 
-    host_vcpus_used_[host] += inst.size.vcpus;
-    host_mem_used_gb_[host] += inst.size.memory_gb;
+    host_load_.add(host, inst.size.vcpus, inst.size.memory_gb);
     const std::uint32_t acct_on_host = ++acct_load_[host][inst.account];
     ++svc_load_[host][inst.service];
     ++acct.live_count;
@@ -781,8 +779,7 @@ Orchestrator::terminate(InstanceRecord &inst)
     // Callers handling Idle instances remove them from svc.idle.
 
     AccountRecord &acct = accounts_[inst.account];
-    host_vcpus_used_[inst.host] -= inst.size.vcpus;
-    host_mem_used_gb_[inst.host] -= inst.size.memory_gb;
+    host_load_.sub(inst.host, inst.size.vcpus, inst.size.memory_gb);
     auto &acct_loads = acct_load_[inst.host];
     const std::uint32_t acct_on_host = --acct_loads[inst.account];
     if (acct_on_host == 0)
@@ -860,8 +857,24 @@ Orchestrator::hasCapacity(hw::HostId host, const ContainerSize &size) const
                                 cfg_.host_usable_fraction;
     const double usable_mem_gb =
         machine.memoryGb() * cfg_.host_usable_memory_fraction;
-    return host_vcpus_used_[host] + size.vcpus <= usable_vcpus &&
-           host_mem_used_gb_[host] + size.memory_gb <= usable_mem_gb;
+    double used_vcpus = host_load_.vcpus(host);
+    double used_mem_gb = host_load_.memGb(host);
+    if (committed_load_ != nullptr) {
+        used_vcpus += committed_load_->vcpus(host);
+        used_mem_gb += committed_load_->memGb(host);
+    }
+    return used_vcpus + size.vcpus <= usable_vcpus &&
+           used_mem_gb + size.memory_gb <= usable_mem_gb;
+}
+
+void
+Orchestrator::attachCommittedLoad(const support::HostLoadSoA *committed)
+{
+    committed_load_ = committed;
+    // Switching modes resets the local table: in sharded mode it holds
+    // only the lane's not-yet-folded delta, with touch tracking on so
+    // the barrier can drain it.
+    host_load_.assign(fleet_.size(), committed != nullptr);
 }
 
 std::vector<hw::HostId>

@@ -37,6 +37,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "support/flat_map.hpp"
+#include "support/soa.hpp"
 
 namespace eaao::faas {
 
@@ -111,6 +112,12 @@ struct OrchestratorConfig
      * catch them. 0 = off; 1 = routing takes the most recently
      * activated spare instance instead of the least-loaded one;
      * 2 = cold placement's demand prefix is off by one.
+     *
+     * Modes 3 and 4 live in the *sharded* cross-lane exchange path
+     * (faas::ShardedPlatform; see docs/sharding.md): 3 = window
+     * barrier off by one at the boundary, 4 = dropped cross-lane
+     * capacity exchange. The orchestrator itself ignores them — the
+     * shard-equality oracle is the one that must catch them.
      */
     std::uint32_t fault_injection = 0;
 };
@@ -278,6 +285,18 @@ class Orchestrator
     /** Configuration in force. */
     const OrchestratorConfig &config() const { return cfg_; }
 
+    /**
+     * Sharded-lane mode: capacity checks read @p committed (the
+     * window-start snapshot shared by all lanes) *plus* this
+     * orchestrator's local table, which from now on holds only the
+     * lane's own not-yet-folded delta (touch tracking on). nullptr
+     * restores standalone mode. See docs/sharding.md.
+     */
+    void attachCommittedLoad(const support::HostLoadSoA *committed);
+
+    /** The local load table (the lane delta in sharded mode). */
+    support::HostLoadSoA &localLoad() { return host_load_; }
+
   private:
     /** Current hotness level of a service (0 = cold). */
     std::uint32_t hotness(const ServiceRecord &svc) const;
@@ -385,8 +404,13 @@ class Orchestrator
     std::vector<ServiceRecord> services_;
     std::vector<InstanceRecord> instances_;
 
-    std::vector<double> host_vcpus_used_;
-    std::vector<double> host_mem_used_gb_;
+    /**
+     * Per-host capacity in use, SoA columns (support::HostLoadSoA).
+     * Standalone: the whole truth. Sharded lane: the lane's delta
+     * since the last window barrier, read against committed_load_.
+     */
+    support::HostLoadSoA host_load_;
+    const support::HostLoadSoA *committed_load_ = nullptr;
     /**
      * Per-host instance count by account / by service (live
      * instances). Host-local cardinality is ~10 (Obs 1), so a sorted

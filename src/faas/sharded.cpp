@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Implementation of the sharded platform (see sharded.hpp and
+ * docs/sharding.md for the protocol).
+ */
+
+#include "faas/sharded.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace eaao::faas {
+
+namespace {
+
+std::string
+fmtUsd(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+/** One lane: a private event queue + orchestrator + log buffers. */
+struct ShardedPlatform::Lane
+{
+    explicit Lane(sim::SimTime epoch) : eq(epoch) {}
+
+    sim::EventQueue eq;
+    std::unique_ptr<Orchestrator> orch;
+    PlacementTrace trace;
+
+    std::vector<ShardOp> ops;
+    std::size_t next_op = 0;
+
+    // In-progress RouteStorm (may span several windows).
+    const ShardOp *storm = nullptr;
+    std::uint64_t storm_done = 0;
+    sim::SimTime storm_t;
+
+    std::vector<AccountId> accounts; //!< local ids, creation order
+    std::vector<ServiceId> services;
+    std::vector<InstanceId> created; //!< local ids, creation order
+    std::size_t trace_scanned = 0;   //!< created-list scan cursor
+
+    std::vector<std::string> routed;
+    std::vector<std::string> restarted;
+    std::vector<std::string> spend;
+    std::uint64_t routed_count = 0;
+    double spend_checksum = 0.0;
+};
+
+ShardedPlatform::ShardedPlatform(const ShardedConfig &cfg,
+                                 obs::TrialSet *obs_set)
+    : cfg_(cfg), final_now_(cfg.epoch)
+{
+    EAAO_ASSERT(cfg_.window.ns() > 0, "window must be positive");
+    sim::Rng root(cfg_.seed);
+    sim::Rng fleet_rng = root.fork(0x464c4545ULL); // "FLEE"
+    fleet_ = std::make_unique<Fleet>(cfg_.profile, cfg_.tsc, cfg_.timing,
+                                     cfg_.epoch, fleet_rng);
+    committed_.assign(fleet_->size());
+
+    const std::uint32_t lanes = std::min<std::uint32_t>(
+        std::max(1u, cfg_.max_lanes), fleet_->shardCount());
+    if (obs_set != nullptr)
+        obs_set->prepare(lanes);
+    lanes_.reserve(lanes);
+    for (std::uint32_t i = 0; i < lanes; ++i) {
+        auto lane = std::make_unique<Lane>(cfg_.epoch);
+        // Per-lane root stream, forked by the *fixed* lane index: the
+        // draw sequence is a lane property, never a grouping property.
+        lane->orch = std::make_unique<Orchestrator>(
+            *fleet_, lane->eq, cfg_.orchestrator, cfg_.profile,
+            cfg_.pricing, root.fork(0x53480000ULL + i), // "SH" + lane
+            obs_set != nullptr ? obs_set->observer(i) : obs::Observer{});
+        lane->orch->attachCommittedLoad(&committed_);
+        lane->orch->attachTrace(&lane->trace);
+        lanes_.push_back(std::move(lane));
+    }
+}
+
+ShardedPlatform::~ShardedPlatform() = default;
+
+AccountId
+ShardedPlatform::createAccount(std::optional<std::uint32_t> shard,
+                               std::uint32_t quota_per_service)
+{
+    const auto global = static_cast<AccountId>(acct_map_.size());
+    // Default home shard: the standalone orchestrator's hash, keyed on
+    // the GLOBAL id (lane-local creation order must not leak in).
+    const std::uint32_t home =
+        shard ? *shard
+              : static_cast<std::uint32_t>(
+                    sim::mix64(global * 0x9e3779b97f4a7c15ULL + 17) %
+                    fleet_->shardCount());
+    EAAO_ASSERT(home < fleet_->shardCount(), "bad shard ", home);
+    const std::uint32_t lane = home % laneCount();
+    const AccountId local =
+        lanes_[lane]->orch->createAccount(home, quota_per_service);
+    lanes_[lane]->accounts.push_back(local);
+    acct_map_.emplace_back(lane, local);
+    return global;
+}
+
+ServiceId
+ShardedPlatform::deployService(AccountId account, ExecEnv env,
+                               ContainerSize size)
+{
+    EAAO_ASSERT(account < acct_map_.size(), "bad account ", account);
+    const auto [lane, local_acct] = acct_map_[account];
+    const ServiceId local =
+        lanes_[lane]->orch->deployService(local_acct, env, size);
+    lanes_[lane]->services.push_back(local);
+    svc_map_.emplace_back(lane, local);
+    return static_cast<ServiceId>(svc_map_.size() - 1);
+}
+
+std::uint32_t
+ShardedPlatform::laneOfAccount(AccountId account) const
+{
+    EAAO_ASSERT(account < acct_map_.size(), "bad account ", account);
+    return acct_map_[account].first;
+}
+
+std::uint32_t
+ShardedPlatform::laneOfService(ServiceId service) const
+{
+    EAAO_ASSERT(service < svc_map_.size(), "bad service ", service);
+    return svc_map_[service].first;
+}
+
+const Orchestrator &
+ShardedPlatform::laneOrchestrator(std::uint32_t lane) const
+{
+    EAAO_ASSERT(lane < lanes_.size(), "bad lane ", lane);
+    return *lanes_[lane]->orch;
+}
+
+std::uint32_t
+ShardedPlatform::groupCount() const
+{
+    return std::min<std::uint32_t>(std::max(1u, cfg_.shards), laneCount());
+}
+
+std::uint32_t
+ShardedPlatform::groupLocalIndex(std::uint32_t lane) const
+{
+    // Contiguous partition: the first `rem` groups get `base + 1`
+    // lanes, the rest `base`.
+    const std::uint32_t groups = groupCount();
+    const std::uint32_t base = laneCount() / groups;
+    const std::uint32_t rem = laneCount() % groups;
+    const std::uint32_t big = rem * (base + 1);
+    if (lane < big)
+        return lane % (base + 1);
+    return (lane - big) % base;
+}
+
+bool
+ShardedPlatform::allOpsConsumed() const
+{
+    for (const auto &lane : lanes_) {
+        if (lane->next_op < lane->ops.size() || lane->storm != nullptr)
+            return false;
+    }
+    return true;
+}
+
+void
+ShardedPlatform::run(std::vector<ShardOp> ops, sim::SimTime horizon)
+{
+    // Partition the script onto lanes, preserving the script order
+    // (which must be time-sorted) per lane.
+    for (const ShardOp &op : ops) {
+        std::uint32_t lane = 0;
+        switch (op.kind) {
+        case ShardOp::Kind::SetQuota:
+        case ShardOp::Kind::Restart:
+        case ShardOp::Kind::SpendProbe:
+            lane = laneOfAccount(op.account);
+            break;
+        default:
+            lane = laneOfService(op.service);
+            break;
+        }
+        Lane &l = *lanes_[lane];
+        EAAO_ASSERT(l.ops.empty() || l.ops.back().at <= op.at,
+                    "ops not time-sorted on lane ", lane);
+        l.ops.push_back(op);
+    }
+
+    const std::uint32_t groups = groupCount();
+    if (cfg_.threads > 1 && groups > 1 && pool_ == nullptr) {
+        pool_ = std::make_unique<exp::ThreadPool>(
+            std::min<unsigned>(cfg_.threads, groups));
+    }
+
+    sim::SimTime wend = cfg_.epoch + cfg_.window;
+    while (true) {
+        runWindow(wend);
+        foldBarrier(windows_run_);
+        ++windows_run_;
+        final_now_ = wend;
+        if (wend >= horizon && allOpsConsumed())
+            break;
+        wend = wend + cfg_.window;
+    }
+}
+
+void
+ShardedPlatform::runWindow(sim::SimTime wend)
+{
+    const std::uint32_t groups = groupCount();
+    const std::uint32_t base = laneCount() / groups;
+    const std::uint32_t rem = laneCount() % groups;
+    const bool fault3 = cfg_.orchestrator.fault_injection == 3;
+
+    std::uint32_t start = 0;
+    for (std::uint32_t g = 0; g < groups; ++g) {
+        const std::uint32_t size = base + (g < rem ? 1u : 0u);
+        const auto body = [this, start, size, wend, fault3] {
+            for (std::uint32_t i = 0; i < size; ++i) {
+                // Fault 3 (mutation self-test): every non-leading lane
+                // of a group stops one millisecond short of the
+                // barrier, so its boundary activity folds one window
+                // late — a grouping-dependent bug the shard-equality
+                // oracle must catch via the exchange digest.
+                const sim::SimTime stop =
+                    fault3 && i != 0 ? wend - sim::Duration::millis(1)
+                                     : wend;
+                laneRunWindow(*lanes_[start + i], stop);
+            }
+        };
+        if (pool_ != nullptr)
+            pool_->submit(body);
+        else
+            body();
+        start += size;
+    }
+    if (pool_ != nullptr)
+        pool_->wait();
+}
+
+void
+ShardedPlatform::laneRunWindow(Lane &lane, sim::SimTime stop)
+{
+    while (true) {
+        if (lane.storm != nullptr && !runStorm(lane, stop))
+            return; // storm paused at the window boundary
+        if (lane.next_op >= lane.ops.size())
+            break;
+        const ShardOp &op = lane.ops[lane.next_op];
+        if (op.at > stop)
+            break;
+        lane.eq.runUntil(op.at);
+        applyOp(lane, op);
+        ++lane.next_op;
+    }
+    lane.eq.runUntil(stop);
+}
+
+bool
+ShardedPlatform::runStorm(Lane &lane, sim::SimTime stop)
+{
+    const ShardOp &op = *lane.storm;
+    const auto [svc_lane, local_svc] = svc_map_[op.service];
+    const auto [acct_lane, local_acct] = acct_map_[op.account];
+    while (lane.storm_done < op.n) {
+        if (lane.storm_t > stop)
+            return false;
+        lane.eq.runUntil(lane.storm_t);
+        const sim::Duration service_time =
+            op.dur + op.dur_step * static_cast<std::int64_t>(
+                         lane.storm_done % std::max(1u, op.dur_mod));
+        lane.orch->routeRequest(local_svc, service_time);
+        ++lane.routed_count;
+        if (op.spend_every != 0 && lane.storm_done % op.spend_every == 0)
+            lane.spend_checksum += lane.orch->accountSpendUsd(local_acct);
+        ++lane.storm_done;
+        if (op.gap_every != 0 && lane.storm_done % op.gap_every == 0)
+            lane.storm_t = lane.storm_t + op.gap;
+    }
+    lane.storm = nullptr;
+    lane.storm_done = 0;
+    return true;
+}
+
+void
+ShardedPlatform::noteCreated(Lane &lane)
+{
+    const auto &events = lane.trace.events();
+    for (; lane.trace_scanned < events.size(); ++lane.trace_scanned) {
+        if (events[lane.trace_scanned].reason != PlacementReason::Reuse)
+            lane.created.push_back(events[lane.trace_scanned].instance);
+    }
+}
+
+void
+ShardedPlatform::applyOp(Lane &lane, const ShardOp &op)
+{
+    const auto label = [&op] {
+        std::ostringstream out;
+        out << "step=" << op.step;
+        if (op.sub != ~0u)
+            out << "." << op.sub;
+        return out.str();
+    };
+
+    switch (op.kind) {
+    case ShardOp::Kind::Connect:
+        lane.orch->scaleOut(svc_map_[op.service].second,
+                            op.a == 0 ? 1 : op.a);
+        break;
+    case ShardOp::Kind::Disconnect:
+        lane.orch->disconnectAll(svc_map_[op.service].second);
+        break;
+    case ShardOp::Kind::Route: {
+        const InstanceId inst =
+            lane.orch->routeRequest(svc_map_[op.service].second, op.dur);
+        ++lane.routed_count;
+        std::ostringstream line;
+        line << label() << " inst=" << inst
+             << " host=" << lane.orch->instance(inst).host;
+        lane.routed.push_back(line.str());
+        break;
+    }
+    case ShardOp::Kind::RouteStorm:
+        lane.storm = &op;
+        lane.storm_done = 0;
+        lane.storm_t = op.at;
+        break;
+    case ShardOp::Kind::SetConcurrency:
+        lane.orch->setMaxConcurrency(svc_map_[op.service].second,
+                                     op.a == 0 ? 1 : op.a);
+        break;
+    case ShardOp::Kind::SetQuota:
+        lane.orch->setAccountQuota(acct_map_[op.account].second,
+                                   op.a == 0 ? 1 : op.a);
+        break;
+    case ShardOp::Kind::Redeploy:
+        lane.orch->redeployService(svc_map_[op.service].second);
+        break;
+    case ShardOp::Kind::Restart: {
+        noteCreated(lane);
+        if (lane.created.empty())
+            break;
+        const InstanceId victim = lane.created[op.a % lane.created.size()];
+        if (lane.orch->instance(victim).state ==
+            InstanceState::Terminated)
+            break;
+        const InstanceId repl = lane.orch->restartInstance(victim);
+        std::ostringstream line;
+        line << label() << " old=" << victim << " new=" << repl;
+        lane.restarted.push_back(line.str());
+        break;
+    }
+    case ShardOp::Kind::SpendProbe: {
+        std::ostringstream line;
+        line << label() << " acct=" << op.account << " usd="
+             << fmtUsd(lane.orch->accountSpendUsd(
+                    acct_map_[op.account].second));
+        lane.spend.push_back(line.str());
+        break;
+    }
+    }
+}
+
+void
+ShardedPlatform::foldBarrier(std::uint32_t window_index)
+{
+    const bool fault4 = cfg_.orchestrator.fault_injection == 4;
+    support::HostLoadFold total;
+    std::uint32_t folded_lanes = 0;
+    for (std::uint32_t i = 0; i < laneCount(); ++i) {
+        support::HostLoadSoA &delta = lanes_[i]->orch->localLoad();
+        // Fault 4 (mutation self-test): non-leading lanes of a group
+        // lose their exchange — the cross-lane capacity message is
+        // dropped on the floor. Grouping-dependent by construction.
+        if (fault4 && groupLocalIndex(i) != 0) {
+            delta.drain(nullptr);
+            continue;
+        }
+        const support::HostLoadFold fold = delta.drain(&committed_);
+        if (fold.hosts != 0) {
+            ++folded_lanes;
+            total.hosts += fold.hosts;
+            total.vcpus += fold.vcpus;
+            total.mem_gb += fold.mem_gb;
+        }
+    }
+    if (folded_lanes != 0) {
+        std::ostringstream line;
+        line << "window=" << window_index << " lanes=" << folded_lanes
+             << " hosts=" << total.hosts << " vcpus=" << fmtUsd(total.vcpus)
+             << " mem=" << fmtUsd(total.mem_gb);
+        exchange_log_.push_back(line.str());
+    }
+}
+
+std::string
+ShardedPlatform::renderLog() const
+{
+    std::ostringstream out;
+    out << "sharded lanes=" << laneCount()
+        << " window_ns=" << cfg_.window.ns() << " windows=" << windows_run_
+        << "\n";
+    for (std::uint32_t i = 0; i < laneCount(); ++i) {
+        const Lane &lane = *lanes_[i];
+        out << "lane " << i << "\n";
+        out << "trace " << lane.trace.events().size() << "\n";
+        for (const PlacementEvent &e : lane.trace.events()) {
+            out << "  t=" << e.when.ns() << " inst=" << e.instance
+                << " svc=" << e.service << " acct=" << e.account
+                << " host=" << e.host << " why=" << toString(e.reason)
+                << "\n";
+        }
+        out << "routed " << lane.routed.size() << "\n";
+        for (const std::string &line : lane.routed)
+            out << "  " << line << "\n";
+        out << "restarted " << lane.restarted.size() << "\n";
+        for (const std::string &line : lane.restarted)
+            out << "  " << line << "\n";
+        out << "spend " << lane.spend.size() << "\n";
+        for (const std::string &line : lane.spend)
+            out << "  " << line << "\n";
+        out << "final_spend";
+        for (const AccountId local : lane.accounts)
+            out << " " << fmtUsd(lane.orch->accountSpendUsd(local));
+        out << "\n";
+        out << "routed_count " << lane.routed_count << "\n";
+        out << "spend_checksum " << fmtUsd(lane.spend_checksum) << "\n";
+        out << "instances " << lane.orch->instanceCount() << "\n";
+        out << "events scheduled=" << lane.eq.scheduled()
+            << " processed=" << lane.eq.processed()
+            << " cancelled=" << lane.eq.cancelled()
+            << " pending=" << lane.eq.pending() << "\n";
+    }
+    out << "exchange " << exchange_log_.size() << "\n";
+    for (const std::string &line : exchange_log_)
+        out << "  " << line << "\n";
+    return out.str();
+}
+
+ShardedTotals
+ShardedPlatform::totals() const
+{
+    ShardedTotals t;
+    t.windows = windows_run_;
+    for (const auto &lane : lanes_) {
+        t.routed += lane->routed_count;
+        t.instances += lane->orch->instanceCount();
+        t.spend_checksum += lane->spend_checksum;
+        t.events_scheduled += lane->eq.scheduled();
+        t.events_processed += lane->eq.processed();
+        t.events_cancelled += lane->eq.cancelled();
+        t.events_pending += lane->eq.pending();
+    }
+    for (const auto &[lane, local] : acct_map_)
+        t.final_spend_usd += lanes_[lane]->orch->accountSpendUsd(local);
+    return t;
+}
+
+} // namespace eaao::faas

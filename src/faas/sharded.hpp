@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Deterministic intra-trial parallelism: the sharded platform.
+ *
+ * One trial is partitioned into *lanes* at datacenter-shard
+ * granularity: lane count is a fixed platform property
+ * (min(max_lanes, fleet shard count)), every account lives on the
+ * lane of its home shard (home-shard % lanes), and each lane owns a
+ * private event queue, orchestrator, placement trace and log buffers.
+ * The only coupling between lanes is host capacity, which is
+ * exchanged through a conservative virtual-time window protocol:
+ *
+ *  1. All lanes advance independently to the next window barrier
+ *     (window length defaults to a demand-window/reap-window
+ *     divisor), reading host capacity as `committed + own delta`.
+ *  2. At the barrier, every lane's capacity delta is folded into the
+ *     shared committed table in canonical lane order, and a fold
+ *     digest line is appended to the exchange log.
+ *
+ * The `shards` and `threads` knobs only choose how the *fixed* lanes
+ * are grouped onto pool workers (contiguous lane ranges, serial
+ * within a group, groups in parallel); no decision anywhere depends
+ * on the grouping, so the canonical log — and any metrics or traces
+ * recorded per lane — is byte-identical for every (shards, threads)
+ * combination. testkit's shard-equality oracle enforces exactly this.
+ *
+ * See docs/sharding.md for the protocol, the SoA capacity ledger, and
+ * the planted fault modes (OrchestratorConfig::fault_injection 3/4).
+ */
+
+#ifndef EAAO_FAAS_SHARDED_HPP
+#define EAAO_FAAS_SHARDED_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+#include "faas/fleet.hpp"
+#include "faas/orchestrator.hpp"
+#include "faas/trace.hpp"
+#include "obs/export.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "support/soa.hpp"
+
+namespace eaao::faas {
+
+/**
+ * One timestamped operation against the sharded platform. The driver
+ * (testkit runner or bench) compiles its script into a flat op list;
+ * ShardedPlatform::run() partitions the ops onto lanes and interleaves
+ * them with event processing inside the window loop.
+ */
+struct ShardOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Connect,        //!< scaleOut(service, a)
+        Disconnect,     //!< disconnectAll(service)
+        Route,          //!< one routed request (logged with its host)
+        RouteStorm,     //!< n unlogged requests (counted + spend checksum)
+        SetConcurrency, //!< setMaxConcurrency(service, a)
+        SetQuota,       //!< setAccountQuota(account, a)
+        Redeploy,       //!< redeployService(service)
+        Restart,        //!< restart pick a of the lane's created list
+        SpendProbe,     //!< log account spend
+    };
+
+    Kind kind = Kind::Connect;
+    sim::SimTime at;
+
+    std::uint32_t step = 0; //!< canonical log label
+    std::uint32_t sub = ~0u; //!< sub-label (burst index); ~0u = none
+
+    ServiceId service = 0;  //!< global service id (service-directed kinds)
+    AccountId account = 0;  //!< global account id (SetQuota/SpendProbe/Restart)
+    std::uint32_t a = 0;    //!< payload: connect n / concurrency / quota / pick
+    sim::Duration dur;      //!< route service time; storm base service time
+
+    // RouteStorm shape: request r runs for dur + dur_step * (r % dur_mod),
+    // arrivals advance by `gap` after every `gap_every` requests, and the
+    // account's spend is folded into the lane checksum every `spend_every`.
+    std::uint64_t n = 0;
+    std::uint32_t gap_every = 0;
+    sim::Duration gap;
+    sim::Duration dur_step;
+    std::uint32_t dur_mod = 1;
+    std::uint32_t spend_every = 0;
+};
+
+/** Configuration of a sharded trial. */
+struct ShardedConfig
+{
+    DataCenterProfile profile = DataCenterProfile::usEast1();
+    OrchestratorConfig orchestrator;
+    hw::TscConfig tsc;
+    hw::TimingNoiseConfig timing;
+    PricingModel pricing;
+    std::uint64_t seed = 1;
+    sim::SimTime epoch;
+
+    /** Window barrier period (a demand/reap-window divisor). */
+    sim::Duration window = sim::Duration::seconds(30);
+
+    /** Lane cap; lanes = min(max_lanes, fleet shard count). */
+    std::uint32_t max_lanes = 16;
+
+    /** Worker groups the fixed lanes are folded onto (the knob under
+     *  test: output must not depend on it). */
+    std::uint32_t shards = 1;
+
+    /** Pool threads driving the groups (also output-invariant). */
+    unsigned threads = 1;
+};
+
+/** Aggregates for bench output (all derived in lane order). */
+struct ShardedTotals
+{
+    std::uint64_t routed = 0;       //!< requests routed (Route + storms)
+    std::uint64_t instances = 0;    //!< instances ever created
+    double spend_checksum = 0.0;    //!< storm spend-poll checksum
+    double final_spend_usd = 0.0;   //!< all accounts, at the final barrier
+    std::uint64_t events_scheduled = 0;
+    std::uint64_t events_processed = 0;
+    std::uint64_t events_cancelled = 0;
+    std::uint64_t events_pending = 0;
+    std::uint32_t windows = 0;      //!< barriers executed
+};
+
+/**
+ * The sharded platform: a fixed lane partition of one datacenter
+ * trial with window-barrier capacity exchange. Create accounts and
+ * services up front, then run() one op script to completion.
+ */
+class ShardedPlatform
+{
+  public:
+    explicit ShardedPlatform(const ShardedConfig &cfg,
+                             obs::TrialSet *obs_set = nullptr);
+    ~ShardedPlatform();
+
+    ShardedPlatform(const ShardedPlatform &) = delete;
+    ShardedPlatform &operator=(const ShardedPlatform &) = delete;
+
+    /** Fixed lane count (independent of shards/threads). */
+    std::uint32_t laneCount() const
+    {
+        return static_cast<std::uint32_t>(lanes_.size());
+    }
+
+    const Fleet &fleet() const { return *fleet_; }
+
+    /**
+     * Register an account. The home shard defaults to the same hash
+     * of the (global) account id the standalone orchestrator uses, so
+     * unpinned accounts land on partition-invariant lanes.
+     */
+    AccountId createAccount(std::optional<std::uint32_t> shard = {},
+                            std::uint32_t quota_per_service = 1000);
+
+    ServiceId deployService(AccountId account, ExecEnv env,
+                            ContainerSize size = sizes::kSmall);
+
+    std::uint32_t laneOfAccount(AccountId account) const;
+    std::uint32_t laneOfService(ServiceId service) const;
+
+    /**
+     * Execute @p ops (timestamps non-decreasing per lane) through the
+     * window loop, running barriers until at least @p horizon and
+     * every op has been applied. Events scheduled beyond the last
+     * barrier stay pending (they are counted, not lost).
+     */
+    void run(std::vector<ShardOp> ops, sim::SimTime horizon);
+
+    /**
+     * Canonical text log: per-lane traces, routed/restart/spend lines,
+     * final spends and event counters in lane order, then the window
+     * exchange digest. Byte-identical across (shards, threads) — the
+     * unit the shard-equality oracle compares.
+     */
+    std::string renderLog() const;
+
+    ShardedTotals totals() const;
+
+    /** The shared committed capacity table (tests: conservation). */
+    const support::HostLoadSoA &committedLoad() const { return committed_; }
+
+    /** A lane's orchestrator (tests: account/instance inspection). */
+    const Orchestrator &laneOrchestrator(std::uint32_t lane) const;
+
+  private:
+    struct Lane;
+
+    std::uint32_t groupCount() const;
+    std::uint32_t groupLocalIndex(std::uint32_t lane) const;
+    void runWindow(sim::SimTime wend);
+    void laneRunWindow(Lane &lane, sim::SimTime stop);
+    bool runStorm(Lane &lane, sim::SimTime stop);
+    void applyOp(Lane &lane, const ShardOp &op);
+    void foldBarrier(std::uint32_t window_index);
+    void noteCreated(Lane &lane);
+    bool allOpsConsumed() const;
+
+    ShardedConfig cfg_;
+    std::unique_ptr<Fleet> fleet_;
+    support::HostLoadSoA committed_; //!< window-start capacity snapshot
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    std::unique_ptr<exp::ThreadPool> pool_;
+
+    /** Global id -> (lane, lane-local id). */
+    std::vector<std::pair<std::uint32_t, AccountId>> acct_map_;
+    std::vector<std::pair<std::uint32_t, ServiceId>> svc_map_;
+
+    std::vector<std::string> exchange_log_; //!< window fold digests
+    std::uint32_t windows_run_ = 0;
+    sim::SimTime final_now_;
+};
+
+} // namespace eaao::faas
+
+#endif // EAAO_FAAS_SHARDED_HPP

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Struct-of-arrays host-load table with optional touch tracking.
+ *
+ * The orchestrator's per-host capacity bookkeeping (vcpus and memory
+ * in use) lives here as two parallel dense columns instead of an
+ * array of structs: the placement scans read one column at a time, so
+ * the SoA layout halves the bytes those scans pull through the cache
+ * and lets the compiler vectorize them.
+ *
+ * With touch tracking enabled the table doubles as a *delta ledger*
+ * for the sharded platform (docs/sharding.md): each lane accumulates
+ * its capacity changes locally during a window, and the barrier drains
+ * every lane's delta into the shared committed table in canonical lane
+ * order. Touch order is deterministic (it is the lane's own execution
+ * order), so the fold — including the floating-point sums reported in
+ * the exchange digest — is reproducible bit-for-bit.
+ */
+
+#ifndef EAAO_SUPPORT_SOA_HPP
+#define EAAO_SUPPORT_SOA_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace eaao::support {
+
+/** Summary of one drained delta (for the window exchange digest). */
+struct HostLoadFold
+{
+    std::size_t hosts = 0;  //!< distinct hosts folded
+    double vcpus = 0.0;     //!< signed vcpu delta, summed in touch order
+    double mem_gb = 0.0;    //!< signed memory delta, summed in touch order
+};
+
+/**
+ * Dense per-host load columns (vcpus, memory) with O(1) add/sub and
+ * an optional touched-host list for delta draining.
+ */
+class HostLoadSoA
+{
+  public:
+    /**
+     * Size for @p hosts entries, zeroed. @p track_touched records the
+     * set of hosts mutated since the last drain() (delta-ledger mode).
+     */
+    void
+    assign(std::size_t hosts, bool track_touched = false)
+    {
+        vcpus_.assign(hosts, 0.0);
+        mem_gb_.assign(hosts, 0.0);
+        track_ = track_touched;
+        dirty_.assign(track_ ? hosts : 0, 0);
+        touched_.clear();
+    }
+
+    std::size_t size() const { return vcpus_.size(); }
+
+    void
+    add(std::uint32_t host, double vcpus, double mem_gb)
+    {
+        vcpus_[host] += vcpus;
+        mem_gb_[host] += mem_gb;
+        touch(host);
+    }
+
+    void
+    sub(std::uint32_t host, double vcpus, double mem_gb)
+    {
+        vcpus_[host] -= vcpus;
+        mem_gb_[host] -= mem_gb;
+        touch(host);
+    }
+
+    double vcpus(std::uint32_t host) const { return vcpus_[host]; }
+    double memGb(std::uint32_t host) const { return mem_gb_[host]; }
+
+    bool tracking() const { return track_; }
+
+    /** Hosts mutated since the last drain, in first-touch order. */
+    const std::vector<std::uint32_t> &touched() const { return touched_; }
+
+    /**
+     * Drain this delta into @p into (nullptr discards it — the
+     * dropped-exchange fault path), zeroing the touched entries and
+     * the touch list. Entries fold in first-touch order; each host
+     * folds exactly once, so cross-host order only affects the digest
+     * sums, which touch order keeps deterministic. Requires tracking.
+     */
+    HostLoadFold
+    drain(HostLoadSoA *into)
+    {
+        EAAO_ASSERT(track_, "drain() on an untracked HostLoadSoA");
+        HostLoadFold fold;
+        for (const std::uint32_t host : touched_) {
+            fold.vcpus += vcpus_[host];
+            fold.mem_gb += mem_gb_[host];
+            if (into != nullptr) {
+                into->vcpus_[host] += vcpus_[host];
+                into->mem_gb_[host] += mem_gb_[host];
+                into->touch(host);
+            }
+            vcpus_[host] = 0.0;
+            mem_gb_[host] = 0.0;
+            dirty_[host] = 0;
+        }
+        fold.hosts = touched_.size();
+        touched_.clear();
+        return fold;
+    }
+
+  private:
+    void
+    touch(std::uint32_t host)
+    {
+        if (!track_ || dirty_[host] != 0)
+            return;
+        dirty_[host] = 1;
+        touched_.push_back(host);
+    }
+
+    std::vector<double> vcpus_;
+    std::vector<double> mem_gb_;
+    std::vector<std::uint8_t> dirty_; //!< empty unless tracking
+    std::vector<std::uint32_t> touched_;
+    bool track_ = false;
+};
+
+} // namespace eaao::support
+
+#endif // EAAO_SUPPORT_SOA_HPP

@@ -170,6 +170,86 @@ checkEvents(const ScenarioLog &log, std::vector<Violation> &out)
         out.push_back({"events", "probe queue did not drain"});
 }
 
+/**
+ * Shard-count byte-equality: one sharded execution per (shards,
+ * threads) arm, all compared — log, merged metrics, Chrome trace —
+ * against the (1, 1) baseline. Lane count is a fixed platform
+ * property, so every arm runs the same lanes; only the grouping onto
+ * workers differs, and nothing may depend on it.
+ */
+void
+checkShards(const Scenario &sc, const InvariantOptions &opts,
+            std::vector<Violation> &out)
+{
+    struct Arm
+    {
+        std::uint32_t shards;
+        unsigned threads;
+    };
+    const Arm arms[] = {
+        {1, 1},
+        {2, 1},
+        {opts.shard_arm, 1},
+        {2, opts.threads},
+        {opts.shard_arm, opts.threads},
+    };
+
+    const auto mergedMetrics = [](obs::TrialSet &set) {
+        std::vector<obs::MetricsRegistry> parts;
+        parts.reserve(set.slots().size());
+        for (obs::TrialObs &slot : set.slots())
+            parts.push_back(slot.metrics);
+        return obs::mergeRegistries(parts).toJson();
+    };
+    const auto traceJson = [](const obs::TrialSet &set) {
+        std::vector<const obs::TraceSink *> sinks;
+        sinks.reserve(set.slots().size());
+        for (const obs::TrialObs &slot : set.slots())
+            sinks.push_back(&slot.trace);
+        return obs::toChromeTraceJson(sinks);
+    };
+
+    std::string base_log;
+    std::string base_metrics;
+    std::string base_trace;
+    for (std::size_t i = 0; i < std::size(arms); ++i) {
+        obs::TrialSet set(true);
+        ShardedRunOptions ro;
+        ro.shards = arms[i].shards;
+        ro.threads = arms[i].threads;
+        ro.obs = &set;
+        const std::string log = runScenarioSharded(sc, ro);
+        const std::string metrics = mergedMetrics(set);
+        const std::string trace = traceJson(set);
+        if (i == 0) {
+            base_log = log;
+            base_metrics = metrics;
+            base_trace = trace;
+            continue;
+        }
+        const auto report = [&](const char *what, const std::string &a,
+                                const std::string &b) {
+            std::ostringstream detail;
+            detail << "shards=" << arms[i].shards
+                   << " threads=" << arms[i].threads << " " << what << ": "
+                   << firstDiff(a, b);
+            out.push_back({"shards", detail.str()});
+        };
+        if (log != base_log) {
+            report("log", base_log, log);
+            return;
+        }
+        if (metrics != base_metrics) {
+            report("merged metrics", base_metrics, metrics);
+            return;
+        }
+        if (trace != base_trace) {
+            report("chrome trace", base_trace, trace);
+            return;
+        }
+    }
+}
+
 /** Platform config oracle E uses: scenario shape, fresh tenant. */
 faas::PlatformConfig
 verifyPlatformConfig(const Scenario &sc)
@@ -263,6 +343,8 @@ checkInvariants(const Scenario &scenario, const InvariantOptions &opts)
         checkObs(scenario, indexed_log, out);
     if (opts.check_threads)
         checkThreads(scenario, opts, out);
+    if (opts.check_shards)
+        checkShards(scenario, opts, out);
     if (opts.check_verify)
         checkVerify(scenario, out);
     return out;

@@ -18,6 +18,12 @@
  *    handles after slot reuse.
  *  - verify: core::verifyScalable's clustering is invariant under a
  *    permutation of the participating instances.
+ *  - shards: the sharded platform (faas::ShardedPlatform) must render
+ *    byte-identical canonical logs, merged metrics JSON, and Chrome
+ *    trace JSON for every (shards, threads) grouping of its fixed
+ *    lanes — shards in {1, 2, shard_arm} crossed with threads in
+ *    {1, N}. This is the oracle that catches the cross-lane window
+ *    protocol's planted faults (fault_injection 3/4).
  */
 
 #ifndef EAAO_TESTKIT_INVARIANTS_HPP
@@ -33,7 +39,8 @@ namespace eaao::testkit {
 /** One oracle failure. */
 struct Violation
 {
-    std::string oracle; //!< "reference", "threads", "obs", "events", "verify"
+    std::string oracle; //!< "reference", "threads", "obs", "events",
+                        //!< "verify", "shards"
     std::string detail; //!< first point of divergence
 };
 
@@ -47,6 +54,11 @@ struct InvariantOptions
     bool check_threads = true;
     bool check_obs = true;
     bool check_events = true;
+    bool check_shards = true;
+
+    /** Largest shard count of the shard-equality arms ({1, 2, this}).
+     *  tools/fuzz_scenarios --shards overrides it. */
+    std::uint32_t shard_arm = 5;
 
     /**
      * The verify-permutation oracle costs a covert-channel campaign per

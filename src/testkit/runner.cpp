@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "faas/platform.hpp"
+#include "faas/sharded.hpp"
 
 namespace eaao::testkit {
 
@@ -108,8 +109,9 @@ runScenario(const Scenario &scenario, const RunOptions &opts)
     accounts.reserve(scenario.accounts.size());
     for (const ScenarioAccount &a : scenario.accounts) {
         std::optional<std::uint32_t> shard;
-        if (a.shard >= 0)
-            shard = static_cast<std::uint32_t>(a.shard);
+        if (a.shard >= 0) // pins survive fleet shrinking via modulo
+            shard = static_cast<std::uint32_t>(a.shard) %
+                    platform.fleet().shardCount();
         accounts.push_back(platform.createAccount(shard, a.quota));
     }
 
@@ -228,6 +230,125 @@ runScenario(const Scenario &scenario, const RunOptions &opts)
     log.events_cancelled = platform.clock().cancelled();
     log.events_pending = platform.clock().pending();
     return log;
+}
+
+std::string
+runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
+{
+    faas::ShardedConfig cfg;
+    cfg.profile = profileOf(scenario.profile);
+    if (scenario.host_count != 0)
+        cfg.profile.host_count = scenario.host_count;
+    cfg.orchestrator.isolate_accounts = scenario.isolate_accounts;
+    if (scenario.hot_burst_min != 0)
+        cfg.orchestrator.hot_burst_min = scenario.hot_burst_min;
+    cfg.orchestrator.fault_injection =
+        opts.fault_override != ~0u ? opts.fault_override : scenario.fault;
+    cfg.seed = opts.seed_override != 0 ? opts.seed_override : scenario.seed;
+    cfg.shards = opts.shards;
+    cfg.threads = opts.threads;
+
+    faas::ShardedPlatform platform(cfg, opts.obs);
+
+    std::vector<faas::AccountId> accounts;
+    accounts.reserve(scenario.accounts.size());
+    for (const ScenarioAccount &a : scenario.accounts) {
+        std::optional<std::uint32_t> shard;
+        if (a.shard >= 0) // pins survive fleet shrinking via modulo
+            shard = static_cast<std::uint32_t>(a.shard) %
+                    platform.fleet().shardCount();
+        accounts.push_back(platform.createAccount(shard, a.quota));
+    }
+
+    std::vector<faas::ServiceId> services;
+    services.reserve(scenario.services.size());
+    for (const ScenarioService &s : scenario.services) {
+        services.push_back(platform.deployService(
+            accounts[s.account % accounts.size()],
+            s.env == 1 ? faas::ExecEnv::Gen2 : faas::ExecEnv::Gen1,
+            sizeOf(s.size)));
+    }
+
+    // Compile the step script into timestamped ops, mirroring the
+    // serial runner's virtual-time shape: Advance moves the cursor,
+    // Burst expands into routes 2 ms apart (advancing the cursor with
+    // them), everything else happens at the cursor.
+    std::vector<faas::ShardOp> ops;
+    sim::SimTime t; // epoch
+    std::uint32_t step_no = 0;
+    for (const ScenarioStep &st : scenario.steps) {
+        faas::ShardOp op;
+        op.at = t;
+        op.step = step_no;
+        op.service = services[st.target % services.size()];
+        switch (st.kind) {
+        case ScenarioStep::Kind::Connect:
+            op.kind = faas::ShardOp::Kind::Connect;
+            op.a = st.a;
+            ops.push_back(op);
+            break;
+        case ScenarioStep::Kind::Disconnect:
+            op.kind = faas::ShardOp::Kind::Disconnect;
+            ops.push_back(op);
+            break;
+        case ScenarioStep::Kind::Route:
+            op.kind = faas::ShardOp::Kind::Route;
+            op.dur = sim::Duration::millis(st.a == 0 ? 1 : st.a);
+            ops.push_back(op);
+            break;
+        case ScenarioStep::Kind::Burst: {
+            const std::uint32_t n = st.a == 0 ? 1 : st.a;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                op.at = t;
+                op.sub = i;
+                op.kind = faas::ShardOp::Kind::Route;
+                op.dur = sim::Duration::millis(st.b == 0 ? 1 : st.b);
+                ops.push_back(op);
+                t += sim::Duration::millis(2);
+            }
+            break;
+        }
+        case ScenarioStep::Kind::Advance:
+            t += sim::Duration::millis(st.a == 0 ? 1 : st.a);
+            break;
+        case ScenarioStep::Kind::Restart:
+            op.kind = faas::ShardOp::Kind::Restart;
+            // The pick both chooses the lane (via its account) and
+            // indexes that lane's created list — total and
+            // partition-invariant, like the serial global-list pick.
+            op.account = accounts[st.a % accounts.size()];
+            op.a = st.a;
+            ops.push_back(op);
+            break;
+        case ScenarioStep::Kind::SetConcurrency:
+            op.kind = faas::ShardOp::Kind::SetConcurrency;
+            op.a = st.a;
+            ops.push_back(op);
+            break;
+        case ScenarioStep::Kind::SetQuota:
+            op.kind = faas::ShardOp::Kind::SetQuota;
+            op.account = accounts[st.target % accounts.size()];
+            op.a = st.a;
+            ops.push_back(op);
+            break;
+        case ScenarioStep::Kind::Redeploy:
+            op.kind = faas::ShardOp::Kind::Redeploy;
+            ops.push_back(op);
+            break;
+        case ScenarioStep::Kind::SpendProbe:
+            for (std::size_t a = 0; a < accounts.size(); ++a) {
+                op.kind = faas::ShardOp::Kind::SpendProbe;
+                op.sub = static_cast<std::uint32_t>(a);
+                op.account = accounts[a];
+                ops.push_back(op);
+            }
+            break;
+        }
+        ++step_no;
+    }
+
+    platform.run(std::move(ops), t + sim::Duration::minutes(20));
+    return platform.renderLog();
 }
 
 } // namespace eaao::testkit

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "faas/trace.hpp"
+#include "obs/export.hpp"
 #include "obs/observer.hpp"
 #include "testkit/scenario.hpp"
 
@@ -73,6 +74,38 @@ struct ScenarioLog
  * runnable. Ends with a 20-minute drain so all reaps settle.
  */
 ScenarioLog runScenario(const Scenario &scenario, const RunOptions &opts = {});
+
+/** Knobs of one sharded scenario execution (faas::ShardedPlatform). */
+struct ShardedRunOptions
+{
+    std::uint32_t shards = 1;  //!< worker groups over the fixed lanes
+    unsigned threads = 1;      //!< pool threads driving the groups
+
+    /** Force this fault_injection value; ~0u keeps the scenario's. */
+    std::uint32_t fault_override = ~0u;
+
+    /** Per-lane recording slots; prepared to lane count when set. */
+    obs::TrialSet *obs = nullptr;
+
+    /** Replace Scenario::seed; 0 keeps it. */
+    std::uint64_t seed_override = 0;
+};
+
+/**
+ * Execute @p scenario on the sharded platform: the step script is
+ * compiled into a timestamped op list (Burst pre-expanded at the
+ * serial runner's 2 ms spacing, Advance folded into timestamps) and
+ * run through the window loop with a 20-minute drain horizon.
+ *
+ * @return The platform's canonical log (ShardedPlatform::renderLog).
+ *         Byte-identical across every (shards, threads) — the
+ *         shard-equality oracle's comparison unit. NOT comparable to
+ *         runScenario's log: lanes draw reap delays from per-lane
+ *         streams, so the sharded engine is a distinct deterministic
+ *         universe, self-consistent across partitionings.
+ */
+std::string runScenarioSharded(const Scenario &scenario,
+                               const ShardedRunOptions &opts = {});
 
 } // namespace eaao::testkit
 

@@ -91,8 +91,23 @@ Scenario::parse(const std::string &text, Scenario &out, std::string &error)
         if (line.empty() || line[0] == '#')
             continue;
         if (!saw_header) {
-            if (line != "eaao-scenario v1")
+            if (line != "eaao-scenario v1") {
+                // A well-formed header with a higher version means the
+                // file comes from a newer build: say so instead of a
+                // generic mismatch, so `fuzz_scenarios --replay` fails
+                // with an actionable message (and exits non-zero).
+                unsigned version = 0;
+                if (std::sscanf(line.c_str(), "eaao-scenario v%u",
+                                &version) == 1 &&
+                    version > 1) {
+                    std::ostringstream msg;
+                    msg << "scenario version v" << version
+                        << " is newer than this binary supports (max v1); "
+                           "rebuild or regenerate the replay";
+                    return fail(msg.str());
+                }
                 return fail("expected header 'eaao-scenario v1'");
+            }
             saw_header = true;
             continue;
         }
@@ -187,12 +202,15 @@ generateScenario(std::uint64_t base_seed, std::uint64_t index,
     // Platform shape. us-central1's preset is ~3500 hosts; every
     // profile gets a small-fleet override so a fuzz campaign clears
     // thousands of scenarios per minute. The shard structure survives:
-    // 330 hosts at shard_size 110 is still 3 shards.
+    // 550 hosts is at least 5 shards on every profile, so shard pins
+    // 0..4 are always valid and the sharded platform gets 5 lanes —
+    // enough for the shard-equality oracle's {1, 2, 5} grouping arms
+    // to partition differently.
     sc.profile = opts.allow_dynamic_profile
                      ? static_cast<std::uint8_t>(rng.uniformInt(3))
                      : static_cast<std::uint8_t>(rng.uniformInt(2) == 0 ? 0
                                                                         : 2);
-    sc.host_count = 330;
+    sc.host_count = 550;
     sc.isolate_accounts = rng.bernoulli(0.15);
     // Occasionally lower the hotness threshold so small bursts flip
     // services hot and exercise the helper-placement path.
@@ -204,8 +222,11 @@ generateScenario(std::uint64_t base_seed, std::uint64_t index,
         static_cast<std::uint32_t>(rng.uniformInt(1, opts.max_accounts));
     for (std::uint32_t i = 0; i < n_accounts; ++i) {
         ScenarioAccount a;
-        a.shard = rng.bernoulli(0.5)
-                      ? static_cast<std::int32_t>(rng.uniformInt(3))
+        // Shard-pinned accounts dominate: pins spread the accounts
+        // over distinct lanes, which is what makes the cross-lane
+        // exchange (and its planted faults) observable.
+        a.shard = rng.bernoulli(0.6)
+                      ? static_cast<std::int32_t>(rng.uniformInt(5))
                       : -1;
         // Mix fresh capped accounts with established ones (§5.2 quota).
         const std::uint32_t quotas[4] = {4, 10, 60, 1000};
@@ -252,12 +273,27 @@ generateScenario(std::uint64_t base_seed, std::uint64_t index,
             st.a = static_cast<std::uint32_t>(
                 rng.uniformInt(2, opts.max_burst));
             st.b = static_cast<std::uint32_t>(rng.uniformInt(1, 500)); // ms
+            // Cross-shard burst pair: sometimes fire a second burst at
+            // another service back-to-back, so services of accounts on
+            // different shards (lanes) are active in the same exchange
+            // window.
+            if (n_services > 1 && rng.bernoulli(0.3)) {
+                sc.steps.push_back(st);
+                st.target = svc();
+                st.a = static_cast<std::uint32_t>(
+                    rng.uniformInt(2, opts.max_burst));
+                st.b = static_cast<std::uint32_t>(
+                    rng.uniformInt(1, 500)); // ms
+            }
         } else if (w < 80) {
             st.kind = ScenarioStep::Kind::Advance;
             // Idle-gap buckets chosen to straddle the reap window:
             // short gaps (< idle_hold = 2 min), gaps just around the
-            // hold boundary, and long gaps past idle_max = 15 min.
-            const std::uint64_t bucket = rng.uniformInt(4);
+            // hold boundary, long gaps past idle_max = 15 min, and
+            // exact multiples of the sharded platform's 30 s exchange
+            // window, so subsequent steps land exactly on a barrier
+            // (the window-boundary fault's bite point).
+            const std::uint64_t bucket = rng.uniformInt(5);
             if (bucket == 0)
                 st.a = static_cast<std::uint32_t>(rng.uniformInt(1, 5'000));
             else if (bucket == 1)
@@ -266,9 +302,12 @@ generateScenario(std::uint64_t base_seed, std::uint64_t index,
             else if (bucket == 2)
                 st.a = static_cast<std::uint32_t>(
                     rng.uniformInt(5'000, opts.max_advance_ms));
-            else
+            else if (bucket == 3)
                 st.a = static_cast<std::uint32_t>(
                     rng.uniformInt(900'000, 1'100'000));
+            else
+                st.a = 30'000 * static_cast<std::uint32_t>(
+                                    rng.uniformInt(1, 4));
         } else if (w < 85) {
             st.kind = ScenarioStep::Kind::Restart;
             st.a = static_cast<std::uint32_t>(rng.uniformInt(1u << 16));

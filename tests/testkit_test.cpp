@@ -92,6 +92,49 @@ TEST(ScenarioSerialize, RejectsMalformedInput)
     EXPECT_EQ(sc.steps[0].kind, ScenarioStep::Kind::Route);
 }
 
+TEST(ScenarioSerialize, RejectsNewerVersions)
+{
+    // A replay from a future format must fail loudly, not misparse.
+    Scenario sc;
+    std::string error;
+    EXPECT_FALSE(Scenario::parse("eaao-scenario v2\n"
+                                 "account -1 1000\n"
+                                 "service 0 0 1\n"
+                                 "step route 0 5 0\n",
+                                 sc, error));
+    EXPECT_NE(error.find("newer"), std::string::npos) << error;
+    EXPECT_FALSE(Scenario::parse("eaao-scenario v99\n", sc, error));
+    EXPECT_NE(error.find("newer"), std::string::npos) << error;
+}
+
+TEST(ScenarioGen, ShardAwareTopology)
+{
+    // The generator targets the sharded platform's lane structure: a
+    // 550-host fleet (>= 5 shards on every profile), home-shard pins
+    // confined to lanes 0..4, and idle gaps that include exact window
+    // multiples so barrier-straddling schedules get exercised.
+    bool saw_pin = false;
+    bool saw_unpinned = false;
+    bool saw_window_multiple = false;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const Scenario sc = generateScenario(31337, i);
+        EXPECT_EQ(sc.host_count, 550u) << "index " << i;
+        for (const ScenarioAccount &a : sc.accounts) {
+            EXPECT_GE(a.shard, -1) << "index " << i;
+            EXPECT_LT(a.shard, 5) << "index " << i;
+            (a.shard >= 0 ? saw_pin : saw_unpinned) = true;
+        }
+        for (const ScenarioStep &st : sc.steps) {
+            if (st.kind == ScenarioStep::Kind::Advance && st.a != 0 &&
+                st.a % 30'000 == 0)
+                saw_window_multiple = true;
+        }
+    }
+    EXPECT_TRUE(saw_pin);
+    EXPECT_TRUE(saw_unpinned);
+    EXPECT_TRUE(saw_window_multiple);
+}
+
 TEST(ScenarioRunner, DeterministicLog)
 {
     const Scenario sc = generateScenario(5, 2);

@@ -12,7 +12,7 @@
  *
  * Usage:
  *   fuzz_scenarios [--seed S] [--time-budget SECONDS]
- *                  [--max-scenarios N] [--threads N]
+ *                  [--max-scenarios N] [--threads N] [--shards N]
  *                  [--verify-every N] [--inject-fault K]
  *                  [--out DIR] [--replay FILE]
  *
@@ -48,6 +48,7 @@ struct Args
     double time_budget_s = 60.0;
     std::uint64_t max_scenarios = ~0ULL;
     unsigned threads = 4;
+    std::uint32_t shards = 5; //!< largest shard-equality arm
     std::uint64_t verify_every = 25; //!< 0 disables the verify oracle
     std::uint32_t inject_fault = 0;
     std::string out_dir = ".";
@@ -60,8 +61,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--seed S] [--time-budget SECONDS] [--max-scenarios N]\n"
-        "          [--threads N] [--verify-every N] [--inject-fault K]\n"
-        "          [--out DIR] [--replay FILE]\n",
+        "          [--threads N] [--shards N] [--verify-every N]\n"
+        "          [--inject-fault K] [--out DIR] [--replay FILE]\n",
         argv0);
     std::exit(2);
 }
@@ -86,6 +87,9 @@ parseArgs(int argc, char **argv)
         else if (std::strcmp(arg, "--threads") == 0)
             args.threads =
                 static_cast<unsigned>(std::strtoul(value(i), nullptr, 10));
+        else if (std::strcmp(arg, "--shards") == 0)
+            args.shards = static_cast<std::uint32_t>(
+                std::strtoul(value(i), nullptr, 10));
         else if (std::strcmp(arg, "--verify-every") == 0)
             args.verify_every = std::strtoull(value(i), nullptr, 10);
         else if (std::strcmp(arg, "--inject-fault") == 0)
@@ -109,6 +113,7 @@ oracleOptions(const Args &args, std::uint64_t index)
 {
     testkit::InvariantOptions opts;
     opts.threads = args.threads > 1 ? args.threads : 4;
+    opts.shard_arm = args.shards > 1 ? args.shards : 5;
     // The verify oracle costs a covert-channel campaign; sample it.
     opts.check_verify =
         args.verify_every != 0 && index % args.verify_every == 0;
@@ -148,6 +153,7 @@ replay(const Args &args)
     // Replay runs the complete oracle suite, verify included.
     testkit::InvariantOptions opts;
     opts.threads = args.threads > 1 ? args.threads : 4;
+    opts.shard_arm = args.shards > 1 ? args.shards : 5;
     opts.check_verify = true;
     const std::vector<testkit::Violation> violations =
         testkit::checkInvariants(sc, opts);
