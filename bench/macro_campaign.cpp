@@ -28,21 +28,50 @@
  * sharded platform (faas::ShardedPlatform, docs/sharding.md): a
  * 100k-host fleet partitioned into 16 lanes, one pinned account per
  * lane, each priming a pool and then absorbing a routing storm —
- * 10M+ requests total by default (`--hosts` / `--requests` resize it).
- * stdout and every total are byte-identical for any `--shards` /
- * `--threads` grouping; CI byte-diffs shards {1,8} x threads {1,8} and
- * gates the grouped wall clock against the single-group record
- * (bench names `macro_campaign_sharded` vs `macro_campaign_sharded_s1`).
+ * 10M+ requests total by default (`--hosts` / `--requests` resize it,
+ * `--prime-rounds` deepens the priming phase). stdout and every total
+ * are byte-identical for any `--shards` / `--threads` grouping; CI
+ * byte-diffs shards {1,8} x threads {1,8} and gates the grouped wall
+ * clock against the single-group record (bench names
+ * `macro_campaign_sharded` vs `macro_campaign_sharded_s1`).
+ *
+ * Checkpoint modes (all imply --sharded; docs/checkpoint.md):
+ *
+ *  --checkpoint FILE       run the campaign, capture an eaao-snap image
+ *                          at the last priming barrier, write it to
+ *                          FILE (a `checkpoint: ...` note on stderr),
+ *                          and finish normally — stdout is the
+ *                          straight-through reference.
+ *  --from-checkpoint FILE  restore FILE into a fresh platform and run
+ *                          only the storm. stdout is byte-identical to
+ *                          the --checkpoint run's for any grouping; a
+ *                          truncated/corrupt/newer-format file exits 2
+ *                          before anything reaches stdout.
+ *  --forked-storms N       prime once, capture in memory, then restore
+ *                          + storm N times into ONE reused platform
+ *                          (the in-memory fast path; bench name
+ *                          `macro_campaign_forked`).
+ *  --straight-storms N     run the full campaign N times from scratch
+ *                          (bench name `macro_campaign_straight`).
+ *
+ * --forked-storms and --straight-storms print byte-identical stdout,
+ * and CI gates their amortized wall clocks: with priming the dominant
+ * cost, N forked storms must be >= 3x faster than N straight runs
+ * (tools/compare_benchmarks.py --assert-speedup).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "channel/covert.hpp"
 #include "core/verify.hpp"
 #include "exp/trial_runner.hpp"
 #include "faas/sharded.hpp"
+#include "snap/format.hpp"
+#include "snap/snapshotter.hpp"
 #include "stats/summary.hpp"
 #include "support/bench_timer.hpp"
 #include "support/options.hpp"
@@ -152,11 +181,15 @@ constexpr std::uint32_t kShardedPrimeLaunch = 300;
  * One lane's script: prime a service hot, pin a concurrency-4 pool
  * with multi-hour requests, then run the storm as a single RouteStorm
  * op (requests are generated inside the window loop, so 10M+ of them
- * never materialize as individual ops).
+ * never materialize as individual ops). @p prime_traffic > 0 adds a
+ * keep-warm burst of that many requests after each priming round's
+ * disconnect — they reuse the just-launched warm instances, so they
+ * cost priming CPU without minting new instance records.
  */
 void
 laneScript(std::vector<eaao::faas::ShardOp> &ops,
-           eaao::faas::ServiceId svc, std::uint64_t storm_requests)
+           eaao::faas::ServiceId svc, std::uint64_t storm_requests,
+           std::uint32_t prime_rounds, std::uint64_t prime_traffic)
 {
     using namespace eaao;
     using Kind = faas::ShardOp::Kind;
@@ -173,10 +206,19 @@ laneScript(std::vector<eaao::faas::ShardOp> &ops,
         return ops.back();
     };
 
-    for (std::uint32_t round = 0; round < kShardedPrimeRounds; ++round) {
+    for (std::uint32_t round = 0; round < prime_rounds; ++round) {
         push(Kind::Connect).a = kShardedPrimeLaunch;
         t = t + sim::Duration::minutes(1);
         push(Kind::Disconnect);
+        if (prime_traffic > 0) {
+            faas::ShardOp &warm = push(Kind::RouteStorm);
+            warm.n = prime_traffic;
+            warm.dur = sim::Duration::fromSecondsF(0.05);
+            warm.dur_step = sim::Duration::fromSecondsF(0.01);
+            warm.dur_mod = 7;
+            warm.gap_every = 16;
+            warm.gap = sim::Duration::fromSecondsF(0.02);
+        }
         t = t + sim::Duration::minutes(4);
     }
 
@@ -198,73 +240,138 @@ laneScript(std::vector<eaao::faas::ShardOp> &ops,
     storm.spend_every = kSpendPollEvery;
 }
 
-eaao::faas::ShardedTotals
-runShardedCampaign(std::uint32_t shards, unsigned threads,
-                   std::uint32_t hosts, std::uint64_t requests)
+/** Flags of the --sharded family (campaign shape + checkpoint modes). */
+struct ShardedArgs
+{
+    unsigned threads = 1;
+    std::uint32_t shards = 1;
+    std::uint32_t hosts = kShardedHosts;
+    std::uint64_t requests = kShardedRequests;
+    std::uint32_t prime_rounds = kShardedPrimeRounds;
+    std::uint64_t prime_traffic = 0;
+    std::uint64_t forked_storms = 0;
+    std::uint64_t straight_storms = 0;
+    const char *checkpoint = nullptr;
+    const char *from_checkpoint = nullptr;
+};
+
+eaao::faas::ShardedConfig
+shardedConfig(const ShardedArgs &a)
 {
     using namespace eaao;
-
     faas::ShardedConfig cfg;
     cfg.profile = faas::DataCenterProfile::usEast1();
-    cfg.profile.host_count = hosts;
+    cfg.profile.host_count = a.hosts;
     cfg.seed = 4242;
-    cfg.shards = shards;
-    cfg.threads = threads;
-    faas::ShardedPlatform platform(cfg);
+    cfg.shards = a.shards;
+    cfg.threads = a.threads;
+    return cfg;
+}
 
+/** Create the per-lane accounts/services and assemble their scripts. */
+std::vector<eaao::faas::ShardOp>
+buildCampaign(eaao::faas::ShardedPlatform &platform, const ShardedArgs &a,
+              eaao::sim::SimTime &horizon)
+{
+    using namespace eaao;
     const std::uint32_t lanes = platform.laneCount();
-    const std::uint64_t per_lane = requests / lanes;
+    const std::uint64_t per_lane = a.requests / lanes;
     std::vector<faas::ShardOp> ops;
-    sim::SimTime horizon;
     for (std::uint32_t lane = 0; lane < lanes; ++lane) {
         const auto acct = platform.createAccount(lane);
         const auto svc =
             platform.deployService(acct, faas::ExecEnv::Gen1);
-        laneScript(ops, svc, per_lane);
+        laneScript(ops, svc, per_lane, a.prime_rounds, a.prime_traffic);
         horizon = ops.back().at +
                   sim::Duration::fromSecondsF(0.02) *
                       static_cast<std::int64_t>(per_lane / 16) +
                   sim::Duration::minutes(10);
     }
+    return ops;
+}
+
+eaao::faas::ShardedTotals
+runStraight(const ShardedArgs &a)
+{
+    using namespace eaao;
+    faas::ShardedPlatform platform(shardedConfig(a));
+    sim::SimTime horizon;
+    std::vector<faas::ShardOp> ops = buildCampaign(platform, a, horizon);
     platform.run(std::move(ops), horizon);
     return platform.totals();
 }
 
-int
-shardedMain(int argc, char **argv)
+/**
+ * Barrier index of the checkpoint: the last window of the priming
+ * phase. Every lane's storm ops sit at prime_rounds * 5 minutes, so
+ * capturing (pre-fold; docs/checkpoint.md) at the barrier just before
+ * means a restored run re-executes only the storm.
+ */
+std::uint32_t
+captureWindow(const ShardedArgs &a, const eaao::faas::ShardedConfig &cfg)
+{
+    const std::int64_t prime_ns = eaao::sim::Duration::minutes(5).ns() *
+                                  static_cast<std::int64_t>(a.prime_rounds);
+    const std::int64_t w = prime_ns / cfg.window.ns();
+    return w > 1 ? static_cast<std::uint32_t>(w - 1) : 0;
+}
+
+/**
+ * Run the campaign with a snapshot captured at the priming barrier.
+ * When @p finish is true the run continues to completion (stdout
+ * parity with runStraight) and @p totals is filled in; otherwise the
+ * platform is abandoned at the capture point — the forks redo the
+ * storm from the returned image.
+ */
+std::vector<std::uint8_t>
+primeAndCapture(const ShardedArgs &a, bool finish,
+                eaao::faas::ShardedTotals *totals)
 {
     using namespace eaao;
-    const unsigned threads = support::threadsFromArgs(argc, argv);
-    std::uint32_t shards = 1;
-    std::uint32_t hosts = kShardedHosts;
-    std::uint64_t requests = kShardedRequests;
-    for (int i = 1; i < argc - 1; ++i) {
-        if (std::strcmp(argv[i], "--shards") == 0)
-            shards = static_cast<std::uint32_t>(
-                std::strtoul(argv[i + 1], nullptr, 10));
-        else if (std::strcmp(argv[i], "--hosts") == 0)
-            hosts = static_cast<std::uint32_t>(
-                std::strtoul(argv[i + 1], nullptr, 10));
-        else if (std::strcmp(argv[i], "--requests") == 0)
-            requests = std::strtoull(argv[i + 1], nullptr, 10);
+    const faas::ShardedConfig cfg = shardedConfig(a);
+    faas::ShardedPlatform platform(cfg);
+    sim::SimTime horizon;
+    std::vector<faas::ShardOp> ops = buildCampaign(platform, a, horizon);
+    const std::uint32_t capture_at = captureWindow(a, cfg);
+    std::vector<std::uint8_t> image;
+    platform.beginRun(std::move(ops), horizon);
+    std::uint32_t window = 0;
+    while (platform.running()) {
+        platform.advanceWindow();
+        if (image.empty() && window >= capture_at) {
+            image = snap::Snapshotter::capture(platform);
+            if (!finish)
+                return image;
+        }
+        platform.completeWindow();
+        ++window;
     }
-    if (shards == 0)
-        shards = 1;
+    if (image.empty()) {
+        std::fprintf(stderr,
+                     "macro_campaign: run finished before the capture "
+                     "barrier (window %u); raise --prime-rounds\n",
+                     capture_at);
+        std::exit(2);
+    }
+    if (totals != nullptr)
+        *totals = platform.totals();
+    return image;
+}
 
-    // stdout depends only on (hosts, requests): the sharded platform's
-    // totals are grouping-invariant, so any --shards/--threads pair
-    // byte-matches — the property CI's determinism matrix diffs.
+// stdout of every sharded mode is built from these two blocks only, so
+// --checkpoint, --from-checkpoint and the plain run byte-match for any
+// grouping, and --forked-storms N byte-matches --straight-storms N.
+void
+printShardedHeader(const ShardedArgs &a)
+{
     std::printf("=== macro_campaign --sharded: window-barrier lanes "
                 "(us-east1, %u hosts, %llu requests) ===\n\n",
-                hosts, static_cast<unsigned long long>(requests));
+                a.hosts, static_cast<unsigned long long>(a.requests));
+}
 
-    support::BenchTimer timer(shards > 1 ? "macro_campaign_sharded"
-                                         : "macro_campaign_sharded_s1",
-                              threads, /*seed=*/4242);
-    const faas::ShardedTotals t =
-        runShardedCampaign(shards, threads, hosts, requests);
-    support::maybeWriteBenchJson(argc, argv, timer.stop());
-
+void
+printTotals(const eaao::faas::ShardedTotals &t)
+{
     std::printf("routed %llu requests across %u windows; created %llu "
                 "instances\n",
                 static_cast<unsigned long long>(t.routed), t.windows,
@@ -277,6 +384,173 @@ shardedMain(int argc, char **argv)
                 static_cast<unsigned long long>(t.events_processed),
                 static_cast<unsigned long long>(t.events_cancelled),
                 static_cast<unsigned long long>(t.events_pending));
+}
+
+int
+checkpointMain(const ShardedArgs &a, int argc, char **argv)
+{
+    using namespace eaao;
+    support::BenchTimer timer("macro_campaign_checkpoint", a.threads,
+                              /*seed=*/4242);
+    faas::ShardedTotals t;
+    const std::vector<std::uint8_t> image =
+        primeAndCapture(a, /*finish=*/true, &t);
+    std::string error;
+    if (!snap::Snapshotter::writeFile(a.checkpoint, image, error)) {
+        std::fprintf(stderr, "macro_campaign: %s\n", error.c_str());
+        return 2;
+    }
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
+    std::fprintf(stderr, "checkpoint: %zu bytes at window %u -> %s\n",
+                 image.size(), captureWindow(a, shardedConfig(a)),
+                 a.checkpoint);
+    printShardedHeader(a);
+    printTotals(t);
+    return 0;
+}
+
+int
+fromCheckpointMain(const ShardedArgs &a, int argc, char **argv)
+{
+    using namespace eaao;
+    std::vector<std::uint8_t> image;
+    std::string error;
+    if (!snap::Snapshotter::readFile(a.from_checkpoint, image, error)) {
+        std::fprintf(stderr, "macro_campaign: %s\n", error.c_str());
+        return 2;
+    }
+    support::BenchTimer timer("macro_campaign_from_checkpoint", a.threads,
+                              /*seed=*/4242);
+    faas::ShardedTotals t;
+    {
+        faas::ShardedPlatform platform(shardedConfig(a));
+        if (!snap::Snapshotter::restore(image, platform, error)) {
+            std::fprintf(stderr, "macro_campaign: %s\n", error.c_str());
+            return 2;
+        }
+        platform.resumeRun();
+        t = platform.totals();
+    }
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
+    printShardedHeader(a);
+    printTotals(t);
+    return 0;
+}
+
+int
+forkedMain(const ShardedArgs &a, int argc, char **argv)
+{
+    using namespace eaao;
+    std::vector<faas::ShardedTotals> runs;
+    support::BenchTimer timer("macro_campaign_forked", a.threads,
+                              /*seed=*/4242);
+    {
+        const std::vector<std::uint8_t> image =
+            primeAndCapture(a, /*finish=*/false, nullptr);
+        // One platform absorbs every fork: restore() replaces its state
+        // wholesale, so re-restoring into the just-finished platform is
+        // the in-memory fast path (no per-fork construction).
+        faas::ShardedPlatform platform(shardedConfig(a));
+        std::string error;
+        // Validate (and checksum) the image once; every fork restores
+        // from the parsed reader.
+        snap::SnapshotReader reader;
+        if (!reader.parse(image, error, a.threads)) {
+            std::fprintf(stderr, "macro_campaign: %s\n", error.c_str());
+            return 2;
+        }
+        for (std::uint64_t i = 0; i < a.forked_storms; ++i) {
+            if (!snap::Snapshotter::restore(reader, platform, error)) {
+                std::fprintf(stderr, "macro_campaign: %s\n", error.c_str());
+                return 2;
+            }
+            platform.resumeRun();
+            runs.push_back(platform.totals());
+        }
+    }
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
+    printShardedHeader(a);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        std::printf("storm %zu:\n", i);
+        printTotals(runs[i]);
+    }
+    return 0;
+}
+
+int
+straightMain(const ShardedArgs &a, int argc, char **argv)
+{
+    using namespace eaao;
+    std::vector<faas::ShardedTotals> runs;
+    support::BenchTimer timer("macro_campaign_straight", a.threads,
+                              /*seed=*/4242);
+    for (std::uint64_t i = 0; i < a.straight_storms; ++i)
+        runs.push_back(runStraight(a));
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
+    printShardedHeader(a);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        std::printf("storm %zu:\n", i);
+        printTotals(runs[i]);
+    }
+    return 0;
+}
+
+int
+shardedMain(int argc, char **argv)
+{
+    using namespace eaao;
+    ShardedArgs a;
+    a.threads = support::threadsFromArgs(argc, argv);
+    for (int i = 1; i < argc - 1; ++i) {
+        if (std::strcmp(argv[i], "--shards") == 0)
+            a.shards = static_cast<std::uint32_t>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+        else if (std::strcmp(argv[i], "--hosts") == 0)
+            a.hosts = static_cast<std::uint32_t>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+        else if (std::strcmp(argv[i], "--requests") == 0)
+            a.requests = std::strtoull(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--prime-rounds") == 0)
+            a.prime_rounds = static_cast<std::uint32_t>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+        else if (std::strcmp(argv[i], "--prime-traffic") == 0)
+            a.prime_traffic = std::strtoull(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--forked-storms") == 0)
+            a.forked_storms = std::strtoull(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--straight-storms") == 0)
+            a.straight_storms = std::strtoull(argv[i + 1], nullptr, 10);
+        else if (std::strcmp(argv[i], "--checkpoint") == 0)
+            a.checkpoint = argv[i + 1];
+        else if (std::strcmp(argv[i], "--from-checkpoint") == 0)
+            a.from_checkpoint = argv[i + 1];
+    }
+    if (a.shards == 0)
+        a.shards = 1;
+    if (a.prime_rounds == 0)
+        a.prime_rounds = 1;
+
+    if (a.from_checkpoint != nullptr)
+        return fromCheckpointMain(a, argc, argv);
+    if (a.checkpoint != nullptr)
+        return checkpointMain(a, argc, argv);
+    if (a.forked_storms != 0)
+        return forkedMain(a, argc, argv);
+    if (a.straight_storms != 0)
+        return straightMain(a, argc, argv);
+
+    // stdout depends only on (hosts, requests, prime-rounds): the
+    // sharded platform's totals are grouping-invariant, so any
+    // --shards/--threads pair byte-matches — the property CI's
+    // determinism matrix diffs.
+    printShardedHeader(a);
+
+    support::BenchTimer timer(a.shards > 1 ? "macro_campaign_sharded"
+                                           : "macro_campaign_sharded_s1",
+                              a.threads, /*seed=*/4242);
+    const faas::ShardedTotals t = runStraight(a);
+    support::maybeWriteBenchJson(argc, argv, timer.stop());
+
+    printTotals(t);
     return 0;
 }
 

@@ -22,11 +22,14 @@
 #include "core/strategy.hpp"
 #include "core/verify.hpp"
 #include "faas/platform.hpp"
+#include "faas/sharded.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "snap/format.hpp"
+#include "snap/snapshotter.hpp"
 
 namespace {
 
@@ -911,6 +914,116 @@ BM_FleetConstruction(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FleetConstruction)->Arg(520)->Arg(1850);
+
+// --------------------------------------------------------------- snapshot
+
+/**
+ * A primed sharded platform paused at a pre-fold window barrier — the
+ * state BM_SnapshotCapture serializes and BM_SnapshotRestore loads.
+ * Arg(n) is the per-lane priming burst size, so it scales the
+ * instance/trace tables that dominate the image.
+ */
+std::vector<faas::ShardOp>
+snapshotWorkloadOps(faas::ShardedPlatform &platform, std::uint32_t burst,
+                    sim::SimTime &horizon)
+{
+    using Kind = faas::ShardOp::Kind;
+    std::vector<faas::ShardOp> ops;
+    for (std::uint32_t lane = 0; lane < platform.laneCount(); ++lane) {
+        const faas::AccountId acct = platform.createAccount(lane, 10'000);
+        const faas::ServiceId svc =
+            platform.deployService(acct, faas::ExecEnv::Gen1);
+        sim::SimTime t;
+        std::uint32_t step = 0;
+        for (std::uint32_t round = 0; round < 3; ++round) {
+            faas::ShardOp connect;
+            connect.kind = Kind::Connect;
+            connect.at = t;
+            connect.step = step++;
+            connect.service = svc;
+            connect.account = acct;
+            connect.a = burst;
+            ops.push_back(connect);
+            t = t + sim::Duration::minutes(1);
+            faas::ShardOp disconnect = connect;
+            disconnect.kind = Kind::Disconnect;
+            disconnect.at = t;
+            disconnect.step = step++;
+            ops.push_back(disconnect);
+            t = t + sim::Duration::minutes(4);
+        }
+        horizon = t + sim::Duration::minutes(5);
+    }
+    return ops;
+}
+
+faas::ShardedConfig
+snapshotConfig()
+{
+    faas::ShardedConfig cfg;
+    cfg.profile.host_count = 1100; // 10 lanes
+    cfg.seed = 4242;
+    cfg.shards = 10;
+    cfg.threads = 1;
+    return cfg;
+}
+
+/** Advance a fresh platform to the last priming barrier, pre-fold. */
+void
+primeToBarrier(faas::ShardedPlatform &platform, std::uint32_t burst)
+{
+    sim::SimTime horizon;
+    std::vector<faas::ShardOp> ops =
+        snapshotWorkloadOps(platform, burst, horizon);
+    platform.beginRun(std::move(ops), horizon);
+    for (int w = 0; w < 28; ++w) { // 14 min of 30 s windows
+        platform.advanceWindow();
+        platform.completeWindow();
+    }
+    platform.advanceWindow(); // pre-fold capture point
+}
+
+void
+BM_SnapshotCapture(benchmark::State &state)
+{
+    faas::ShardedPlatform platform(snapshotConfig());
+    primeToBarrier(platform, static_cast<std::uint32_t>(state.range(0)));
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        std::vector<std::uint8_t> image = snap::Snapshotter::capture(platform);
+        bytes = image.size();
+        benchmark::DoNotOptimize(image.data());
+    }
+    state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                            static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotCapture)->Arg(50)->Arg(400);
+
+void
+BM_SnapshotRestore(benchmark::State &state)
+{
+    faas::ShardedPlatform primed(snapshotConfig());
+    primeToBarrier(primed, static_cast<std::uint32_t>(state.range(0)));
+    const std::vector<std::uint8_t> image = snap::Snapshotter::capture(primed);
+
+    // The fork-many fast path: parse once, restore per iteration into
+    // one reused platform.
+    snap::SnapshotReader reader;
+    std::string error;
+    if (!reader.parse(image, error))
+        state.SkipWithError(error.c_str());
+    faas::ShardedPlatform target(snapshotConfig());
+    for (auto _ : state) {
+        if (!snap::Snapshotter::restore(reader, target, error))
+            state.SkipWithError(error.c_str());
+        benchmark::DoNotOptimize(target.laneCount());
+    }
+    state.counters["snapshot_bytes"] = static_cast<double>(image.size());
+    state.SetBytesProcessed(static_cast<std::int64_t>(image.size()) *
+                            static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotRestore)->Arg(50)->Arg(400);
 
 } // namespace
 

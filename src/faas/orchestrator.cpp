@@ -298,7 +298,8 @@ Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
     ++svc.requests_served;
     EAAO_OBS_COUNT(c_requests_, 1);
     const InstanceId id = target->id;
-    eq_.scheduleAfter(service_time, [this, id] { completeRequest(id); });
+    eq_.scheduleAfter(service_time, sim::EventTag{kEventTagComplete, id},
+                      [this, id] { completeRequest(id); });
     return id;
 }
 
@@ -734,7 +735,8 @@ Orchestrator::scheduleReap(InstanceRecord &inst)
     const sim::Duration delay =
         cfg_.idle_hold + sim::Duration::fromSecondsF(tail_s);
     const InstanceId id = inst.id;
-    inst.reap_event = eq_.scheduleAfter(delay, [this, id] { reap(id); });
+    inst.reap_event = eq_.scheduleAfter(
+        delay, sim::EventTag{kEventTagReap, id}, [this, id] { reap(id); });
 }
 
 void
@@ -966,6 +968,63 @@ Orchestrator::buildSpillOrder(std::uint32_t home_shard,
         std::swap(out[i - 1], out[j]);
     }
     return out;
+}
+
+sim::EventQueue::Callback
+Orchestrator::rebindEvent(std::uint32_t kind, std::uint64_t arg)
+{
+    const InstanceId id = arg;
+    switch (kind) {
+    case kEventTagComplete:
+        return sim::EventQueue::Callback(
+            [this, id] { completeRequest(id); });
+    case kEventTagReap:
+        return sim::EventQueue::Callback([this, id] { reap(id); });
+    default:
+        EAAO_FATAL("unknown event tag kind ", kind);
+    }
+}
+
+void
+Orchestrator::rebuildDerivedState()
+{
+    acct_load_.assign(fleet_.size(),
+                      support::SmallFlatMap<AccountId, std::uint32_t>{});
+    svc_load_.assign(fleet_.size(),
+                     support::SmallFlatMap<ServiceId, std::uint32_t>{});
+    svc_host_load_.clear();
+    svc_host_load_.reserve(services_.size());
+    for (std::size_t i = 0; i < services_.size(); ++i) {
+        if (cfg_.reference_scan)
+            svc_host_load_.emplace_back();
+        else
+            svc_host_load_.emplace_back(fleet_.size(), 0u);
+    }
+    acct_active_.assign(accounts_.size(), {});
+    // Keep the restored activation counter; re-key every Active
+    // instance with its original route_seq.
+    routing_.resetForRestore(routing_.nextSeq());
+    for (const InstanceRecord &inst : instances_) {
+        if (inst.state == InstanceState::Terminated)
+            continue;
+        ++acct_load_[inst.host][inst.account];
+        ++svc_load_[inst.host][inst.service];
+        if (!cfg_.reference_scan) {
+            ++svc_host_load_[inst.service][inst.host];
+            if (inst.state == InstanceState::Active) {
+                routing_.insertRestored(inst.service, inst.id,
+                                        inst.in_flight, inst.route_seq);
+                // instances_ is id-ordered, so pushes arrive sorted.
+                acct_active_[inst.account].push_back(inst.id);
+            }
+        }
+    }
+    base_index_.clear();
+    base_index_.resize(accounts_.size());
+    if (!cfg_.reference_scan) {
+        for (const AccountRecord &acct : accounts_)
+            rebuildBaseIndex(acct);
+    }
 }
 
 void

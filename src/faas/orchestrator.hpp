@@ -39,6 +39,10 @@
 #include "support/flat_map.hpp"
 #include "support/soa.hpp"
 
+namespace eaao::snap {
+class Snapshotter;
+} // namespace eaao::snap
+
 namespace eaao::faas {
 
 /** Tunables of the orchestrator; defaults reproduce the paper's curves. */
@@ -118,6 +122,11 @@ struct OrchestratorConfig
      * barrier off by one at the boundary, 4 = dropped cross-lane
      * capacity exchange. The orchestrator itself ignores them — the
      * shard-equality oracle is the one that must catch them.
+     *
+     * Mode 5 lives in the checkpoint restore path
+     * (snap::Snapshotter; see docs/checkpoint.md): the first restored
+     * lane with a non-empty capacity-delta touch list loses its vcpus
+     * delta column. The snapshot oracle is the one that must catch it.
      */
     std::uint32_t fault_injection = 0;
 };
@@ -297,7 +306,32 @@ class Orchestrator
     /** The local load table (the lane delta in sharded mode). */
     support::HostLoadSoA &localLoad() { return host_load_; }
 
+    /**
+     * EventTag kinds for the two callback families the orchestrator
+     * schedules; checkpoint restore rebinds a serialized event through
+     * rebindEvent(kind, instance id). See docs/checkpoint.md.
+     */
+    static constexpr std::uint32_t kEventTagComplete = 1;
+    static constexpr std::uint32_t kEventTagReap = 2;
+
   private:
+    friend class eaao::snap::Snapshotter;
+
+    /**
+     * Reconstruct the callback a serialized EventTag stood for
+     * (checkpoint restore, after instances_ has been restored).
+     */
+    sim::EventQueue::Callback rebindEvent(std::uint32_t kind,
+                                          std::uint64_t arg);
+
+    /**
+     * Rebuild every derived table (per-host account/service load maps,
+     * routing-index entries, per-account active sets, dense per-service
+     * host loads, placement min-views) from the restored primary
+     * records. The routing index's next_seq must already be restored.
+     */
+    void rebuildDerivedState();
+
     /** Current hotness level of a service (0 = cold). */
     std::uint32_t hotness(const ServiceRecord &svc) const;
 

@@ -92,6 +92,29 @@ class RoutingIndex
 
     std::size_t size() const { return set_.size(); }
 
+    /** Next activation sequence key (checkpoint capture). */
+    std::uint64_t nextSeq() const { return next_seq_; }
+
+    /**
+     * Reset to an empty set with @p next_seq as the next activation
+     * key; entries are re-inserted from restored instance records via
+     * insertRestored() (checkpoint restore).
+     */
+    void
+    resetForRestore(std::uint64_t next_seq)
+    {
+        set_.clear();
+        next_seq_ = next_seq;
+    }
+
+    /** Re-insert an entry with its original sequence key. */
+    void
+    insertRestored(ServiceId service, InstanceId id, std::uint32_t in_flight,
+                   std::uint64_t seq)
+    {
+        set_.insert(Entry{service, in_flight, seq, id});
+    }
+
   private:
     std::uint64_t next_seq_ = 1;
     std::set<Entry, Less> set_;

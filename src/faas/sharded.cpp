@@ -26,38 +26,9 @@ fmtUsd(double v)
 
 } // namespace
 
-/** One lane: a private event queue + orchestrator + log buffers. */
-struct ShardedPlatform::Lane
-{
-    explicit Lane(sim::SimTime epoch) : eq(epoch) {}
-
-    sim::EventQueue eq;
-    std::unique_ptr<Orchestrator> orch;
-    PlacementTrace trace;
-
-    std::vector<ShardOp> ops;
-    std::size_t next_op = 0;
-
-    // In-progress RouteStorm (may span several windows).
-    const ShardOp *storm = nullptr;
-    std::uint64_t storm_done = 0;
-    sim::SimTime storm_t;
-
-    std::vector<AccountId> accounts; //!< local ids, creation order
-    std::vector<ServiceId> services;
-    std::vector<InstanceId> created; //!< local ids, creation order
-    std::size_t trace_scanned = 0;   //!< created-list scan cursor
-
-    std::vector<std::string> routed;
-    std::vector<std::string> restarted;
-    std::vector<std::string> spend;
-    std::uint64_t routed_count = 0;
-    double spend_checksum = 0.0;
-};
-
 ShardedPlatform::ShardedPlatform(const ShardedConfig &cfg,
                                  obs::TrialSet *obs_set)
-    : cfg_(cfg), final_now_(cfg.epoch)
+    : cfg_(cfg), obs_set_(obs_set), final_now_(cfg.epoch)
 {
     EAAO_ASSERT(cfg_.window.ns() > 0, "window must be positive");
     sim::Rng root(cfg_.seed);
@@ -175,6 +146,17 @@ ShardedPlatform::allOpsConsumed() const
 void
 ShardedPlatform::run(std::vector<ShardOp> ops, sim::SimTime horizon)
 {
+    beginRun(std::move(ops), horizon);
+    while (running_) {
+        advanceWindow();
+        completeWindow();
+    }
+}
+
+void
+ShardedPlatform::beginRun(std::vector<ShardOp> ops, sim::SimTime horizon)
+{
+    EAAO_ASSERT(!running_, "beginRun during an active run");
     // Partition the script onto lanes, preserving the script order
     // (which must be time-sorted) per lane.
     for (const ShardOp &op : ops) {
@@ -195,21 +177,58 @@ ShardedPlatform::run(std::vector<ShardOp> ops, sim::SimTime horizon)
         l.ops.push_back(op);
     }
 
+    run_horizon_ = horizon;
+    // First run: final_now_ is the epoch. Later runs: the window
+    // sequence continues from the last barrier, so phase-split runs
+    // match a single combined run barrier for barrier.
+    next_wend_ = final_now_ + cfg_.window;
+    running_ = true;
+    pending_fold_ = false;
+}
+
+void
+ShardedPlatform::ensurePool()
+{
     const std::uint32_t groups = groupCount();
     if (cfg_.threads > 1 && groups > 1 && pool_ == nullptr) {
         pool_ = std::make_unique<exp::ThreadPool>(
             std::min<unsigned>(cfg_.threads, groups));
     }
+}
 
-    sim::SimTime wend = cfg_.epoch + cfg_.window;
-    while (true) {
-        runWindow(wend);
-        foldBarrier(windows_run_);
-        ++windows_run_;
-        final_now_ = wend;
-        if (wend >= horizon && allOpsConsumed())
-            break;
-        wend = wend + cfg_.window;
+void
+ShardedPlatform::advanceWindow()
+{
+    EAAO_ASSERT(running_ && !pending_fold_,
+                "advanceWindow outside an active run");
+    ensurePool();
+    runWindow(next_wend_);
+    pending_fold_ = true;
+}
+
+void
+ShardedPlatform::completeWindow()
+{
+    EAAO_ASSERT(pending_fold_, "completeWindow without advanceWindow");
+    foldBarrier(windows_run_);
+    ++windows_run_;
+    final_now_ = next_wend_;
+    pending_fold_ = false;
+    if (next_wend_ >= run_horizon_ && allOpsConsumed())
+        running_ = false;
+    else
+        next_wend_ = next_wend_ + cfg_.window;
+}
+
+void
+ShardedPlatform::resumeRun()
+{
+    EAAO_ASSERT(running_, "resumeRun without an in-flight run");
+    if (pending_fold_)
+        completeWindow();
+    while (running_) {
+        advanceWindow();
+        completeWindow();
     }
 }
 

@@ -45,6 +45,10 @@
 #include "sim/rng.hpp"
 #include "support/soa.hpp"
 
+namespace eaao::snap {
+class Snapshotter;
+} // namespace eaao::snap
+
 namespace eaao::faas {
 
 /**
@@ -170,9 +174,35 @@ class ShardedPlatform
      * Execute @p ops (timestamps non-decreasing per lane) through the
      * window loop, running barriers until at least @p horizon and
      * every op has been applied. Events scheduled beyond the last
-     * barrier stay pending (they are counted, not lost).
+     * barrier stay pending (they are counted, not lost). May be called
+     * again with more ops: the window sequence continues from the last
+     * barrier, so a run split into phases is byte-identical to the
+     * same script run in one call.
      */
     void run(std::vector<ShardOp> ops, sim::SimTime horizon);
+
+    /**
+     * Stepping API underneath run(), exposed so a driver can pause at
+     * a window barrier — the checkpoint capture point (docs/
+     * checkpoint.md). beginRun() partitions the ops and arms the run;
+     * each window is then advanceWindow() (lanes run to the barrier;
+     * their capacity deltas are still unfolded — the pre-fold capture
+     * point) followed by completeWindow() (deltas fold, the window
+     * commits). running() turns false once the horizon is reached with
+     * every op consumed.
+     */
+    void beginRun(std::vector<ShardOp> ops, sim::SimTime horizon);
+    void advanceWindow();
+    void completeWindow();
+    bool running() const { return running_; }
+
+    /**
+     * Finish an in-flight run to completion — the restore path: a
+     * snapshot captured pre-fold restores with pending_fold set, so
+     * the first step folds the captured deltas, then the window loop
+     * continues exactly where the captured run stood.
+     */
+    void resumeRun();
 
     /**
      * Canonical text log: per-lane traces, routed/restart/spend lines,
@@ -191,10 +221,40 @@ class ShardedPlatform
     const Orchestrator &laneOrchestrator(std::uint32_t lane) const;
 
   private:
-    struct Lane;
+    friend class eaao::snap::Snapshotter;
+
+    /** One lane: a private event queue + orchestrator + log buffers. */
+    struct Lane
+    {
+        explicit Lane(sim::SimTime epoch) : eq(epoch) {}
+
+        sim::EventQueue eq;
+        std::unique_ptr<Orchestrator> orch;
+        PlacementTrace trace;
+
+        std::vector<ShardOp> ops;
+        std::size_t next_op = 0;
+
+        // In-progress RouteStorm (may span several windows).
+        const ShardOp *storm = nullptr;
+        std::uint64_t storm_done = 0;
+        sim::SimTime storm_t;
+
+        std::vector<AccountId> accounts; //!< local ids, creation order
+        std::vector<ServiceId> services;
+        std::vector<InstanceId> created; //!< local ids, creation order
+        std::size_t trace_scanned = 0;   //!< created-list scan cursor
+
+        std::vector<std::string> routed;
+        std::vector<std::string> restarted;
+        std::vector<std::string> spend;
+        std::uint64_t routed_count = 0;
+        double spend_checksum = 0.0;
+    };
 
     std::uint32_t groupCount() const;
     std::uint32_t groupLocalIndex(std::uint32_t lane) const;
+    void ensurePool();
     void runWindow(sim::SimTime wend);
     void laneRunWindow(Lane &lane, sim::SimTime stop);
     bool runStorm(Lane &lane, sim::SimTime stop);
@@ -208,6 +268,7 @@ class ShardedPlatform
     support::HostLoadSoA committed_; //!< window-start capacity snapshot
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::unique_ptr<exp::ThreadPool> pool_;
+    obs::TrialSet *obs_set_ = nullptr; //!< not owned; may be null
 
     /** Global id -> (lane, lane-local id). */
     std::vector<std::pair<std::uint32_t, AccountId>> acct_map_;
@@ -216,6 +277,13 @@ class ShardedPlatform
     std::vector<std::string> exchange_log_; //!< window fold digests
     std::uint32_t windows_run_ = 0;
     sim::SimTime final_now_;
+
+    // Window-loop state (live between beginRun and the end of a run;
+    // serialized by the checkpointer so a restored run resumes).
+    sim::SimTime run_horizon_;
+    sim::SimTime next_wend_;
+    bool running_ = false;
+    bool pending_fold_ = false; //!< advanceWindow ran, fold outstanding
 };
 
 } // namespace eaao::faas

@@ -25,6 +25,7 @@
 #define EAAO_OBS_TRACE_SINK_HPP
 
 #include <cstdint>
+#include <deque>
 #include <initializer_list>
 #include <ostream>
 #include <string>
@@ -133,6 +134,32 @@ class TraceSink
     /** Drop all buffered events (track table survives). */
     void clear() { events_.clear(); }
 
+    /**
+     * Copy @p s into sink-owned stable storage and return its pointer
+     * (checkpoint restore: serialized strings cannot be mapped back to
+     * the original literals). The copy lives as long as the sink; the
+     * caller is expected to dedup repeats.
+     */
+    const char *
+    intern(const std::string &s)
+    {
+        interned_.push_back(s);
+        return interned_.back().c_str();
+    }
+
+    /**
+     * Replace the buffered events and track table wholesale
+     * (checkpoint restore). String pointers inside @p events and
+     * @p tracks must be static or interned via intern().
+     */
+    void
+    restoreState(std::vector<TraceEvent> events,
+                 std::vector<const char *> tracks)
+    {
+        events_ = std::move(events);
+        tracks_ = std::move(tracks);
+    }
+
   private:
     std::uint32_t trackId(const char *track);
 
@@ -140,6 +167,7 @@ class TraceSink
 
     std::vector<TraceEvent> events_;
     std::vector<const char *> tracks_;
+    std::deque<std::string> interned_; //!< restore-time string storage
 };
 
 /**

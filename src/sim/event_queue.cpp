@@ -105,6 +105,18 @@ EventQueue::compactTop()
 EventId
 EventQueue::scheduleAt(SimTime when, Callback cb)
 {
+    return scheduleAt(when, EventTag{}, std::move(cb));
+}
+
+EventId
+EventQueue::scheduleAfter(Duration delay, Callback cb)
+{
+    return scheduleAt(now_ + delay, EventTag{}, std::move(cb));
+}
+
+EventId
+EventQueue::scheduleAt(SimTime when, EventTag tag, Callback cb)
+{
     EAAO_ASSERT(when >= now_, "scheduling into the past: ", when.str(),
                 " < ", now_.str());
     std::uint32_t idx;
@@ -117,6 +129,7 @@ EventQueue::scheduleAt(SimTime when, Callback cb)
     }
     Slot &slot = slots_[idx];
     slot.live = true;
+    slot.tag = tag;
     slot.cb = std::move(cb);
     staging_.push_back(HeapEntry{when, next_seq_++, idx, slot.gen});
     ++live_;
@@ -125,9 +138,39 @@ EventQueue::scheduleAt(SimTime when, Callback cb)
 }
 
 EventId
-EventQueue::scheduleAfter(Duration delay, Callback cb)
+EventQueue::scheduleAfter(Duration delay, EventTag tag, Callback cb)
 {
-    return scheduleAt(now_ + delay, std::move(cb));
+    return scheduleAt(now_ + delay, tag, std::move(cb));
+}
+
+bool
+EventQueue::exportImage(EventQueueImage &out) const
+{
+    out = EventQueueImage{};
+    out.now_ns = now_.ns();
+    out.next_seq = next_seq_;
+    out.processed = processed_;
+    out.scheduled = scheduled_;
+    out.cancelled = cancelled_;
+    out.slots.reserve(slots_.size());
+    for (const Slot &slot : slots_) {
+        if (slot.live && slot.tag.kind == 0)
+            return false; // untagged callback: not rebindable
+        out.slots.push_back(EventQueueImage::SlotImage{
+            slot.gen, static_cast<std::uint8_t>(slot.live ? 1 : 0),
+            slot.tag.kind, slot.tag.arg});
+    }
+    const auto entry = [](const HeapEntry &e) {
+        return EventQueueImage::EntryImage{e.when.ns(), e.seq, e.slot, e.gen};
+    };
+    out.heap.reserve(heap_.size());
+    for (const HeapEntry &e : heap_)
+        out.heap.push_back(entry(e));
+    out.staging.reserve(staging_.size());
+    for (const HeapEntry &e : staging_)
+        out.staging.push_back(entry(e));
+    out.free_list = free_;
+    return true;
 }
 
 bool

@@ -46,6 +46,54 @@ namespace eaao::sim {
 using EventId = std::uint64_t;
 
 /**
+ * Domain tag attached to a scheduled event so checkpoint/restore can
+ * rebuild its callback: `kind` names the callback family (0 =
+ * untagged, not snapshot-safe) and `arg` carries its captured state
+ * (typically an instance id). See docs/checkpoint.md.
+ */
+struct EventTag
+{
+    std::uint32_t kind = 0;
+    std::uint64_t arg = 0;
+};
+
+/**
+ * Plain-data image of a queue's complete state (slab, heap, staging
+ * buffer, free-list, counters, clock) produced by exportImage() and
+ * consumed by importImage(). Callbacks are represented by their
+ * EventTags; the importer rebinds them through a caller-supplied
+ * factory.
+ */
+struct EventQueueImage
+{
+    struct SlotImage
+    {
+        std::uint32_t gen = 1;
+        std::uint8_t live = 0;
+        std::uint32_t kind = 0;
+        std::uint64_t arg = 0;
+    };
+
+    struct EntryImage
+    {
+        std::int64_t when_ns = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t slot = 0;
+        std::uint32_t gen = 0;
+    };
+
+    std::int64_t now_ns = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t scheduled = 0;
+    std::uint64_t cancelled = 0;
+    std::vector<SlotImage> slots;
+    std::vector<EntryImage> heap;
+    std::vector<EntryImage> staging;
+    std::vector<std::uint32_t> free_list;
+};
+
+/**
  * Priority-queue based discrete event scheduler over SimTime.
  */
 class EventQueue
@@ -72,6 +120,16 @@ class EventQueue
 
     /** Schedule @p cb after a relative delay. */
     EventId scheduleAfter(Duration delay, Callback cb);
+
+    /**
+     * Schedule @p cb at @p when carrying a rebind tag so the event
+     * survives checkpoint/restore (see exportImage/importImage).
+     * @p tag.kind must be non-zero.
+     */
+    EventId scheduleAt(SimTime when, EventTag tag, Callback cb);
+
+    /** Tagged variant of scheduleAfter. */
+    EventId scheduleAfter(Duration delay, EventTag tag, Callback cb);
 
     /**
      * Cancel a pending event: O(1) slot invalidation (the callback is
@@ -109,6 +167,58 @@ class EventQueue
     /** Advance the clock by @p d, firing everything due in between. */
     void advance(Duration d);
 
+    /**
+     * Export the queue's complete state as plain data. Fails (returns
+     * false) when a live event carries no EventTag — an untagged
+     * callback cannot be rebound on restore.
+     */
+    bool exportImage(EventQueueImage &out) const;
+
+    /**
+     * Replace this queue's entire state with @p img, rebinding each
+     * live slot's callback through @p rebind(kind, arg) -> Callback.
+     * The slab, heap, staging buffer, free-list, counters, sequence
+     * numbers and clock are restored verbatim, so EventIds handed out
+     * before the capture stay valid afterwards.
+     */
+    template <typename Rebind>
+    void
+    importImage(const EventQueueImage &img, Rebind &&rebind)
+    {
+        now_ = SimTime::fromNanos(img.now_ns);
+        next_seq_ = img.next_seq;
+        processed_ = img.processed;
+        scheduled_ = img.scheduled;
+        cancelled_ = img.cancelled;
+        slots_.clear();
+        slots_.resize(img.slots.size());
+        live_ = 0;
+        for (std::size_t i = 0; i < img.slots.size(); ++i) {
+            const EventQueueImage::SlotImage &s = img.slots[i];
+            Slot &slot = slots_[i];
+            slot.gen = s.gen;
+            slot.live = s.live != 0;
+            slot.tag = EventTag{s.kind, s.arg};
+            if (slot.live) {
+                slot.cb = rebind(s.kind, s.arg);
+                ++live_;
+            }
+        }
+        const auto entry = [](const EventQueueImage::EntryImage &e) {
+            return HeapEntry{SimTime::fromNanos(e.when_ns), e.seq, e.slot,
+                             e.gen};
+        };
+        heap_.clear();
+        heap_.reserve(img.heap.size());
+        for (const EventQueueImage::EntryImage &e : img.heap)
+            heap_.push_back(entry(e));
+        staging_.clear();
+        staging_.reserve(img.staging.size());
+        for (const EventQueueImage::EntryImage &e : img.staging)
+            staging_.push_back(entry(e));
+        free_ = img.free_list;
+    }
+
   private:
     /**
      * One ready-queue entry. when/seq are duplicated out of the slot
@@ -128,6 +238,7 @@ class EventQueue
     {
         std::uint32_t gen = 1; //!< bumped on fire/cancel; never 0
         bool live = false;
+        EventTag tag; //!< rebind tag; kind 0 = untagged
         Callback cb;
     };
 

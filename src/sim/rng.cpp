@@ -158,4 +158,24 @@ Rng::exponential(double mean)
     return -mean * std::log(u);
 }
 
+RngState
+Rng::saveState() const
+{
+    RngState state;
+    for (int i = 0; i < 4; ++i)
+        state.s[i] = s_[i];
+    state.cached_normal = cached_normal_;
+    state.has_cached_normal = has_cached_normal_;
+    return state;
+}
+
+void
+Rng::restoreState(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+}
+
 } // namespace eaao::sim

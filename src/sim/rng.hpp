@@ -22,6 +22,19 @@ std::uint64_t splitmix64(std::uint64_t &state);
 std::uint64_t mix64(std::uint64_t x);
 
 /**
+ * Complete serialized Rng position: the four Xoshiro256** state words
+ * plus the Box-Muller normal cache (a normal() call consumes two
+ * uniforms and banks the second deviate, so stream position alone does
+ * not determine the next output).
+ */
+struct RngState
+{
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+};
+
+/**
  * Xoshiro256** deterministic generator.
  *
  * Satisfies UniformRandomBitGenerator. Streams derived from the same seed
@@ -70,6 +83,12 @@ class Rng
 
     /** Exponential deviate with the given mean (= 1/lambda). */
     double exponential(double mean);
+
+    /** Snapshot the full stream position (checkpoint/restore). */
+    RngState saveState() const;
+
+    /** Resume a stream position captured by saveState(). */
+    void restoreState(const RngState &state);
 
   private:
     explicit Rng(const std::uint64_t st[4]);

@@ -112,6 +112,36 @@ class HostLoadSoA
         return fold;
     }
 
+    /** Raw vcpu column (checkpoint capture). */
+    const std::vector<double> &vcpusColumn() const { return vcpus_; }
+
+    /** Raw memory column (checkpoint capture). */
+    const std::vector<double> &memColumn() const { return mem_gb_; }
+
+    /**
+     * Replace the table's contents with captured columns and touch
+     * list, preserving the current tracking mode and size. The dirty
+     * bitmap is rebuilt from @p touched so subsequent touches and
+     * drains behave exactly as in the captured run.
+     */
+    void
+    restoreState(const std::vector<double> &vcpus,
+                 const std::vector<double> &mem_gb,
+                 const std::vector<std::uint32_t> &touched)
+    {
+        EAAO_ASSERT(vcpus.size() == vcpus_.size() &&
+                        mem_gb.size() == mem_gb_.size(),
+                    "HostLoadSoA restore size mismatch");
+        vcpus_ = vcpus;
+        mem_gb_ = mem_gb;
+        if (track_) {
+            dirty_.assign(vcpus_.size(), 0);
+            touched_ = touched;
+            for (const std::uint32_t host : touched_)
+                dirty_[host] = 1;
+        }
+    }
+
   private:
     void
     touch(std::uint32_t host)

@@ -6,6 +6,7 @@
 #include "testkit/invariants.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "core/strategy.hpp"
@@ -170,6 +171,28 @@ checkEvents(const ScenarioLog &log, std::vector<Violation> &out)
         out.push_back({"events", "probe queue did not drain"});
 }
 
+/** Merged metrics JSON of a TrialSet, slot order (shared helper). */
+std::string
+mergedSetMetrics(const obs::TrialSet &set)
+{
+    std::vector<obs::MetricsRegistry> parts;
+    parts.reserve(set.slots().size());
+    for (const obs::TrialObs &slot : set.slots())
+        parts.push_back(slot.metrics);
+    return obs::mergeRegistries(parts).toJson();
+}
+
+/** Chrome trace JSON of a TrialSet, slot order (shared helper). */
+std::string
+setTraceJson(const obs::TrialSet &set)
+{
+    std::vector<const obs::TraceSink *> sinks;
+    sinks.reserve(set.slots().size());
+    for (const obs::TrialObs &slot : set.slots())
+        sinks.push_back(&slot.trace);
+    return obs::toChromeTraceJson(sinks);
+}
+
 /**
  * Shard-count byte-equality: one sharded execution per (shards,
  * threads) arm, all compared — log, merged metrics, Chrome trace —
@@ -195,18 +218,10 @@ checkShards(const Scenario &sc, const InvariantOptions &opts,
     };
 
     const auto mergedMetrics = [](obs::TrialSet &set) {
-        std::vector<obs::MetricsRegistry> parts;
-        parts.reserve(set.slots().size());
-        for (obs::TrialObs &slot : set.slots())
-            parts.push_back(slot.metrics);
-        return obs::mergeRegistries(parts).toJson();
+        return mergedSetMetrics(set);
     };
     const auto traceJson = [](const obs::TrialSet &set) {
-        std::vector<const obs::TraceSink *> sinks;
-        sinks.reserve(set.slots().size());
-        for (const obs::TrialObs &slot : set.slots())
-            sinks.push_back(&slot.trace);
-        return obs::toChromeTraceJson(sinks);
+        return setTraceJson(set);
     };
 
     std::string base_log;
@@ -246,6 +261,110 @@ checkShards(const Scenario &sc, const InvariantOptions &opts,
         if (trace != base_trace) {
             report("chrome trace", base_trace, trace);
             return;
+        }
+    }
+}
+
+/**
+ * Checkpoint/restore byte-equality: run the sharded scenario straight
+ * through at (1, 1) for the baseline, then re-run it capturing a
+ * snapshot at a window barrier (the first barrier, and a mid-run one
+ * when the run is long enough) and finish each captured run from the
+ * snapshot — once at the same (1, 1) grouping and once at (2, N),
+ * since lane grouping is excluded from the snapshot's config
+ * fingerprint. Log, merged metrics JSON, and Chrome trace JSON must
+ * all match the baseline byte-for-byte. Catches planted fault 5 (the
+ * restore path drops one lane's vcpus delta column).
+ */
+void
+checkSnapshot(const Scenario &sc, const InvariantOptions &opts,
+              std::vector<Violation> &out)
+{
+    obs::TrialSet base_set(true);
+    ShardedRunOptions base_ro;
+    base_ro.obs = &base_set;
+    const std::string base_log = runScenarioSharded(sc, base_ro);
+    const std::string base_metrics = mergedSetMetrics(base_set);
+    const std::string base_trace = setTraceJson(base_set);
+
+    unsigned lanes = 0, windows = 0;
+    long long window_ns = 0;
+    if (std::sscanf(base_log.c_str(),
+                    "sharded lanes=%u window_ns=%lld windows=%u", &lanes,
+                    &window_ns, &windows) != 3) {
+        out.push_back({"snapshot", "cannot parse window count from the "
+                                   "sharded log header"});
+        return;
+    }
+
+    std::vector<std::uint32_t> capture_points = {0};
+    if (windows / 2 != 0)
+        capture_points.push_back(windows / 2);
+
+    for (const std::uint32_t at : capture_points) {
+        std::vector<std::uint8_t> image;
+        obs::TrialSet cap_set(true);
+        ShardedRunOptions cap_ro;
+        cap_ro.obs = &cap_set;
+        cap_ro.snapshot_at_window = at;
+        cap_ro.snapshot_out = &image;
+        const std::string cap_log = runScenarioSharded(sc, cap_ro);
+        if (cap_log != base_log) {
+            out.push_back({"snapshot",
+                           "capture stepping perturbed the run: " +
+                               firstDiff(base_log, cap_log)});
+            return;
+        }
+        if (image.empty()) {
+            std::ostringstream detail;
+            detail << "no snapshot captured at window " << at << " (of "
+                   << windows << ")";
+            out.push_back({"snapshot", detail.str()});
+            return;
+        }
+
+        struct Arm
+        {
+            std::uint32_t shards;
+            unsigned threads;
+        };
+        const Arm arms[] = {{1, 1}, {2, opts.threads}};
+        for (const Arm &arm : arms) {
+            obs::TrialSet res_set(true);
+            ShardedRunOptions res_ro;
+            res_ro.shards = arm.shards;
+            res_ro.threads = arm.threads;
+            res_ro.obs = &res_set;
+            std::string log, error;
+            const auto report = [&](const char *what,
+                                    const std::string &a,
+                                    const std::string &b) {
+                std::ostringstream detail;
+                detail << "window " << at << " restore (shards="
+                       << arm.shards << " threads=" << arm.threads << ") "
+                       << what << ": " << firstDiff(a, b);
+                out.push_back({"snapshot", detail.str()});
+            };
+            if (!resumeScenarioSharded(sc, res_ro, image, log, error)) {
+                std::ostringstream detail;
+                detail << "window " << at << " restore failed: " << error;
+                out.push_back({"snapshot", detail.str()});
+                return;
+            }
+            if (log != base_log) {
+                report("log", base_log, log);
+                return;
+            }
+            const std::string metrics = mergedSetMetrics(res_set);
+            if (metrics != base_metrics) {
+                report("merged metrics", base_metrics, metrics);
+                return;
+            }
+            const std::string trace = setTraceJson(res_set);
+            if (trace != base_trace) {
+                report("chrome trace", base_trace, trace);
+                return;
+            }
         }
     }
 }
@@ -345,6 +464,8 @@ checkInvariants(const Scenario &scenario, const InvariantOptions &opts)
         checkThreads(scenario, opts, out);
     if (opts.check_shards)
         checkShards(scenario, opts, out);
+    if (opts.check_snapshot)
+        checkSnapshot(scenario, opts, out);
     if (opts.check_verify)
         checkVerify(scenario, out);
     return out;

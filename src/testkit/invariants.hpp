@@ -24,6 +24,12 @@
  *    lanes — shards in {1, 2, shard_arm} crossed with threads in
  *    {1, N}. This is the oracle that catches the cross-lane window
  *    protocol's planted faults (fault_injection 3/4).
+ *  - snapshot: checkpointing the sharded run at a window barrier
+ *    (snap::Snapshotter) and restoring into a fresh platform — at the
+ *    same lane grouping and at a different one — must finish with a
+ *    canonical log, merged metrics JSON, and Chrome trace JSON
+ *    byte-identical to the uninterrupted run. This is the oracle that
+ *    catches the checkpoint path's planted fault (fault_injection 5).
  */
 
 #ifndef EAAO_TESTKIT_INVARIANTS_HPP
@@ -40,7 +46,7 @@ namespace eaao::testkit {
 struct Violation
 {
     std::string oracle; //!< "reference", "threads", "obs", "events",
-                        //!< "verify", "shards"
+                        //!< "verify", "shards", "snapshot"
     std::string detail; //!< first point of divergence
 };
 
@@ -55,6 +61,7 @@ struct InvariantOptions
     bool check_obs = true;
     bool check_events = true;
     bool check_shards = true;
+    bool check_snapshot = true;
 
     /** Largest shard count of the shard-equality arms ({1, 2, this}).
      *  tools/fuzz_scenarios --shards overrides it. */

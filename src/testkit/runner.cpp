@@ -10,6 +10,7 @@
 
 #include "faas/platform.hpp"
 #include "faas/sharded.hpp"
+#include "snap/snapshotter.hpp"
 
 namespace eaao::testkit {
 
@@ -232,8 +233,10 @@ runScenario(const Scenario &scenario, const RunOptions &opts)
     return log;
 }
 
-std::string
-runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
+namespace {
+
+faas::ShardedConfig
+shardedConfigOf(const Scenario &scenario, const ShardedRunOptions &opts)
 {
     faas::ShardedConfig cfg;
     cfg.profile = profileOf(scenario.profile);
@@ -247,7 +250,15 @@ runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
     cfg.seed = opts.seed_override != 0 ? opts.seed_override : scenario.seed;
     cfg.shards = opts.shards;
     cfg.threads = opts.threads;
+    return cfg;
+}
 
+} // namespace
+
+std::string
+runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
+{
+    const faas::ShardedConfig cfg = shardedConfigOf(scenario, opts);
     faas::ShardedPlatform platform(cfg, opts.obs);
 
     std::vector<faas::AccountId> accounts;
@@ -347,8 +358,41 @@ runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
         ++step_no;
     }
 
-    platform.run(std::move(ops), t + sim::Duration::minutes(20));
+    const sim::SimTime horizon = t + sim::Duration::minutes(20);
+    if (opts.snapshot_out == nullptr) {
+        platform.run(std::move(ops), horizon);
+        return platform.renderLog();
+    }
+
+    // Checkpoint-capture mode: step the window loop by hand so the
+    // requested barrier can be captured in its pre-fold state.
+    opts.snapshot_out->clear();
+    platform.beginRun(std::move(ops), horizon);
+    std::uint32_t window = 0;
+    while (platform.running()) {
+        platform.advanceWindow();
+        if (opts.snapshot_out->empty() && window >= opts.snapshot_at_window)
+            *opts.snapshot_out = snap::Snapshotter::capture(platform);
+        platform.completeWindow();
+        ++window;
+    }
     return platform.renderLog();
+}
+
+bool
+resumeScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts,
+                      const std::vector<std::uint8_t> &image,
+                      std::string &log, std::string &error)
+{
+    const faas::ShardedConfig cfg = shardedConfigOf(scenario, opts);
+    // No accounts/services/ops setup: restore() replaces the platform
+    // state wholesale, including the id maps and lane scripts.
+    faas::ShardedPlatform platform(cfg, opts.obs);
+    if (!snap::Snapshotter::restore(image, platform, error))
+        return false;
+    platform.resumeRun();
+    log = platform.renderLog();
+    return true;
 }
 
 } // namespace eaao::testkit

@@ -89,6 +89,15 @@ struct ShardedRunOptions
 
     /** Replace Scenario::seed; 0 keeps it. */
     std::uint64_t seed_override = 0;
+
+    /**
+     * When snapshot_out is non-null, capture an eaao-snap image at the
+     * first window barrier with index >= snapshot_at_window (pre-fold
+     * state; see docs/checkpoint.md) and keep running to completion.
+     * If the run finishes earlier, snapshot_out is left empty.
+     */
+    std::uint32_t snapshot_at_window = ~0u;
+    std::vector<std::uint8_t> *snapshot_out = nullptr;
 };
 
 /**
@@ -106,6 +115,19 @@ struct ShardedRunOptions
  */
 std::string runScenarioSharded(const Scenario &scenario,
                                const ShardedRunOptions &opts = {});
+
+/**
+ * Resume a sharded scenario run from @p image (captured by
+ * runScenarioSharded with snapshot_out set, under the same scenario
+ * and fault/seed overrides; shards/threads may differ). On success
+ * @p log receives the completed run's canonical log — byte-identical
+ * to the uninterrupted run's. On restore failure returns false with a
+ * one-line reason in @p error.
+ */
+bool resumeScenarioSharded(const Scenario &scenario,
+                           const ShardedRunOptions &opts,
+                           const std::vector<std::uint8_t> &image,
+                           std::string &log, std::string &error);
 
 } // namespace eaao::testkit
 

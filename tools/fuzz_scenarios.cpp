@@ -13,8 +13,8 @@
  * Usage:
  *   fuzz_scenarios [--seed S] [--time-budget SECONDS]
  *                  [--max-scenarios N] [--threads N] [--shards N]
- *                  [--verify-every N] [--inject-fault K]
- *                  [--out DIR] [--replay FILE]
+ *                  [--verify-every N] [--snapshot-every N]
+ *                  [--inject-fault K] [--out DIR] [--replay FILE]
  *
  * Scenario i is a pure function of (seed, i): a campaign is
  * reproducible from its seed regardless of thread count or budget.
@@ -50,6 +50,7 @@ struct Args
     unsigned threads = 4;
     std::uint32_t shards = 5; //!< largest shard-equality arm
     std::uint64_t verify_every = 25; //!< 0 disables the verify oracle
+    std::uint64_t snapshot_every = 4; //!< 0 disables the snapshot oracle
     std::uint32_t inject_fault = 0;
     std::string out_dir = ".";
     std::string replay_path;
@@ -62,7 +63,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--seed S] [--time-budget SECONDS] [--max-scenarios N]\n"
         "          [--threads N] [--shards N] [--verify-every N]\n"
-        "          [--inject-fault K] [--out DIR] [--replay FILE]\n",
+        "          [--snapshot-every N] [--inject-fault K]\n"
+        "          [--out DIR] [--replay FILE]\n",
         argv0);
     std::exit(2);
 }
@@ -92,6 +94,8 @@ parseArgs(int argc, char **argv)
                 std::strtoul(value(i), nullptr, 10));
         else if (std::strcmp(arg, "--verify-every") == 0)
             args.verify_every = std::strtoull(value(i), nullptr, 10);
+        else if (std::strcmp(arg, "--snapshot-every") == 0)
+            args.snapshot_every = std::strtoull(value(i), nullptr, 10);
         else if (std::strcmp(arg, "--inject-fault") == 0)
             args.inject_fault =
                 static_cast<std::uint32_t>(std::strtoul(value(i), nullptr, 10));
@@ -117,6 +121,9 @@ oracleOptions(const Args &args, std::uint64_t index)
     // The verify oracle costs a covert-channel campaign; sample it.
     opts.check_verify =
         args.verify_every != 0 && index % args.verify_every == 0;
+    // The snapshot oracle costs several extra sharded runs; sample it.
+    opts.check_snapshot =
+        args.snapshot_every != 0 && index % args.snapshot_every == 0;
     return opts;
 }
 
@@ -155,6 +162,7 @@ replay(const Args &args)
     opts.threads = args.threads > 1 ? args.threads : 4;
     opts.shard_arm = args.shards > 1 ? args.shards : 5;
     opts.check_verify = true;
+    opts.check_snapshot = true;
     const std::vector<testkit::Violation> violations =
         testkit::checkInvariants(sc, opts);
     if (violations.empty()) {
