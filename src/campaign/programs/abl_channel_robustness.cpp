@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation kernel: robustness of the covert-channel verification
+ * pipeline. Each `arm` directive degrades the channel — background
+ * contention, per-unit detection probability, trial count — and the
+ * table reports clustering accuracy and the test count (noise pushes
+ * groups onto the pairwise fallback path).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/programs/common.hpp"
+#include "campaign/runner.hpp"
+#include "channel/covert.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "core/verify.hpp"
+#include "faas/platform.hpp"
+#include "stats/clustering.hpp"
+
+namespace {
+
+struct Row
+{
+    eaao::channel::RngChannelConfig chan;
+    std::string label;
+};
+
+} // namespace
+
+EAAO_CAMPAIGN_PROGRAM(abl_channel_robustness)
+{
+    using namespace eaao;
+    const campaign::CampaignSpec &spec = ctx.spec;
+
+    const faas::DataCenterProfile profile =
+        campaign::profileOf(spec, "platform", "profile");
+    const std::uint64_t seed = spec.u64("platform", "seed");
+    const std::uint32_t instances = spec.u32("workload", "instances");
+
+    // arm "<label>" <trials> <detect_min> <background_prob> <unit_detect_prob>
+    std::vector<Row> rows;
+    for (const campaign::SpecLine *line :
+         spec.directives("attack", "arm")) {
+        if (line->tokens.size() != 6)
+            spec.fail(line->line_no,
+                      "expected: arm <label> <trials> <detect_min> "
+                      "<background_prob> <unit_detect_prob>");
+        Row row;
+        row.label = line->tokens[1];
+        row.chan.trials = static_cast<std::uint32_t>(
+            std::stoul(line->tokens[2]));
+        row.chan.detect_min = static_cast<std::uint32_t>(
+            std::stoul(line->tokens[3]));
+        row.chan.background_prob = std::stod(line->tokens[4]);
+        row.chan.unit_detect_prob = std::stod(line->tokens[5]);
+        rows.push_back(row);
+    }
+
+    core::TextTable table;
+    table.header({"channel", "tests", "precision", "recall",
+                  "test time"});
+
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        faas::PlatformConfig cfg;
+        cfg.profile = profile;
+        cfg.seed = seed + r;
+        faas::Platform p(cfg);
+        const auto acct = p.createAccount();
+        const auto svc = p.deployService(acct, faas::ExecEnv::Gen1);
+        core::LaunchOptions launch;
+        launch.instances = instances;
+        launch.disconnect_after = false;
+        const auto obs = core::launchAndObserve(p, svc, launch);
+
+        channel::RngChannel chan(p, rows[r].chan);
+        const auto result = core::verifyScalable(
+            p, chan, obs.ids, obs.fp_keys, obs.class_keys);
+
+        std::vector<std::uint64_t> oracle;
+        for (const auto id : obs.ids)
+            oracle.push_back(p.oracleHostOf(id));
+        const auto pc = stats::comparePairs(result.cluster_of, oracle);
+
+        table.row({rows[r].label,
+                   core::format("%llu",
+                                static_cast<unsigned long long>(
+                                    result.group_tests)),
+                   core::format("%.4f", pc.precision()),
+                   core::format("%.4f", pc.recall()),
+                   result.elapsed.str()});
+    }
+    table.print();
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation kernel: the two placement knobs DESIGN.md calls out — the
+ * helper chunk size (how aggressively the load balancer spreads a hot
+ * service) and the demand-window length — and their effect on the
+ * attack surface. Sweeps come from the campaign's [workload] section.
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "campaign/programs/common.hpp"
+#include "campaign/runner.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+
+namespace {
+
+using namespace eaao;
+
+struct Outcome
+{
+    std::size_t primed_footprint; //!< hosts after priming one service
+    double occupancy;             //!< full campaign, fraction of fleet
+    double coverage;              //!< victim coverage
+};
+
+Outcome
+evaluate(const faas::DataCenterProfile &profile,
+         const faas::OrchestratorConfig &orch, std::uint64_t seed,
+         std::uint32_t victim_count)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = profile;
+    cfg.orchestrator = orch;
+    cfg.seed = seed;
+    faas::Platform p(cfg);
+
+    const auto attacker = p.createAccount(0);
+    const auto victim = p.createAccount(1);
+
+    // Primed footprint of a single service.
+    const auto probe = p.deployService(attacker, faas::ExecEnv::Gen1);
+    core::PrimeOptions prime;
+    prime.keep_last_connected = false;
+    const auto launches = core::primeService(p, probe, prime);
+    std::set<std::uint64_t> footprint;
+    for (const auto &obs : launches) {
+        const auto hosts = obs.apparentHosts();
+        footprint.insert(hosts.begin(), hosts.end());
+    }
+    p.advance(sim::Duration::minutes(45));
+
+    // Full campaign and coverage.
+    const auto attack =
+        core::runOptimizedCampaign(p, attacker, core::CampaignConfig{});
+    const auto vsvc = p.deployService(victim, faas::ExecEnv::Gen1);
+    const auto vids = p.connect(vsvc, victim_count);
+    const auto cov =
+        core::measureCoverageOracle(p, attack.occupied_hosts, vids);
+
+    Outcome out;
+    out.primed_footprint = footprint.size();
+    out.occupancy = static_cast<double>(attack.occupied_hosts.size()) /
+                    static_cast<double>(p.fleet().size());
+    out.coverage = cov.coverage();
+    return out;
+}
+
+} // namespace
+
+EAAO_CAMPAIGN_PROGRAM(abl_placement_knobs)
+{
+    const campaign::CampaignSpec &spec = ctx.spec;
+
+    const faas::DataCenterProfile base_profile =
+        campaign::profileOf(spec, "platform", "profile");
+    const std::uint64_t chunk_seed =
+        spec.u64("platform", "chunk_seed");
+    const std::uint64_t window_seed =
+        spec.u64("platform", "window_seed");
+    const std::uint32_t victim_count =
+        spec.u32("verify", "victim_instances");
+
+    // ---- Helper chunk sweep. ----
+    std::printf("-- helper chunk (hosts added per hot launch) --\n");
+    core::TextTable chunk_table;
+    chunk_table.header({"helper_chunk", "primed footprint", "occupancy",
+                        "victim coverage"});
+    for (const double chunk_val :
+         spec.numList("workload", "chunk_sweep")) {
+        const auto chunk = static_cast<std::uint32_t>(chunk_val);
+        faas::DataCenterProfile profile = base_profile;
+        profile.helper_chunk = chunk;
+        const Outcome out =
+            evaluate(profile, faas::OrchestratorConfig{},
+                     chunk_seed + chunk, victim_count);
+        chunk_table.row({core::format("%u", chunk),
+                         core::format("%zu", out.primed_footprint),
+                         core::percent(out.occupancy),
+                         core::percent(out.coverage)});
+    }
+    chunk_table.print();
+    std::printf("\nchunk 0 disables the load balancer entirely: the "
+                "optimized strategy\ndegenerates to the naive one "
+                "(base hosts only, low cross-account coverage).\n\n");
+
+    // ---- Demand window sweep. ----
+    std::printf("-- demand window (hotness memory) --\n");
+    core::TextTable window_table;
+    window_table.header({"window (min)", "primed footprint",
+                         "occupancy", "victim coverage"});
+    for (const double window_val :
+         spec.numList("workload", "window_sweep")) {
+        const int window_min = static_cast<int>(window_val);
+        faas::OrchestratorConfig orch;
+        orch.demand_window = sim::Duration::minutes(window_min);
+        const Outcome out = evaluate(base_profile, orch,
+                                     window_seed + window_min,
+                                     victim_count);
+        window_table.row({core::format("%d", window_min),
+                          core::format("%zu", out.primed_footprint),
+                          core::percent(out.occupancy),
+                          core::percent(out.coverage)});
+    }
+    window_table.print();
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Profile-name resolution for campaign programs.
+ */
+
+#include "campaign/programs/common.hpp"
+
+namespace eaao::campaign {
+
+faas::DataCenterProfile
+profileByName(const CampaignSpec &spec, const std::string &name,
+              std::size_t line_no)
+{
+    if (name == "us-east1")
+        return faas::DataCenterProfile::usEast1();
+    if (name == "us-central1")
+        return faas::DataCenterProfile::usCentral1();
+    if (name == "us-west1")
+        return faas::DataCenterProfile::usWest1();
+    spec.fail(line_no, "unknown data-center profile '" + name +
+                           "' (known: us-east1, us-central1, us-west1)");
+}
+
+std::vector<faas::DataCenterProfile>
+profileList(const CampaignSpec &spec, const std::string &section,
+            const std::string &key)
+{
+    const std::vector<std::string> names = spec.strList(section, key);
+    const SpecLine *line = spec.file().section(section)->find(key);
+    std::vector<faas::DataCenterProfile> profiles;
+    profiles.reserve(names.size());
+    for (const std::string &name : names)
+        profiles.push_back(profileByName(spec, name, line->line_no));
+    return profiles;
+}
+
+faas::DataCenterProfile
+profileOf(const CampaignSpec &spec, const std::string &section,
+          const std::string &key)
+{
+    const std::string name = spec.str(section, key);
+    const SpecLine *line = spec.file().section(section)->find(key);
+    return profileByName(spec, name, line->line_no);
+}
+
+} // namespace eaao::campaign

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the ported campaign programs: resolving
+ * data-center profile names from spec files.
+ */
+
+#ifndef EAAO_CAMPAIGN_PROGRAMS_COMMON_HPP
+#define EAAO_CAMPAIGN_PROGRAMS_COMMON_HPP
+
+#include "campaign/spec.hpp"
+#include "faas/fleet.hpp"
+
+#include <string>
+#include <vector>
+
+namespace eaao::campaign {
+
+/**
+ * The paper-calibrated preset named @p name (us-east1 / us-central1 /
+ * us-west1). Throws SpecError at @p line_no of @p spec otherwise.
+ */
+faas::DataCenterProfile profileByName(const CampaignSpec &spec,
+                                      const std::string &name,
+                                      std::size_t line_no);
+
+/** Profiles named by the required list `[section] key = n1 n2 ...`. */
+std::vector<faas::DataCenterProfile>
+profileList(const CampaignSpec &spec, const std::string &section,
+            const std::string &key);
+
+/** Profile named by the required scalar `[section] key = name`. */
+faas::DataCenterProfile profileOf(const CampaignSpec &spec,
+                                  const std::string &section,
+                                  const std::string &key);
+
+} // namespace eaao::campaign
+
+#endif // EAAO_CAMPAIGN_PROGRAMS_COMMON_HPP

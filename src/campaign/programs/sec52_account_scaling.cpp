@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Section 5.2 kernel, "Potential attack optimizations": occupying more
+ * hosts with more accounts and more services — and the quota wall that
+ * makes it expensive. Established accounts scale to full launches;
+ * fresh accounts are quota-capped until they build usage history.
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "campaign/programs/common.hpp"
+#include "campaign/runner.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+#include "support/logging.hpp"
+
+namespace {
+
+using namespace eaao;
+
+/** Occupied-host fraction for a fleet of attacker accounts. */
+double
+occupancyWithAccounts(const faas::DataCenterProfile &profile,
+                      std::uint32_t accounts,
+                      std::uint32_t services_per_account,
+                      std::uint32_t quota, std::uint32_t instances,
+                      std::uint64_t seed, double &cost_usd)
+{
+    faas::PlatformConfig cfg;
+    cfg.profile = profile;
+    cfg.seed = seed;
+    faas::Platform p(cfg);
+
+    std::set<hw::HostId> occupied;
+    cost_usd = 0.0;
+    for (std::uint32_t a = 0; a < accounts; ++a) {
+        const auto acct = p.createAccount(
+            a % p.fleet().shardCount(), quota);
+        core::CampaignConfig campaign;
+        campaign.services = services_per_account;
+        campaign.prime.launch.instances = instances; // clamped by quota
+        const auto result =
+            core::runOptimizedCampaign(p, acct, campaign);
+        occupied.insert(result.occupied_hosts.begin(),
+                        result.occupied_hosts.end());
+        cost_usd += result.cost_usd;
+    }
+    return static_cast<double>(occupied.size()) /
+           static_cast<double>(p.fleet().size());
+}
+
+} // namespace
+
+EAAO_CAMPAIGN_PROGRAM(sec52_account_scaling)
+{
+    const campaign::CampaignSpec &spec = ctx.spec;
+
+    // Quota clamps are expected here; silence the per-launch warnings.
+    eaao::setLogLevel(eaao::LogLevel::Silent);
+
+    const faas::DataCenterProfile profile =
+        campaign::profileOf(spec, "platform", "profile");
+    const std::uint64_t seed = spec.u64("platform", "seed");
+    const std::uint32_t instances =
+        spec.u32("workload", "instances_per_launch");
+
+    core::TextTable table;
+    table.header({"accounts", "services/acct", "quota", "occupancy",
+                  "cost (USD)"});
+
+    // point <accounts> <services_per_account> <quota>
+    for (const campaign::SpecLine *line :
+         spec.directives("workload", "point")) {
+        if (line->tokens.size() != 4)
+            spec.fail(line->line_no,
+                      "expected: point <accounts> <services> <quota>");
+        const auto accounts = static_cast<std::uint32_t>(
+            std::stoul(line->tokens[1]));
+        const auto services = static_cast<std::uint32_t>(
+            std::stoul(line->tokens[2]));
+        const auto quota = static_cast<std::uint32_t>(
+            std::stoul(line->tokens[3]));
+        double cost = 0.0;
+        const double occ = occupancyWithAccounts(
+            profile, accounts, services, quota, instances,
+            seed + accounts * 13 + services, cost);
+        table.row({core::format("%u", accounts),
+                   core::format("%u", services),
+                   core::format("%u", quota),
+                   core::percent(occ),
+                   core::format("%.1f", cost)});
+    }
+    table.print();
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Section 5.2, Strategy 1 kernel: naive instance launching. The
+ * attacker launches from cold services without any insight into the
+ * placement policy; base hosts are account-affine, so coverage is zero
+ * unless the attacker's and victim's base hosts happen to overlap.
+ * Paper-expectation cells come from `paper` directives in [verify].
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/programs/common.hpp"
+#include "campaign/runner.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "faas/platform.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+struct DcSetup
+{
+    eaao::faas::DataCenterProfile profile;
+    std::uint32_t shards[3]; // attacker, Account 2, Account 3
+    std::string paper[2];
+};
+
+} // namespace
+
+EAAO_CAMPAIGN_PROGRAM(sec52_naive_strategy)
+{
+    using namespace eaao;
+    const campaign::CampaignSpec &spec = ctx.spec;
+
+    const int runs = static_cast<int>(spec.u32("workload", "runs"));
+    const int services = static_cast<int>(spec.u32("workload", "services"));
+    const std::uint32_t per_service =
+        spec.u32("workload", "instances_per_service");
+    const std::uint32_t victim_count =
+        spec.u32("verify", "victim_instances");
+    const std::uint64_t seed = spec.u64("platform", "seed");
+    const std::uint64_t victim_stride =
+        spec.u64("platform", "victim_seed_stride");
+
+    std::printf("=== Section 5.2, Strategy 1: naive launching "
+                "(%u instances, %d cold services) ===\n\n",
+                services * per_service, services);
+
+    // dc <profile> <shard x3> — shard assignments reproduce the
+    // per-account accidents the paper observed; `paper <profile>
+    // <acc2> <acc3>` carries the expected-coverage column.
+    std::vector<DcSetup> dcs;
+    for (const campaign::SpecLine *line :
+         spec.directives("tenants", "dc")) {
+        if (line->tokens.size() != 5)
+            spec.fail(line->line_no,
+                      "expected: dc <profile> <shard> <shard> <shard>");
+        DcSetup dc;
+        dc.profile = campaign::profileByName(spec, line->tokens[1],
+                                             line->line_no);
+        for (int s = 0; s < 3; ++s)
+            dc.shards[s] = static_cast<std::uint32_t>(
+                std::stoul(line->tokens[2 + s]));
+        dc.paper[0] = dc.paper[1] = "0%";
+        dcs.push_back(dc);
+    }
+    for (const campaign::SpecLine *line :
+         spec.directives("verify", "paper")) {
+        if (line->tokens.size() != 4)
+            spec.fail(line->line_no,
+                      "expected: paper <profile> <acc2> <acc3>");
+        bool matched = false;
+        for (DcSetup &dc : dcs) {
+            if (dc.profile.name == line->tokens[1]) {
+                dc.paper[0] = line->tokens[2];
+                dc.paper[1] = line->tokens[3];
+                matched = true;
+            }
+        }
+        if (!matched)
+            spec.fail(line->line_no, "paper row names unknown DC '" +
+                                         line->tokens[1] + "'");
+    }
+
+    core::TextTable table;
+    table.header({"DC / victim", "coverage", "(sd)",
+                  "attacker hosts", "paper"});
+
+    for (const DcSetup &dc : dcs) {
+        for (int victim_idx = 0; victim_idx < 2; ++victim_idx) {
+            stats::OnlineStats coverage;
+            std::size_t attacker_hosts = 0;
+            for (int run = 0; run < runs; ++run) {
+                faas::PlatformConfig cfg;
+                cfg.profile = dc.profile;
+                cfg.seed = seed + victim_idx * victim_stride + run;
+                faas::Platform platform(cfg);
+                const auto attacker =
+                    platform.createAccount(dc.shards[0]);
+                const auto victim = platform.createAccount(
+                    dc.shards[1 + victim_idx]);
+
+                const core::CampaignResult attack =
+                    core::runNaiveCampaign(platform, attacker,
+                                           services, per_service);
+                attacker_hosts = attack.occupied_hosts.size();
+
+                const auto vsvc = platform.deployService(
+                    victim, faas::ExecEnv::Gen1);
+                const auto vids = platform.connect(vsvc, victim_count);
+                coverage.add(core::measureCoverageOracle(
+                                 platform, attack.occupied_hosts, vids)
+                                 .coverage());
+            }
+            table.row({dc.profile.name + " / Acc" +
+                           std::to_string(victim_idx + 2),
+                       core::percent(coverage.mean()),
+                       core::format("%.3f", coverage.stddev()),
+                       core::format("%zu", attacker_hosts),
+                       dc.paper[victim_idx]});
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Section 4.3 kernel: cost comparison of scalable fingerprint-assisted
+ * verification vs conventional pairwise covert-channel testing (and
+ * SIE) for one launch of concurrent instances.
+ *
+ * The four methods are evaluated on four independent platforms; each
+ * evaluation is one trial on the parallel harness, and the rows are
+ * printed serially in method order so stdout is identical for any
+ * --threads value.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/programs/common.hpp"
+#include "campaign/runner.hpp"
+#include "core/report.hpp"
+#include "core/strategy.hpp"
+#include "core/verify.hpp"
+#include "exp/trial_runner.hpp"
+#include "faas/platform.hpp"
+#include "stats/clustering.hpp"
+#include "support/bench_timer.hpp"
+
+namespace {
+
+struct Setup
+{
+    std::unique_ptr<eaao::faas::Platform> platform;
+    eaao::core::LaunchObservation obs;
+
+    Setup(const eaao::faas::DataCenterProfile &profile,
+          std::uint64_t seed, std::uint32_t instances)
+    {
+        using namespace eaao;
+        faas::PlatformConfig cfg;
+        cfg.profile = profile;
+        cfg.seed = seed;
+        platform = std::make_unique<faas::Platform>(cfg);
+        const auto acct = platform->createAccount();
+        const auto svc =
+            platform->deployService(acct, faas::ExecEnv::Gen1);
+        core::LaunchOptions launch;
+        launch.instances = instances;
+        launch.disconnect_after = false;
+        obs = core::launchAndObserve(*platform, svc, launch);
+    }
+};
+
+/** One evaluated method: a table row, or the SIE survivor count. */
+struct MethodResult
+{
+    std::vector<std::string> row;
+    std::size_t sie_survivors = 0;
+};
+
+std::vector<std::string>
+scoreRow(const char *label, const Setup &s,
+         const eaao::core::VerifyResult &r)
+{
+    using namespace eaao;
+    std::vector<std::uint64_t> oracle;
+    for (const auto id : s.obs.ids)
+        oracle.push_back(s.platform->oracleHostOf(id));
+    const auto pc = stats::comparePairs(r.cluster_of, oracle);
+    const bool cents = std::string(label) == "scalable (ours)";
+    return {label,
+            core::format("%llu",
+                         static_cast<unsigned long long>(r.group_tests)),
+            r.elapsed.str(),
+            core::format(cents ? "%.2f" : "%.0f", r.cost_usd),
+            core::format("%llu", static_cast<unsigned long long>(
+                                     pc.fp + pc.fn))};
+}
+
+} // namespace
+
+EAAO_CAMPAIGN_PROGRAM(tab_verification_cost)
+{
+    using namespace eaao;
+    const campaign::CampaignSpec &spec = ctx.spec;
+    const unsigned threads = ctx.threads;
+
+    const faas::DataCenterProfile profile =
+        campaign::profileOf(spec, "platform", "profile");
+    const std::uint64_t seed = spec.u64("platform", "seed");
+    const std::uint32_t instances = spec.u32("workload", "instances");
+
+    std::printf("=== Section 4.3: co-location verification cost for "
+                "%u instances (%s) ===\n\n", instances,
+                profile.name.c_str());
+
+    support::BenchTimer timer(spec.name(), threads, seed);
+    const std::vector<MethodResult> methods = exp::runTrials(
+        4, seed,
+        [&](exp::TrialContext &trial) {
+            Setup s(profile, seed + trial.index, instances);
+            MethodResult out;
+            switch (trial.index) {
+            case 0: { // Scalable fingerprint-assisted verification.
+                channel::RngChannel chan(*s.platform);
+                const core::VerifyResult r = core::verifyScalable(
+                    *s.platform, chan, s.obs.ids, s.obs.fp_keys,
+                    s.obs.class_keys);
+                out.row = scoreRow("scalable (ours)", s, r);
+                break;
+            }
+            case 1: { // Pairwise RNG channel at 100 ms/test.
+                channel::RngChannelConfig quick;
+                quick.trials = 6;
+                quick.detect_min = 3;
+                channel::RngChannel chan(*s.platform, quick);
+                const core::VerifyResult r =
+                    core::verifyPairwise(*s.platform, chan, s.obs.ids);
+                out.row = scoreRow("pairwise, 100 ms/test", s, r);
+                break;
+            }
+            case 2: { // Pairwise memory-bus channel (3 s/test).
+                channel::MemBusChannel chan(*s.platform);
+                const core::VerifyResult r = core::verifyPairwiseMemBus(
+                    *s.platform, chan, s.obs.ids);
+                out.row = scoreRow("pairwise, mem-bus 3 s/test", s, r);
+                break;
+            }
+            case 3: { // SIE (Inci et al.) is ineffective in FaaS.
+                channel::RngChannel chan(*s.platform);
+                out.sie_survivors =
+                    core::singleInstanceElimination(*s.platform, chan,
+                                                    s.obs.ids)
+                        .size();
+                break;
+            }
+            }
+            return out;
+        },
+        threads);
+    support::maybeWriteBenchJson(ctx.argc, ctx.argv, timer.stop());
+
+    core::TextTable table;
+    table.header({"method", "tests", "wall time", "cost (USD)",
+                  "pairwise errors"});
+    for (std::size_t i = 0; i < 3; ++i)
+        table.row(methods[i].row);
+    table.print();
+
+    std::printf("\nSIE filtering: %zu of %u instances survive "
+                "(paper: SIE removes nothing,\nsince the "
+                "orchestrator co-locates instances of the same "
+                "service).\n",
+                methods[3].sie_survivors, instances);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Counter timelines and rising-edge trigger evaluation.
+ */
+
+#include "campaign/trigger.hpp"
+
+#include <algorithm>
+
+namespace eaao::campaign {
+
+namespace {
+
+/** Index of the last sample with t_s <= t, or -1. */
+template <typename Samples>
+std::ptrdiff_t
+lastAtOrBefore(const Samples &samples, double t)
+{
+    const auto it = std::upper_bound(
+        samples.begin(), samples.end(), t,
+        [](double lhs, const auto &s) { return lhs < s.t_s; });
+    return static_cast<std::ptrdiff_t>(it - samples.begin()) - 1;
+}
+
+} // namespace
+
+void
+CounterTimeline::record(const std::string &name, double t_s, double value)
+{
+    series_[name].push_back(Sample{t_s, value});
+}
+
+double
+CounterTimeline::valueAt(const std::string &name, double t_s) const
+{
+    const auto it = series_.find(name);
+    if (it == series_.end())
+        return 0.0;
+    const std::ptrdiff_t i = lastAtOrBefore(it->second, t_s);
+    return i < 0 ? 0.0 : it->second[static_cast<std::size_t>(i)].value;
+}
+
+double
+CounterTimeline::rate(const std::string &name, double window_s,
+                      double t_s) const
+{
+    if (window_s <= 0.0)
+        return 0.0;
+    const double now = valueAt(name, t_s);
+    const double then = valueAt(name, t_s - window_s);
+    return (now - then) / window_s;
+}
+
+double
+CounterTimeline::countSince(const std::string &name, double since_s,
+                            double t_s) const
+{
+    const auto it = series_.find(name);
+    if (it == series_.end())
+        return 0.0;
+    const std::ptrdiff_t hi = lastAtOrBefore(it->second, t_s);
+    const std::ptrdiff_t lo = lastAtOrBefore(it->second, since_s);
+    return static_cast<double>(hi - lo);
+}
+
+void
+TriggerEngine::add(Trigger trigger)
+{
+    triggers_.push_back(Armed{std::move(trigger), false});
+}
+
+void
+TriggerEngine::setCustomFunctions(
+    std::function<CustomFunction(const std::string &)> resolver)
+{
+    custom_ = std::move(resolver);
+}
+
+void
+TriggerEngine::sample(const std::string &name, double t_s, double value)
+{
+    timeline_.record(name, t_s, value);
+    evaluateAt(t_s);
+}
+
+void
+TriggerEngine::record(const std::string &name, double t_s, double value)
+{
+    timeline_.record(name, t_s, value);
+}
+
+void
+TriggerEngine::evaluateAt(double t_s)
+{
+    for (Armed &armed : triggers_) {
+        const bool now =
+            evalExpr(*armed.trigger.condition, timeline_, t_s,
+                     custom_ ? &custom_ : nullptr) != 0.0;
+        if (now && !armed.was_true) {
+            firings_.push_back(
+                TriggerFiring{t_s, armed.trigger.name,
+                              armed.trigger.message});
+        }
+        armed.was_true = now;
+    }
+}
+
+} // namespace eaao::campaign

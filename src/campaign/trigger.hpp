@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Condition-based triggers over sampled orchestrator counters
+ * (docs/scenario-dsl.md §6).
+ *
+ * Programs sample named counters as simulated time advances; the
+ * engine evaluates each `[triggers]` condition at every sample and
+ * records a firing on each rising edge (false→true). The firing log
+ * is deterministic — it depends only on the sample stream — and is
+ * printed by the driver when the campaign declares
+ * `[outputs] trigger_log = 1`.
+ */
+
+#ifndef EAAO_CAMPAIGN_TRIGGER_HPP
+#define EAAO_CAMPAIGN_TRIGGER_HPP
+
+#include "campaign/expr.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eaao::campaign {
+
+/**
+ * Append-only per-counter sample store; the CounterSource the
+ * expression evaluator reads. Samples must arrive in nondecreasing
+ * time order per counter.
+ */
+class CounterTimeline : public CounterSource
+{
+  public:
+    void record(const std::string &name, double t_s, double value);
+
+    double valueAt(const std::string &name, double t_s) const override;
+    double rate(const std::string &name, double window_s,
+                double t_s) const override;
+    double countSince(const std::string &name, double since_s,
+                      double t_s) const override;
+
+  private:
+    struct Sample
+    {
+        double t_s;
+        double value;
+    };
+    std::map<std::string, std::vector<Sample>> series_;
+};
+
+/** One parsed `trigger <name> when <expr> emit "<message>"` line. */
+struct Trigger
+{
+    std::string name;
+    std::string condition_text;
+    std::unique_ptr<Expr> condition;
+    std::string message;
+};
+
+struct TriggerFiring
+{
+    double t_s;
+    std::string name;
+    std::string message;
+};
+
+/**
+ * Evaluates the campaign's triggers against a CounterTimeline.
+ * Programs call sample() as the run progresses; each call both
+ * records the counter and re-evaluates every trigger at that time.
+ */
+class TriggerEngine
+{
+  public:
+    void add(Trigger trigger);
+    bool empty() const { return triggers_.empty(); }
+
+    /** Register a resolver for custom_function('name', ...). */
+    void setCustomFunctions(
+        std::function<CustomFunction(const std::string &)> resolver);
+
+    /** Record @p value for @p name at @p t_s, then evaluate. */
+    void sample(const std::string &name, double t_s, double value);
+
+    /** Record without evaluating (batch several counters, then
+     *  evaluateAt() once so triggers see a consistent snapshot). */
+    void record(const std::string &name, double t_s, double value);
+
+    /** Re-evaluate all triggers at @p t_s without a new sample. */
+    void evaluateAt(double t_s);
+
+    const std::vector<TriggerFiring> &firings() const { return firings_; }
+    const CounterTimeline &timeline() const { return timeline_; }
+
+  private:
+    struct Armed
+    {
+        Trigger trigger;
+        bool was_true = false;
+    };
+    std::vector<Armed> triggers_;
+    CounterTimeline timeline_;
+    std::vector<TriggerFiring> firings_;
+    std::function<CustomFunction(const std::string &)> custom_;
+};
+
+} // namespace eaao::campaign
+
+#endif // EAAO_CAMPAIGN_TRIGGER_HPP

@@ -215,6 +215,15 @@ runScenario(const Scenario &scenario, const RunOptions &opts)
             break;
         }
         noteCreated(trace_mark);
+        if (opts.step_hook) {
+            RunOptions::StepSample sample;
+            sample.step = step_no;
+            sample.t_s = platform.clock().now().secondsF();
+            sample.instances = platform.orchestrator().instanceCount();
+            sample.placements = trace.events().size();
+            sample.routed = log.routed.size();
+            opts.step_hook(sample);
+        }
         ++step_no;
     }
 

@@ -15,6 +15,7 @@
 #define EAAO_TESTKIT_RUNNER_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,23 @@ struct RunOptions
 
     /** Replace Scenario::seed; 0 keeps it. */
     std::uint64_t seed_override = 0;
+
+    /**
+     * Cumulative orchestrator counters sampled after one executed
+     * step — the data the campaign trigger engine's expressions
+     * (`rate(orch.placements, 60)` etc.) aggregate over.
+     */
+    struct StepSample
+    {
+        std::uint32_t step = 0;       //!< step index just executed
+        double t_s = 0.0;             //!< virtual time, seconds
+        std::uint64_t instances = 0;  //!< live instance count
+        std::uint64_t placements = 0; //!< placement-trace events so far
+        std::uint64_t routed = 0;     //!< requests routed so far
+    };
+
+    /** Called after every step when set; null for normal runs. */
+    std::function<void(const StepSample &)> step_hook;
 };
 
 /** Everything a scenario run exposes for comparison. */

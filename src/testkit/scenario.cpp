@@ -9,6 +9,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "campaign/specfile.hpp"
 #include "support/logging.hpp"
 
 namespace eaao::testkit {
@@ -21,6 +22,22 @@ constexpr const char *kKindTokens[kStepKindCount] = {
     "advance",   "restart",    "set_concurrency", "set_quota",
     "redeploy",  "spend_probe",
 };
+
+/** Profile names, indexed by Scenario::profile. */
+constexpr const char *kProfileNames[3] = {"us-east1", "us-central1",
+                                          "us-west1"};
+
+bool
+parseProfileName(const std::string &token, std::uint8_t &out)
+{
+    for (std::uint8_t i = 0; i < 3; ++i) {
+        if (token == kProfileNames[i]) {
+            out = i;
+            return true;
+        }
+    }
+    return false;
+}
 
 bool
 parseKind(const std::string &token, ScenarioStep::Kind &out)
@@ -47,26 +64,176 @@ toString(ScenarioStep::Kind kind)
 std::string
 Scenario::serialize() const
 {
+    // v2, the sectioned campaign format (docs/scenario-dsl.md): the
+    // shrinker's replays and the fuzzer's generated scenarios share
+    // one schema with the bench campaign files, and `run_campaign`
+    // executes them directly. parse() still reads committed v1 files.
     std::ostringstream out;
-    out << "eaao-scenario v1\n";
-    out << "seed " << seed << "\n";
-    out << "profile " << static_cast<unsigned>(profile) << "\n";
-    out << "hosts " << host_count << "\n";
-    out << "isolate " << (isolate_accounts ? 1 : 0) << "\n";
-    out << "hot_burst_min " << hot_burst_min << "\n";
-    out << "fault " << fault << "\n";
+    out << "eaao-scenario v2\n";
+    out << "\n[campaign]\n";
+    out << "name = replay\n";
+    out << "program = replay\n";
+    out << "\n[platform]\n";
+    out << "seed = " << seed << "\n";
+    out << "profile = "
+        << kProfileNames[profile < 3 ? profile : 0] << "\n";
+    out << "hosts = " << host_count << "\n";
+    out << "isolate = " << (isolate_accounts ? 1 : 0) << "\n";
+    out << "hot_burst_min = " << hot_burst_min << "\n";
+    out << "fault = " << fault << "\n";
+    out << "\n[tenants]\n";
     for (const ScenarioAccount &a : accounts)
         out << "account " << a.shard << " " << a.quota << "\n";
     for (const ScenarioService &s : services) {
         out << "service " << s.account << " " << static_cast<unsigned>(s.env)
             << " " << static_cast<unsigned>(s.size) << "\n";
     }
+    out << "\n[script]\n";
     for (const ScenarioStep &s : steps) {
-        out << "step " << toString(s.kind) << " " << s.target << " " << s.a
+        out << toString(s.kind) << " " << s.target << " " << s.a
             << " " << s.b << "\n";
     }
     return out.str();
 }
+
+namespace {
+
+/** Shared validation of the parsed topology (both versions). */
+bool
+validateScenario(const Scenario &out, std::string &error)
+{
+    if (out.accounts.empty()) {
+        error = "scenario has no accounts";
+        return false;
+    }
+    if (out.services.empty()) {
+        error = "scenario has no services";
+        return false;
+    }
+    for (std::size_t i = 0; i < out.services.size(); ++i) {
+        if (out.services[i].account >= out.accounts.size()) {
+            std::ostringstream msg;
+            msg << "service " << i << " references account "
+                << out.services[i].account << " of " << out.accounts.size();
+            error = msg.str();
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * The v2 path: the sectioned campaign format. The replay parser reads
+ * [platform], [tenants], and [script]; other sections ([campaign],
+ * [outputs], ...) belong to the campaign layer and are ignored here.
+ */
+bool
+parseV2(const std::string &text, Scenario &out, std::string &error)
+{
+    campaign::SpecFile file;
+    if (!campaign::SpecFile::parse(text, "replay", file, error))
+        return false;
+
+    std::size_t line_no = 0;
+    const auto fail = [&](const std::string &why) {
+        std::ostringstream msg;
+        msg << "line " << line_no << ": " << why;
+        error = msg.str();
+        return false;
+    };
+
+    if (const campaign::SpecSection *platform = file.section("platform")) {
+        for (const campaign::SpecLine &l : platform->lines) {
+            line_no = l.line_no;
+            if (!l.isKeyValue())
+                return fail("expected key = value in [platform]");
+            std::istringstream ls(l.value);
+            if (l.key == "seed") {
+                if (!(ls >> out.seed))
+                    return fail("bad seed");
+            } else if (l.key == "profile") {
+                if (l.tokens.size() != 1 ||
+                    !parseProfileName(l.tokens[0], out.profile)) {
+                    return fail("bad profile (want us-east1 / "
+                                "us-central1 / us-west1)");
+                }
+            } else if (l.key == "hosts") {
+                if (!(ls >> out.host_count))
+                    return fail("bad hosts");
+            } else if (l.key == "isolate") {
+                unsigned v = 0;
+                if (!(ls >> v) || v > 1)
+                    return fail("bad isolate (want 0/1)");
+                out.isolate_accounts = v != 0;
+            } else if (l.key == "hot_burst_min") {
+                if (!(ls >> out.hot_burst_min))
+                    return fail("bad hot_burst_min");
+            } else if (l.key == "fault") {
+                if (!(ls >> out.fault))
+                    return fail("bad fault");
+            } else {
+                return fail("unknown [platform] key '" + l.key + "'");
+            }
+        }
+    }
+
+    if (const campaign::SpecSection *tenants = file.section("tenants")) {
+        for (const campaign::SpecLine &l : tenants->lines) {
+            line_no = l.line_no;
+            if (l.isKeyValue() || l.tokens.empty())
+                return fail("expected 'account ...' or 'service ...' "
+                            "in [tenants]");
+            std::istringstream ls(l.raw);
+            std::string head;
+            ls >> head;
+            if (head == "account") {
+                ScenarioAccount a;
+                if (!(ls >> a.shard >> a.quota))
+                    return fail(
+                        "bad account line (want: account <shard> <quota>)");
+                out.accounts.push_back(a);
+            } else if (head == "service") {
+                ScenarioService s;
+                unsigned env = 0, size = 0;
+                if (!(ls >> s.account >> env >> size) || env > 1 ||
+                    size > 3) {
+                    return fail("bad service line (want: service "
+                                "<account> <env 0/1> <size 0..3>)");
+                }
+                s.env = static_cast<std::uint8_t>(env);
+                s.size = static_cast<std::uint8_t>(size);
+                out.services.push_back(s);
+            } else {
+                return fail("unknown [tenants] directive '" + head + "'");
+            }
+        }
+    }
+
+    if (const campaign::SpecSection *script = file.section("script")) {
+        for (const campaign::SpecLine &l : script->lines) {
+            line_no = l.line_no;
+            if (l.isKeyValue() || l.tokens.empty())
+                return fail("expected '<kind> <target> <a> <b>' "
+                            "in [script]");
+            std::istringstream ls(l.raw);
+            std::string token;
+            ScenarioStep s;
+            if (!(ls >> token >> s.target >> s.a >> s.b))
+                return fail(
+                    "bad step line (want: <kind> <target> <a> <b>)");
+            if (!parseKind(token, s.kind))
+                return fail("unknown step kind '" + token + "'");
+            out.steps.push_back(s);
+        }
+    }
+
+    if (!validateScenario(out, error))
+        return false;
+    error.clear();
+    return true;
+}
+
+} // namespace
 
 bool
 Scenario::parse(const std::string &text, Scenario &out, std::string &error)
@@ -99,14 +266,18 @@ Scenario::parse(const std::string &text, Scenario &out, std::string &error)
                 unsigned version = 0;
                 if (std::sscanf(line.c_str(), "eaao-scenario v%u",
                                 &version) == 1 &&
-                    version > 1) {
+                    version >= 2) {
+                    if (version == campaign::kSpecVersion)
+                        return parseV2(text, out, error);
                     std::ostringstream msg;
                     msg << "scenario version v" << version
-                        << " is newer than this binary supports (max v1); "
-                           "rebuild or regenerate the replay";
+                        << " is newer than this binary supports (max v"
+                        << campaign::kSpecVersion
+                        << "); rebuild or regenerate the replay";
                     return fail(msg.str());
                 }
-                return fail("expected header 'eaao-scenario v1'");
+                return fail("expected header 'eaao-scenario v1' or "
+                            "'eaao-scenario v2'");
             }
             saw_header = true;
             continue;
@@ -167,23 +338,8 @@ Scenario::parse(const std::string &text, Scenario &out, std::string &error)
         error = "empty file (no header)";
         return false;
     }
-    if (out.accounts.empty()) {
-        error = "scenario has no accounts";
+    if (!validateScenario(out, error))
         return false;
-    }
-    if (out.services.empty()) {
-        error = "scenario has no services";
-        return false;
-    }
-    for (std::size_t i = 0; i < out.services.size(); ++i) {
-        if (out.services[i].account >= out.accounts.size()) {
-            std::ostringstream msg;
-            msg << "service " << i << " references account "
-                << out.services[i].account << " of " << out.accounts.size();
-            error = msg.str();
-            return false;
-        }
-    }
     error.clear();
     return true;
 }

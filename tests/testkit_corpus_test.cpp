@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "testkit/invariants.hpp"
+#include "testkit/runner.hpp"
 #include "testkit/scenario.hpp"
 
 #ifndef EAAO_CORPUS_DIR
@@ -75,6 +76,31 @@ TEST(Corpus, EveryFileReplaysGreen)
         const std::vector<Violation> violations = checkInvariants(sc, opts);
         for (const Violation &v : violations)
             ADD_FAILURE() << "[" << v.oracle << "] " << v.detail;
+    }
+}
+
+TEST(Corpus, V1FilesUpgradeToV2Losslessly)
+{
+    // The committed corpus stays in the legacy flat v1 format on
+    // purpose: it pins backward compatibility. Parsing a v1 file and
+    // re-serializing must produce an equivalent v2 campaign — same
+    // model, same replay behaviour.
+    const std::vector<std::filesystem::path> files = corpusFiles();
+    ASSERT_FALSE(files.empty());
+    for (const std::filesystem::path &path : files) {
+        SCOPED_TRACE(path.filename().string());
+        const Scenario v1 = load(path);
+        const std::string v2_text = v1.serialize();
+        EXPECT_NE(v2_text.find("eaao-scenario v2"), std::string::npos);
+
+        Scenario v2;
+        std::string error;
+        ASSERT_TRUE(Scenario::parse(v2_text, v2, error)) << error;
+        EXPECT_EQ(v2.serialize(), v2_text);
+        EXPECT_EQ(v2.seed, v1.seed);
+        EXPECT_EQ(v2.host_count, v1.host_count);
+        EXPECT_EQ(v2.steps.size(), v1.steps.size());
+        EXPECT_EQ(runScenario(v2).render(), runScenario(v1).render());
     }
 }
 

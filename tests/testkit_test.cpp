@@ -97,14 +97,44 @@ TEST(ScenarioSerialize, RejectsNewerVersions)
     // A replay from a future format must fail loudly, not misparse.
     Scenario sc;
     std::string error;
-    EXPECT_FALSE(Scenario::parse("eaao-scenario v2\n"
-                                 "account -1 1000\n"
-                                 "service 0 0 1\n"
-                                 "step route 0 5 0\n",
+    EXPECT_FALSE(Scenario::parse("eaao-scenario v3\n"
+                                 "[campaign]\n"
+                                 "name = x\n",
                                  sc, error));
     EXPECT_NE(error.find("newer"), std::string::npos) << error;
     EXPECT_FALSE(Scenario::parse("eaao-scenario v99\n", sc, error));
     EXPECT_NE(error.find("newer"), std::string::npos) << error;
+}
+
+TEST(ScenarioSerialize, ParsesV2Sections)
+{
+    // serialize() emits the sectioned v2 format; a hand-written v2
+    // file with extra (non-replay) sections parses to the same model.
+    Scenario sc;
+    std::string error;
+    ASSERT_TRUE(Scenario::parse("eaao-scenario v2\n"
+                                "[campaign]\n"
+                                "name = demo\n"
+                                "program = replay\n"
+                                "[platform]\n"
+                                "seed = 7\n"
+                                "profile = us-east1\n"
+                                "hosts = 550\n"
+                                "[tenants]\n"
+                                "account -1 1000\n"
+                                "service 0 0 1\n"
+                                "[script]\n"
+                                "route 0 5 0\n",
+                                sc, error))
+        << error;
+    EXPECT_EQ(sc.seed, 7u);
+    EXPECT_EQ(sc.host_count, 550u);
+    ASSERT_EQ(sc.steps.size(), 1u);
+    EXPECT_EQ(sc.steps[0].kind, ScenarioStep::Kind::Route);
+    // And the canonical serialization round-trips.
+    Scenario again;
+    ASSERT_TRUE(Scenario::parse(sc.serialize(), again, error)) << error;
+    EXPECT_EQ(again.serialize(), sc.serialize());
 }
 
 TEST(ScenarioGen, ShardAwareTopology)

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Lint the ```ebnf code blocks in docs/scenario-dsl.md.
+
+The spec book's grammar snippets are the DSL's contract, so CI checks
+that they stay well-formed EBNF rather than rotting into prose:
+
+- every block line is blank, a comment, a `name ::= rhs` rule, or an
+  indented continuation of the previous rule;
+- rule names are lowercase dashed identifiers and defined only once;
+- quotes and ( ) [ ] { } balance within each rule;
+- every nonterminal referenced anywhere is defined by some rule in the
+  union of the document's blocks (the grammar is closed);
+- every defined rule is referenced at least once, except a designated
+  set of start symbols.
+
+Exit 0 when clean; otherwise one `file:line: message` per problem and
+exit 1.
+
+Usage: lint_ebnf.py [markdown-file ...]
+"""
+
+import re
+import sys
+
+DEFAULT_FILES = ["docs/scenario-dsl.md"]
+
+# Grammar roots: referenced by prose, not by other rules.
+START_SYMBOLS = {"file", "trigger-line", "or-expr"}
+
+RULE_NAME = re.compile(r"^[a-z][a-z0-9-]*$")
+IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_-]*")
+
+OPEN = {"(": ")", "[": "]", "{": "}"}
+CLOSE = {v: k for k, v in OPEN.items()}
+
+
+def extract_blocks(path):
+    """Yield (start_line, [(line_no, text), ...]) per ```ebnf block."""
+    blocks = []
+    current = None
+    with open(path, encoding="utf-8") as f:
+        for no, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if current is None:
+                if line.strip() == "```ebnf":
+                    current = (no, [])
+            elif line.strip() == "```":
+                blocks.append(current)
+                current = None
+            else:
+                current[1].append((no, line))
+    if current is not None:
+        blocks.append(current)  # unterminated; flagged by caller
+        return blocks, current[0]
+    return blocks, None
+
+
+def tokenize_rhs(text):
+    """Split an rhs into quoted literals and structural tokens.
+
+    Returns (tokens, error) where tokens are ('lit', s), ('id', s) or
+    ('op', s); error is None or a message.
+    """
+    tokens = []
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c.isspace():
+            i += 1
+            continue
+        if c in "'\"":
+            close = text.find(c, i + 1)
+            if close < 0:
+                return tokens, "unclosed %s quote" % c
+            tokens.append(("lit", text[i + 1 : close]))
+            i = close + 1
+            continue
+        if c in OPEN or c in CLOSE or c == "|":
+            tokens.append(("op", c))
+            i += 1
+            continue
+        if text.startswith("..", i):
+            tokens.append(("op", ".."))
+            i += 2
+            continue
+        m = IDENT.match(text, i)
+        if m:
+            tokens.append(("id", m.group(0)))
+            i = m.end()
+            continue
+        return tokens, "unexpected character %r" % c
+    return tokens, None
+
+
+def main(argv):
+    files = argv[1:] or DEFAULT_FILES
+    problems = []
+    defined = {}  # name -> "file:line"
+    referenced = {}  # name -> first "file:line"
+
+    for path in files:
+        blocks, unterminated = extract_blocks(path)
+        if unterminated is not None:
+            problems.append(
+                "%s:%d: unterminated ```ebnf block" % (path, unterminated)
+            )
+        if not blocks:
+            problems.append("%s:1: no ```ebnf blocks found" % path)
+            continue
+
+        for _, lines in blocks:
+            # Fold continuations: a rule is its `::=` line plus every
+            # following line that is indented and has no `::=`.
+            rules = []  # (line_no, name, rhs)
+            for no, line in lines:
+                if not line.strip() or line.strip().startswith("(*"):
+                    continue
+                if "::=" in line:
+                    lhs, rhs = line.split("::=", 1)
+                    name = lhs.strip()
+                    if not RULE_NAME.match(name):
+                        problems.append(
+                            "%s:%d: rule name %r is not a lowercase "
+                            "dashed identifier" % (path, no, name)
+                        )
+                    rules.append((no, name, rhs))
+                elif line[:1].isspace() and rules:
+                    no0, name, rhs = rules[-1]
+                    rules[-1] = (no0, name, rhs + " " + line.strip())
+                else:
+                    problems.append(
+                        "%s:%d: line is neither a rule, a continuation, "
+                        "a comment, nor blank: %r" % (path, no, line)
+                    )
+
+            for no, name, rhs in rules:
+                where = "%s:%d" % (path, no)
+                if name in defined:
+                    problems.append(
+                        "%s: rule %r already defined at %s"
+                        % (where, name, defined[name])
+                    )
+                else:
+                    defined[name] = where
+
+                tokens, err = tokenize_rhs(rhs)
+                if err:
+                    problems.append("%s: %s in rule %r" % (where, err, name))
+                stack = []
+                for kind, tok in tokens:
+                    if kind == "op" and tok in OPEN:
+                        stack.append(tok)
+                    elif kind == "op" and tok in CLOSE:
+                        if not stack or OPEN[stack.pop()] != tok:
+                            problems.append(
+                                "%s: unbalanced %r in rule %r"
+                                % (where, tok, name)
+                            )
+                            break
+                    elif kind == "id":
+                        referenced.setdefault(tok, where)
+                if stack:
+                    problems.append(
+                        "%s: unclosed %r in rule %r"
+                        % (where, stack[-1], name)
+                    )
+                if not tokens:
+                    problems.append("%s: rule %r has an empty rhs"
+                                    % (where, name))
+
+    for name, where in sorted(referenced.items()):
+        if name not in defined:
+            problems.append(
+                "%s: nonterminal %r is referenced but never defined"
+                % (where, name)
+            )
+    for name, where in sorted(defined.items()):
+        if name not in referenced and name not in START_SYMBOLS:
+            problems.append(
+                "%s: rule %r is defined but never referenced "
+                "(add it to START_SYMBOLS if it is a grammar root)"
+                % (where, name)
+            )
+
+    for p in problems:
+        print(p)
+    if problems:
+        return 1
+    print(
+        "lint_ebnf: %d rules across %d file(s), grammar closed"
+        % (len(defined), len(files))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
