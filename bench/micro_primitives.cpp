@@ -282,6 +282,54 @@ BM_LegacyQueueMixedOrchestrator(benchmark::State &state)
 }
 BENCHMARK(BM_LegacyQueueMixedOrchestrator);
 
+/**
+ * Open-loop arrival storm (docs/load-engine.md): a deep backlog of
+ * pre-materialized arrivals — the window-clamped generation pattern
+ * leaves a full window of pending instants — each spawning a
+ * completion ~100 ms out as it fires. A deep backlog is where the
+ * heap pays O(log n) on every push and pop while the hierarchical
+ * timing wheel buckets in O(1); the use_wheel = false arm is the
+ * pure-heap reference.
+ */
+void
+arrivalStormWorkload(benchmark::State &state, bool use_wheel)
+{
+    constexpr int kStormEvents = 1 << 20;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        sim::EventQueue eq(sim::SimTime(), use_wheel);
+        for (int i = 0; i < kStormEvents; ++i) {
+            // Arrival instants scattered over a 60 s window; each
+            // completion lands 50-250 ms past its arrival, in the
+            // wheel's near levels.
+            const auto at = sim::SimTime::fromNanos(static_cast<
+                std::int64_t>(sim::mix64(i) % 600'000'000'000ULL));
+            const auto complete = sim::Duration::millis(
+                50 + static_cast<int>(sim::mix64(i ^ 0x51ab) % 200));
+            eq.scheduleAt(at, [&eq, &fired, complete] {
+                eq.scheduleAfter(complete, [&fired] { ++fired; });
+            });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * kStormEvents);
+}
+
+void
+BM_WheelSchedulePop(benchmark::State &state)
+{
+    arrivalStormWorkload(state, /*use_wheel=*/true);
+}
+BENCHMARK(BM_WheelSchedulePop);
+
+void
+BM_HeapSchedulePop(benchmark::State &state)
+{
+    arrivalStormWorkload(state, /*use_wheel=*/false);
+}
+BENCHMARK(BM_HeapSchedulePop);
+
 faas::PlatformConfig
 baseConfig(std::uint64_t seed)
 {

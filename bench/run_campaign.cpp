@@ -38,8 +38,9 @@ usage(std::FILE *to)
 {
     std::fprintf(
         to,
-        "usage: run_campaign FILE [--threads N] [--bench-json F]\n"
-        "                         [--trace-json F] [--metrics-json F]\n"
+        "usage: run_campaign FILE [--threads N] [--shards N]\n"
+        "                         [--bench-json F] [--trace-json F]\n"
+        "                         [--metrics-json F]\n"
         "       run_campaign --list [DIR]\n"
         "       run_campaign --describe FILE\n");
     return to == stdout ? 0 : 2;
@@ -121,11 +122,22 @@ describeCampaign(const std::string &path)
     const std::vector<campaign::Trigger> triggers = spec.triggers();
     if (!triggers.empty()) {
         std::printf("\nresolved triggers\n");
+        std::vector<std::string> counters;
         for (const campaign::Trigger &t : triggers) {
             std::printf("  %s: %s -> \"%s\"\n", t.name.c_str(),
                         campaign::renderExpr(*t.condition).c_str(),
                         t.message.c_str());
+            for (std::string &name : campaign::counterNames(*t.condition))
+                counters.push_back(std::move(name));
         }
+        std::sort(counters.begin(), counters.end());
+        counters.erase(std::unique(counters.begin(), counters.end()),
+                       counters.end());
+        // The sampling contract: the campaign's program must record
+        // each of these for the conditions to ever fire.
+        std::printf("\ntrigger counters\n");
+        for (const std::string &name : counters)
+            std::printf("  %s\n", name.c_str());
     }
     return 0;
 }
@@ -148,8 +160,9 @@ main(int argc, char **argv)
             list = true;
         } else if (arg == "--describe") {
             describe = true;
-        } else if (arg == "--threads" || arg == "--bench-json" ||
-                   arg == "--trace-json" || arg == "--metrics-json") {
+        } else if (arg == "--threads" || arg == "--shards" ||
+                   arg == "--bench-json" || arg == "--trace-json" ||
+                   arg == "--metrics-json") {
             ++i; // value consumed by the support:: helpers
         } else if (arg.rfind("--", 0) == 0 &&
                    arg.find('=') != std::string::npos) {

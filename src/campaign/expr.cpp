@@ -8,6 +8,7 @@
 
 #include "campaign/specfile.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <sstream>
@@ -521,6 +522,29 @@ renderExpr(const Expr &e)
     }
     }
     return "?";
+}
+
+namespace {
+
+void
+collectCounters(const Expr &e, std::vector<std::string> &out)
+{
+    if (e.op == ExprOp::Counter)
+        out.push_back(e.text);
+    for (const std::unique_ptr<Expr> &kid : e.kids)
+        collectCounters(*kid, out);
+}
+
+} // namespace
+
+std::vector<std::string>
+counterNames(const Expr &e)
+{
+    std::vector<std::string> names;
+    collectCounters(e, names);
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
 }
 
 } // namespace eaao::campaign

@@ -105,6 +105,14 @@ double evalExpr(const Expr &e, const CounterSource &counters, double t_s,
 /** Canonical single-line rendering (used by `--describe` and tests). */
 std::string renderExpr(const Expr &e);
 
+/**
+ * Sorted, deduplicated counter names referenced anywhere in @p e,
+ * including inside aggregate and custom_function arguments — what a
+ * program must sample for the condition to ever fire. `--describe`
+ * prints the union over a campaign's triggers.
+ */
+std::vector<std::string> counterNames(const Expr &e);
+
 } // namespace eaao::campaign
 
 #endif // EAAO_CAMPAIGN_EXPR_HPP

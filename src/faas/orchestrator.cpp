@@ -27,6 +27,11 @@ Orchestrator::Orchestrator(Fleet &fleet, sim::EventQueue &eq,
     acct_load_.resize(fleet_.size());
     svc_load_.resize(fleet_.size());
 
+    slo_.latency_s.bounds = obs::requestLatencyBucketsS();
+    slo_.latency_s.counts.assign(slo_.latency_s.bounds.size() + 1, 0);
+    slo_.cold_wait_s.bounds = obs::coldWaitBucketsS();
+    slo_.cold_wait_s.counts.assign(slo_.cold_wait_s.bounds.size() + 1, 0);
+
 #if EAAO_OBS_ENABLED
     if (obs_.metrics != nullptr) {
         // Resolve handles once; record sites only null-check.
@@ -45,6 +50,10 @@ Orchestrator::Orchestrator(Fleet &fleet, sim::EventQueue &eq,
             "faas.instances_per_host", obs::instancesPerHostBuckets());
         h_helper_churn_ = obs_.metrics->histogram(
             "faas.helper_churn", obs::churnFractionBuckets());
+        h_request_latency_s_ = obs_.metrics->histogram(
+            "faas.request_latency_s", obs::requestLatencyBucketsS());
+        h_cold_wait_s_ = obs_.metrics->histogram(
+            "faas.cold_wait_s", obs::coldWaitBucketsS());
     }
 #endif
 }
@@ -92,6 +101,7 @@ Orchestrator::deployService(AccountId account, ExecEnv env,
     svc.spill_order = buildSpillOrder(accounts_[account].shard,
                                       sim::mix64(svc.helper_seed));
     services_.push_back(std::move(svc));
+    admission_.emplace_back();
     if (cfg_.reference_scan)
         svc_host_load_.emplace_back();
     else
@@ -235,6 +245,22 @@ Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
     EAAO_ASSERT(service_time.ns() > 0, "non-positive service time");
     ServiceRecord &svc = services_[service];
 
+    InstanceRecord *target = findWarmTarget(svc);
+
+    // 3. Scale out by one instance.
+    if (target == nullptr) {
+        const std::uint32_t h = hotness(svc);
+        noteRequestCreation(svc);
+        const InstanceId id = createInstance(svc, h);
+        target = &instances_[id];
+    }
+
+    return occupy(svc, *target, service_time);
+}
+
+InstanceRecord *
+Orchestrator::findWarmTarget(ServiceRecord &svc)
+{
     // 1. An active instance with spare concurrency. The routing index
     // yields the same instance the legacy scan found: lowest in_flight,
     // active-list order (== activation sequence) breaking ties.
@@ -250,7 +276,7 @@ Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
         }
     } else {
         InstanceId best =
-            routing_.leastLoaded(service, svc.max_concurrency);
+            routing_.leastLoaded(svc.id, svc.max_concurrency);
         if (cfg_.fault_injection == 1) {
             // Injected bug (mutation self-test): drop the
             // lowest-in-flight rule and grab the most recently
@@ -281,26 +307,161 @@ Orchestrator::routeRequest(ServiceId service, sim::Duration service_time)
         target = &inst;
     }
 
-    // 3. Scale out by one instance.
-    if (target == nullptr) {
-        const std::uint32_t h = hotness(svc);
-        noteRequestCreation(svc);
-        const InstanceId id = createInstance(svc, h);
-        target = &instances_[id];
-    }
+    return target;
+}
 
-    const std::uint32_t old_in_flight = target->in_flight;
-    ++target->in_flight;
+InstanceId
+Orchestrator::occupy(ServiceRecord &svc, InstanceRecord &target,
+                     sim::Duration service_time)
+{
+    const std::uint32_t old_in_flight = target.in_flight;
+    ++target.in_flight;
     if (!cfg_.reference_scan) {
-        routing_.reindex(svc.id, target->id, target->route_seq,
-                         old_in_flight, target->in_flight);
+        routing_.reindex(svc.id, target.id, target.route_seq,
+                         old_in_flight, target.in_flight);
     }
     ++svc.requests_served;
     EAAO_OBS_COUNT(c_requests_, 1);
-    const InstanceId id = target->id;
+    const InstanceId id = target.id;
     eq_.scheduleAfter(service_time, sim::EventTag{kEventTagComplete, id},
                       [this, id] { completeRequest(id); });
     return id;
+}
+
+AdmissionResult
+Orchestrator::admitRequest(ServiceId service, sim::Duration service_time)
+{
+    EAAO_ASSERT(service < services_.size(), "bad service ", service);
+    EAAO_ASSERT(service_time.ns() > 0, "non-positive service time");
+    ServiceRecord &svc = services_[service];
+    ++slo_.admitted;
+
+    if (InstanceRecord *target = findWarmTarget(svc)) {
+        ++slo_.served_warm;
+        slo_.latency_s.observe(service_time.secondsF());
+        EAAO_OBS_OBSERVE(h_request_latency_s_, service_time.secondsF());
+        const InstanceId id = occupy(svc, *target, service_time);
+        return {AdmissionOutcome::Served, id};
+    }
+
+    // Cold path: instead of materializing an instance instantly (the
+    // closed-loop routeRequest semantics), the request waits out a
+    // cold start in the service's admission queue.
+    AdmissionQueue &aq = admission_[service];
+    AdmissionOutcome outcome = AdmissionOutcome::Queued;
+    if (aq.q.size() >= cfg_.admission_depth &&
+        cfg_.shed_policy != ShedPolicy::Queue) {
+        if (cfg_.shed_policy == ShedPolicy::Reject) {
+            ++slo_.rejected;
+            return {AdmissionOutcome::Rejected, kNoInstance};
+        }
+        // ShedOldest: the head's cold start is abandoned with it.
+        aq.q.pop_front();
+        if (aq.dispatch_event != 0) {
+            eq_.cancel(aq.dispatch_event);
+            aq.dispatch_event = 0;
+        }
+        ++slo_.shed;
+        outcome = AdmissionOutcome::Shed;
+    }
+    aq.q.push_back(QueuedRequest{eq_.now(), service_time});
+    ++slo_.queued;
+    if (aq.dispatch_event == 0)
+        armDispatch(svc);
+    return {outcome, kNoInstance};
+}
+
+std::size_t
+Orchestrator::admissionBacklog(ServiceId service) const
+{
+    EAAO_ASSERT(service < services_.size(), "bad service ", service);
+    return admission_[service].q.size();
+}
+
+double
+Orchestrator::startupEstimateS(const ServiceRecord &svc) const
+{
+    double startup = svc.env == ExecEnv::Gen1
+                         ? cfg_.startup_billable_s_gen1
+                         : cfg_.startup_billable_s_gen2;
+    // Creation slows as the service nears the 1000-instance limit
+    // (the paper launched 800 per burst to dodge exactly this).
+    const std::size_t svc_live = svc.active.size() + svc.idle.size();
+    if (svc_live > cfg_.creation_slowdown_threshold) {
+        const double excess = static_cast<double>(
+            svc_live - cfg_.creation_slowdown_threshold);
+        startup *= 1.0 + cfg_.creation_slowdown_factor * excess / 200.0;
+    }
+    return startup;
+}
+
+void
+Orchestrator::armDispatch(ServiceRecord &svc)
+{
+    AdmissionQueue &aq = admission_[svc.id];
+    EAAO_ASSERT(!aq.q.empty(), "arming dispatch on an empty queue");
+    const ServiceId sid = svc.id;
+    aq.dispatch_event = eq_.scheduleAfter(
+        sim::Duration::fromSecondsF(startupEstimateS(svc)),
+        sim::EventTag{kEventTagDispatch, sid},
+        [this, sid] { dispatchQueued(sid); });
+}
+
+void
+Orchestrator::dispatchQueued(ServiceId service)
+{
+    AdmissionQueue &aq = admission_[service];
+    aq.dispatch_event = 0; // this timer just fired
+    if (aq.q.empty())
+        return;
+    ServiceRecord &svc = services_[service];
+    const QueuedRequest qr = aq.q.front();
+    aq.q.pop_front();
+    // Prefer warm capacity that appeared while the head waited; fall
+    // back to materializing the instance whose cold start just ended.
+    serveQueued(svc, qr, findWarmTarget(svc));
+    if (!aq.q.empty())
+        armDispatch(svc);
+}
+
+void
+Orchestrator::maybeDispatchQueued(ServiceRecord &svc)
+{
+    AdmissionQueue &aq = admission_[svc.id];
+    while (!aq.q.empty()) {
+        InstanceRecord *target = findWarmTarget(svc);
+        if (target == nullptr)
+            break;
+        const QueuedRequest qr = aq.q.front();
+        aq.q.pop_front();
+        if (aq.dispatch_event != 0) {
+            eq_.cancel(aq.dispatch_event);
+            aq.dispatch_event = 0;
+        }
+        serveQueued(svc, qr, target);
+    }
+    // The new head (if any) starts its own cold-start clock.
+    if (!aq.q.empty() && aq.dispatch_event == 0)
+        armDispatch(svc);
+}
+
+void
+Orchestrator::serveQueued(ServiceRecord &svc, const QueuedRequest &qr,
+                          InstanceRecord *target)
+{
+    if (target == nullptr) {
+        const std::uint32_t h = hotness(svc);
+        noteRequestCreation(svc);
+        target = &instances_[createInstance(svc, h)];
+    }
+    const double wait_s = (eq_.now() - qr.enqueued_at).secondsF();
+    const double latency_s = wait_s + qr.service_time.secondsF();
+    ++slo_.dispatched;
+    slo_.cold_wait_s.observe(wait_s);
+    slo_.latency_s.observe(latency_s);
+    EAAO_OBS_OBSERVE(h_cold_wait_s_, wait_s);
+    EAAO_OBS_OBSERVE(h_request_latency_s_, latency_s);
+    occupy(svc, *target, qr.service_time);
 }
 
 void
@@ -318,6 +479,8 @@ Orchestrator::completeRequest(InstanceId id)
             routing_.reindex(inst.service, id, inst.route_seq,
                              old_in_flight, inst.in_flight);
         }
+        if (!admission_[inst.service].q.empty())
+            maybeDispatchQueued(services_[inst.service]);
         return;
     }
     // Last request done: the instance releases its CPU and idles.
@@ -333,6 +496,8 @@ Orchestrator::completeRequest(InstanceId id)
     inst.state_since = eq_.now();
     svc.idle.push_back(id);
     scheduleReap(inst);
+    if (!admission_[svc.id].q.empty())
+        maybeDispatchQueued(svc);
 }
 
 void
@@ -462,17 +627,7 @@ Orchestrator::createInstance(ServiceRecord &svc, std::uint32_t h)
     }
 
     // Startup time is billable (creations dominate the attack cost).
-    double startup = svc.env == ExecEnv::Gen1
-                         ? cfg_.startup_billable_s_gen1
-                         : cfg_.startup_billable_s_gen2;
-    // Creation slows as the service nears the 1000-instance limit
-    // (the paper launched 800 per burst to dodge exactly this).
-    const std::size_t svc_live = svc.active.size() + svc.idle.size();
-    if (svc_live > cfg_.creation_slowdown_threshold) {
-        const double excess = static_cast<double>(
-            svc_live - cfg_.creation_slowdown_threshold);
-        startup *= 1.0 + cfg_.creation_slowdown_factor * excess / 200.0;
-    }
+    const double startup = startupEstimateS(svc);
     inst.active_seconds += startup;
     acct.spend_usd += startup * pricing_.usdPerActiveSecond(inst.size);
 
@@ -980,6 +1135,11 @@ Orchestrator::rebindEvent(std::uint32_t kind, std::uint64_t arg)
             [this, id] { completeRequest(id); });
     case kEventTagReap:
         return sim::EventQueue::Callback([this, id] { reap(id); });
+    case kEventTagDispatch: {
+        const ServiceId sid = static_cast<ServiceId>(arg);
+        return sim::EventQueue::Callback(
+            [this, sid] { dispatchQueued(sid); });
+    }
     default:
         EAAO_FATAL("unknown event tag kind ", kind);
     }
@@ -988,6 +1148,9 @@ Orchestrator::rebindEvent(std::uint32_t kind, std::uint64_t arg)
 void
 Orchestrator::rebuildDerivedState()
 {
+    // Restores bypass deployService; queue contents (if any) are
+    // restored separately by the snapshotter after this runs.
+    admission_.resize(services_.size());
     acct_load_.assign(fleet_.size(),
                       support::SmallFlatMap<AccountId, std::uint32_t>{});
     svc_load_.assign(fleet_.size(),

@@ -33,6 +33,7 @@
 #include "faas/trace.hpp"
 #include "faas/pricing.hpp"
 #include "faas/types.hpp"
+#include "obs/metrics.hpp"
 #include "obs/observer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -44,6 +45,17 @@ class Snapshotter;
 } // namespace eaao::snap
 
 namespace eaao::faas {
+
+/**
+ * Backpressure applied by admitRequest when a service's admission
+ * queue is already at admission_depth. See docs/load-engine.md.
+ */
+enum class ShedPolicy : std::uint32_t
+{
+    Queue = 0,     //!< keep queueing (the depth is advisory)
+    Reject = 1,    //!< drop the arriving request
+    ShedOldest = 2 //!< drop the oldest queued request, admit the new one
+};
 
 /** Tunables of the orchestrator; defaults reproduce the paper's curves. */
 struct OrchestratorConfig
@@ -88,6 +100,17 @@ struct OrchestratorConfig
 
     /** Billable startup seconds per created Gen 2 instance (slower). */
     double startup_billable_s_gen2 = 4.0;
+
+    /**
+     * Open-loop admission control (admitRequest). A request that finds
+     * no warm capacity waits out one cold start in a per-service FIFO
+     * admission queue instead of materializing an instance instantly;
+     * admission_depth bounds that queue and shed_policy picks what to
+     * do with the overflow. routeRequest ignores both — the closed-loop
+     * drivers keep their instant-scale-out semantics.
+     */
+    std::uint32_t admission_depth = 64;
+    ShedPolicy shed_policy = ShedPolicy::Queue;
 
     /**
      * Co-location-resistant scheduling (Section 6, after Azar et al.):
@@ -170,6 +193,61 @@ struct ServiceRecord
     std::vector<InstanceId> idle;
     std::uint64_t helper_seed = 0;           //!< for dynamic regeneration
     std::uint64_t requests_served = 0;
+};
+
+/** What admitRequest did with one open-loop arrival. */
+enum class AdmissionOutcome : std::uint8_t
+{
+    Served = 0,  //!< routed immediately to warm capacity
+    Queued = 1,  //!< parked in the admission queue (cold-start wait)
+    Rejected = 2,//!< dropped: queue full, ShedPolicy::Reject
+    Shed = 3     //!< admitted by displacing the oldest queued request
+};
+
+/** Result of one admitRequest call. */
+struct AdmissionResult
+{
+    AdmissionOutcome outcome = AdmissionOutcome::Served;
+    /** Serving instance when outcome == Served, else kNoInstance. */
+    InstanceId instance = kNoInstance;
+};
+
+/**
+ * SLO accounting for the open-loop admission path. Plain values (not
+ * EAAO_OBS-gated instrument sites), so campaign output derived from
+ * them is byte-identical whether or not observability is compiled in.
+ * Latency of a served request is queue wait plus service time; warm
+ * hits wait zero and observe only into latency_s.
+ */
+struct SloStats
+{
+    obs::Histogram latency_s;   //!< end-to-end request latency, seconds
+    obs::Histogram cold_wait_s; //!< admission-queue wait, seconds
+    std::uint64_t admitted = 0;    //!< total admitRequest calls
+    std::uint64_t served_warm = 0; //!< immediate warm routes
+    std::uint64_t queued = 0;      //!< parked for a cold-start wait
+    std::uint64_t dispatched = 0;  //!< left the queue onto an instance
+    std::uint64_t rejected = 0;    //!< dropped arrivals (Reject policy)
+    std::uint64_t shed = 0;        //!< displaced entries (ShedOldest)
+};
+
+/** One request parked in a service's admission queue. */
+struct QueuedRequest
+{
+    sim::SimTime enqueued_at;
+    sim::Duration service_time;
+};
+
+/**
+ * Per-service admission queue. One dispatch timer is armed for the
+ * head entry only (re-armed on every pop), so a queued request's
+ * cold start begins when it reaches the head — and no entry can be
+ * stranded by a timer that fired for a since-served neighbour.
+ */
+struct AdmissionQueue
+{
+    std::deque<QueuedRequest> q;
+    sim::EventId dispatch_event = 0; //!< armed for q.front(), 0 if none
 };
 
 /** A tenant account. */
@@ -260,6 +338,23 @@ class Orchestrator
     InstanceId routeRequest(ServiceId service,
                             sim::Duration service_time);
 
+    /**
+     * Open-loop admission (the ArrivalEngine's entry point): route to
+     * warm capacity when any exists — exactly the instance
+     * routeRequest would pick — otherwise park the request in the
+     * service's FIFO admission queue for one cold-start time (or
+     * until a completion frees capacity sooner). A full queue applies
+     * cfg.shed_policy. Latency and queue-wait land in sloStats().
+     */
+    AdmissionResult admitRequest(ServiceId service,
+                                 sim::Duration service_time);
+
+    /** SLO accounting accumulated by the admitRequest path. */
+    const SloStats &sloStats() const { return slo_; }
+
+    /** Requests currently parked in a service's admission queue. */
+    std::size_t admissionBacklog(ServiceId service) const;
+
     /** Set a service's per-instance concurrency limit. */
     void setMaxConcurrency(ServiceId service, std::uint32_t limit);
 
@@ -307,12 +402,14 @@ class Orchestrator
     support::HostLoadSoA &localLoad() { return host_load_; }
 
     /**
-     * EventTag kinds for the two callback families the orchestrator
+     * EventTag kinds for the callback families the orchestrator
      * schedules; checkpoint restore rebinds a serialized event through
-     * rebindEvent(kind, instance id). See docs/checkpoint.md.
+     * rebindEvent(kind, arg). The arg is an instance id for Complete
+     * and Reap, a service id for Dispatch. See docs/checkpoint.md.
      */
     static constexpr std::uint32_t kEventTagComplete = 1;
     static constexpr std::uint32_t kEventTagReap = 2;
+    static constexpr std::uint32_t kEventTagDispatch = 3;
 
   private:
     friend class eaao::snap::Snapshotter;
@@ -375,6 +472,40 @@ class Orchestrator
     /** Request-completion callback. */
     void completeRequest(InstanceId id);
 
+    /**
+     * Steps 1-2 of routeRequest: an active instance with spare
+     * concurrency (least-loaded, activation order breaking ties), else
+     * a woken idle instance (most recently idled first). nullptr when
+     * only a cold start can serve.
+     */
+    InstanceRecord *findWarmTarget(ServiceRecord &svc);
+
+    /**
+     * Occupy @p target with one request: bump in-flight, reindex,
+     * count, and schedule the completion event after @p service_time.
+     */
+    InstanceId occupy(ServiceRecord &svc, InstanceRecord &target,
+                      sim::Duration service_time);
+
+    /** Cold-start seconds a creation for @p svc would bill right now. */
+    double startupEstimateS(const ServiceRecord &svc) const;
+
+    /** Arm the dispatch timer for the head of @p svc's admission queue. */
+    void armDispatch(ServiceRecord &svc);
+
+    /** Dispatch-timer callback: the head's cold start has completed. */
+    void dispatchQueued(ServiceId service);
+
+    /** Drain queued requests into capacity freed by completions. */
+    void maybeDispatchQueued(ServiceRecord &svc);
+
+    /**
+     * Serve a dequeued request: onto @p target when non-null, else
+     * through a cold creation. Observes wait and latency.
+     */
+    void serveQueued(ServiceRecord &svc, const QueuedRequest &qr,
+                     InstanceRecord *target);
+
     /** Track request-path creations; aggregate surges into bursts. */
     void noteRequestCreation(ServiceRecord &svc);
 
@@ -432,11 +563,17 @@ class Orchestrator
     obs::Histogram *h_cold_start_s_ = nullptr;
     obs::Histogram *h_instances_per_host_ = nullptr;
     obs::Histogram *h_helper_churn_ = nullptr;
+    obs::Histogram *h_request_latency_s_ = nullptr;
+    obs::Histogram *h_cold_wait_s_ = nullptr;
 
     PlacementTrace *trace_ = nullptr;
     std::vector<AccountRecord> accounts_;
     std::vector<ServiceRecord> services_;
     std::vector<InstanceRecord> instances_;
+
+    /** Admission queues, indexed by service id (grown on deploy). */
+    std::vector<AdmissionQueue> admission_;
+    SloStats slo_;
 
     /**
      * Per-host capacity in use, SoA columns (support::HostLoadSoA).

@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "support/logging.hpp"
 
 namespace eaao::faas {
@@ -25,6 +27,20 @@ fmtUsd(double v)
 }
 
 } // namespace
+
+ArrivalSpec
+openLoopSpec(const ShardOp &op)
+{
+    ArrivalSpec spec;
+    spec.kind =
+        static_cast<ArrivalKind>(op.a % 3); // Poisson/Diurnal/Pareto
+    spec.rate_rps = op.rate;
+    spec.burst_factor = std::max(1.0, op.burst);
+    spec.mean_service_time = op.dur;
+    spec.span = op.span;
+    spec.churn_every = op.gap;
+    return spec;
+}
 
 ShardedPlatform::ShardedPlatform(const ShardedConfig &cfg,
                                  obs::TrialSet *obs_set)
@@ -269,6 +285,12 @@ ShardedPlatform::runWindow(sim::SimTime wend)
 void
 ShardedPlatform::laneRunWindow(Lane &lane, sim::SimTime stop)
 {
+    // Materialize this window's open-loop arrivals up front: every
+    // instant lands strictly before `stop`, so the events fire inside
+    // this window and none are pending at the barrier capture point.
+    lane.window_stop = stop;
+    for (std::size_t i = 0; i < lane.open_loops.size(); ++i)
+        pumpOpenLoop(lane, i, stop);
     while (true) {
         if (lane.storm != nullptr && !runStorm(lane, stop))
             return; // storm paused at the window boundary
@@ -308,6 +330,38 @@ ShardedPlatform::runStorm(Lane &lane, sim::SimTime stop)
     lane.storm = nullptr;
     lane.storm_done = 0;
     return true;
+}
+
+void
+ShardedPlatform::pumpOpenLoop(Lane &lane, std::size_t idx,
+                              sim::SimTime stop)
+{
+    Lane::OpenLoopStream &s = lane.open_loops[idx];
+    const sim::SimTime until = std::min(stop, s.end);
+    if (until <= s.gen_until)
+        return;
+    const ShardOp &op = lane.ops[s.op_index];
+    const ServiceId local_svc = svc_map_[op.service].second;
+    const double mean_service_s = op.dur.secondsF();
+
+    std::vector<sim::SimTime> instants;
+    s.cursor.generateUntil(until, instants);
+    for (const sim::SimTime at : instants) {
+        const sim::Duration service_time = sim::Duration::fromSecondsF(
+            std::max(1e-4, s.service_rng.exponential(mean_service_s)));
+        lane.eq.scheduleAt(at, [&lane, idx, local_svc, service_time] {
+            ++lane.open_loops[idx].generated;
+            lane.orch->admitRequest(local_svc, service_time);
+        });
+    }
+    while (s.next_churn < until) {
+        const sim::SimTime when = s.next_churn;
+        lane.eq.scheduleAt(when, [&lane, local_svc] {
+            lane.orch->disconnectAll(local_svc);
+        });
+        s.next_churn = when + op.gap;
+    }
+    s.gen_until = until;
 }
 
 void
@@ -387,6 +441,33 @@ ShardedPlatform::applyOp(Lane &lane, const ShardOp &op)
         lane.spend.push_back(line.str());
         break;
     }
+    case ShardOp::Kind::OpenLoop: {
+        EAAO_ASSERT(op.rate > 0.0, "open-loop op without a rate");
+        EAAO_ASSERT(op.span.ns() > 0, "open-loop op without a span");
+        const ArrivalSpec spec = openLoopSpec(op);
+
+        Lane::OpenLoopStream s;
+        s.op_index = static_cast<std::size_t>(&op - lane.ops.data());
+        // Stream seed is a pure script property (trial seed + op label
+        // + global service id), never a lane-grouping property.
+        sim::Rng rng(sim::mix64(
+            cfg_.seed ^ 0x0a1e00000000ULL ^
+            (static_cast<std::uint64_t>(op.step) << 20) ^ op.service));
+        s.cursor = ArrivalCursor(spec, rng.fork(0x0a1e0001), op.at);
+        s.service_rng = rng.fork(0x0a1e0002);
+        s.end = op.at + op.span;
+        s.gen_until = op.at;
+        s.next_churn =
+            op.gap.ns() > 0
+                ? op.at + op.gap
+                : sim::SimTime::fromNanos(
+                      std::numeric_limits<std::int64_t>::max());
+        lane.open_loops.push_back(std::move(s));
+        // Cover the remainder of the current window right away; later
+        // windows pump every stream at their top.
+        pumpOpenLoop(lane, lane.open_loops.size() - 1, lane.window_stop);
+        break;
+    }
     }
 }
 
@@ -454,6 +535,39 @@ ShardedPlatform::renderLog() const
         out << "\n";
         out << "routed_count " << lane.routed_count << "\n";
         out << "spend_checksum " << fmtUsd(lane.spend_checksum) << "\n";
+        // Open-loop sections are conditional so scripts without any
+        // OpenLoop op render exactly as before this op existed.
+        if (!lane.open_loops.empty()) {
+            out << "open_loop " << lane.open_loops.size() << "\n";
+            for (const Lane::OpenLoopStream &s : lane.open_loops) {
+                const ShardOp &op = lane.ops[s.op_index];
+                out << "  step=" << op.step << " svc=" << op.service
+                    << " kind=" << (op.a % 3)
+                    << " generated=" << s.generated << "\n";
+            }
+        }
+        const SloStats &slo = lane.orch->sloStats();
+        if (slo.admitted != 0) {
+            out << "slo admitted=" << slo.admitted
+                << " served_warm=" << slo.served_warm
+                << " queued=" << slo.queued
+                << " dispatched=" << slo.dispatched
+                << " rejected=" << slo.rejected << " shed=" << slo.shed
+                << "\n";
+            const auto q = [](const obs::Histogram &h, double p) {
+                return fmtUsd(obs::histogramQuantile(h, p));
+            };
+            out << "slo_latency_s p50=" << q(slo.latency_s, 0.50)
+                << " p95=" << q(slo.latency_s, 0.95)
+                << " p99=" << q(slo.latency_s, 0.99)
+                << " p999=" << q(slo.latency_s, 0.999) << "\n";
+            if (slo.cold_wait_s.count != 0) {
+                out << "slo_cold_wait_s p50=" << q(slo.cold_wait_s, 0.50)
+                    << " p95=" << q(slo.cold_wait_s, 0.95)
+                    << " p99=" << q(slo.cold_wait_s, 0.99)
+                    << " p999=" << q(slo.cold_wait_s, 0.999) << "\n";
+            }
+        }
         out << "instances " << lane.orch->instanceCount() << "\n";
         out << "events scheduled=" << lane.eq.scheduled()
             << " processed=" << lane.eq.processed()
@@ -473,6 +587,8 @@ ShardedPlatform::totals() const
     t.windows = windows_run_;
     for (const auto &lane : lanes_) {
         t.routed += lane->routed_count;
+        for (const auto &s : lane->open_loops)
+            t.open_loop += s.generated;
         t.instances += lane->orch->instanceCount();
         t.spend_checksum += lane->spend_checksum;
         t.events_scheduled += lane->eq.scheduled();
@@ -483,6 +599,34 @@ ShardedPlatform::totals() const
     for (const auto &[lane, local] : acct_map_)
         t.final_spend_usd += lanes_[lane]->orch->accountSpendUsd(local);
     return t;
+}
+
+SloStats
+ShardedPlatform::sloTotals() const
+{
+    SloStats total;
+    bool first = true;
+    for (const auto &lane : lanes_) {
+        const SloStats &s = lane->orch->sloStats();
+        // Every lane orchestrator builds its histograms from the same
+        // bucket tables, so seeding from the first lane and merging
+        // the rest keeps the bounds-equality contract of merge().
+        if (first) {
+            total.latency_s = s.latency_s;
+            total.cold_wait_s = s.cold_wait_s;
+            first = false;
+        } else {
+            total.latency_s.merge(s.latency_s);
+            total.cold_wait_s.merge(s.cold_wait_s);
+        }
+        total.admitted += s.admitted;
+        total.served_warm += s.served_warm;
+        total.queued += s.queued;
+        total.dispatched += s.dispatched;
+        total.rejected += s.rejected;
+        total.shed += s.shed;
+    }
+    return total;
 }
 
 } // namespace eaao::faas

@@ -40,6 +40,7 @@
 #include "faas/fleet.hpp"
 #include "faas/orchestrator.hpp"
 #include "faas/trace.hpp"
+#include "faas/workload.hpp"
 #include "obs/export.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -70,6 +71,7 @@ struct ShardOp
         Redeploy,       //!< redeployService(service)
         Restart,        //!< restart pick a of the lane's created list
         SpendProbe,     //!< log account spend
+        OpenLoop,       //!< start an open-loop arrival stream (see below)
     };
 
     Kind kind = Kind::Connect;
@@ -92,7 +94,22 @@ struct ShardOp
     sim::Duration dur_step;
     std::uint32_t dur_mod = 1;
     std::uint32_t spend_every = 0;
+
+    // OpenLoop shape: an arrival stream for `service` lasting `span`
+    // from `at`. Family is `a` (an ArrivalKind), mean offered load is
+    // `rate` rps with burstiness `burst`, service times exponential
+    // around `dur`, connection churn every `gap` (0 = never). Arrivals
+    // are materialized one window at a time inside the lane loop and
+    // land on Orchestrator::admitRequest, so admission backpressure
+    // and cold-start queueing apply; outcomes accumulate in the lane's
+    // sloStats() and render as conditional log lines.
+    double rate = 0.0;
+    double burst = 2.0;
+    sim::Duration span;
 };
+
+/** The ArrivalSpec an OpenLoop op describes (shared with restore). */
+ArrivalSpec openLoopSpec(const ShardOp &op);
 
 /** Configuration of a sharded trial. */
 struct ShardedConfig
@@ -123,6 +140,7 @@ struct ShardedConfig
 struct ShardedTotals
 {
     std::uint64_t routed = 0;       //!< requests routed (Route + storms)
+    std::uint64_t open_loop = 0;    //!< open-loop arrivals admitted
     std::uint64_t instances = 0;    //!< instances ever created
     double spend_checksum = 0.0;    //!< storm spend-poll checksum
     double final_spend_usd = 0.0;   //!< all accounts, at the final barrier
@@ -214,6 +232,15 @@ class ShardedPlatform
 
     ShardedTotals totals() const;
 
+    /**
+     * Lane-order merge of every lane orchestrator's sloStats(): the
+     * fleet-wide admission picture of the open-loop streams. Campaign
+     * programs publish it as trigger counters (slo.p99_s and friends,
+     * docs/load-engine.md) and quantiles come from
+     * obs::histogramQuantile over the merged histograms.
+     */
+    SloStats sloTotals() const;
+
     /** The shared committed capacity table (tests: conservation). */
     const support::HostLoadSoA &committedLoad() const { return committed_; }
 
@@ -240,6 +267,27 @@ class ShardedPlatform
         std::uint64_t storm_done = 0;
         sim::SimTime storm_t;
 
+        /**
+         * One active open-loop arrival stream. Generation is clamped
+         * to the current window barrier, so no plain-closure arrival
+         * event is ever pending at a capture point — the stream's
+         * forward state is exactly the cursor (rng, origin, pending
+         * instant), which the checkpointer serializes.
+         */
+        struct OpenLoopStream
+        {
+            std::size_t op_index = 0; //!< defining op in `ops`
+            ArrivalCursor cursor;
+            sim::Rng service_rng;
+            sim::SimTime end;
+            sim::SimTime gen_until;   //!< arrivals materialized so far
+            sim::SimTime next_churn;
+            std::uint64_t generated = 0;
+        };
+        std::vector<OpenLoopStream> open_loops;
+        sim::SimTime window_stop; //!< current lane-window stop (not
+                                  //!< serialized; set per window)
+
         std::vector<AccountId> accounts; //!< local ids, creation order
         std::vector<ServiceId> services;
         std::vector<InstanceId> created; //!< local ids, creation order
@@ -258,6 +306,7 @@ class ShardedPlatform
     void runWindow(sim::SimTime wend);
     void laneRunWindow(Lane &lane, sim::SimTime stop);
     bool runStorm(Lane &lane, sim::SimTime stop);
+    void pumpOpenLoop(Lane &lane, std::size_t idx, sim::SimTime stop);
     void applyOp(Lane &lane, const ShardOp &op);
     void foldBarrier(std::uint32_t window_index);
     void noteCreated(Lane &lane);

@@ -156,9 +156,43 @@ mergeRegistries(const std::vector<MetricsRegistry> &parts)
     return merged;
 }
 
+double
+histogramQuantile(const Histogram &h, double q)
+{
+    if (h.count == 0 || h.counts.empty())
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the target observation, 1-based; q=0 maps to rank 1.
+    const double rank = std::max(1.0, q * static_cast<double>(h.count));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (h.counts[i] == 0)
+            continue;
+        const std::uint64_t next = cum + h.counts[i];
+        if (rank > static_cast<double>(next)) {
+            cum = next;
+            continue;
+        }
+        double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+        double hi = i < h.bounds.size() ? h.bounds[i] : h.max;
+        lo = std::max(lo, std::min(h.min, hi));
+        hi = std::max(lo, std::min(hi, h.max));
+        const double frac = (rank - static_cast<double>(cum)) /
+                            static_cast<double>(h.counts[i]);
+        return lo + (hi - lo) * frac;
+    }
+    return h.max;
+}
+
 namespace {
 
 const std::vector<double> kColdStartS = {0.5, 1, 2, 4, 8, 16, 32, 64};
+const std::vector<double> kRequestLatencyS = {
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5,   1,      2.5,   5,    10,    25,   50,  100};
+const std::vector<double> kColdWaitS = {0.1,  0.25, 0.5, 1,  1.5, 2,  3,
+                                        4,    6,    8,   12, 16,  24, 32,
+                                        48,   64};
 const std::vector<double> kInstancesPerHost = {1, 2,  4,  6,  8, 10,
                                                12, 16, 24, 32, 64};
 const std::vector<double> kFraction = {0.01, 0.02, 0.05, 0.1, 0.2,
@@ -171,6 +205,18 @@ const std::vector<double> &
 coldStartBucketsS()
 {
     return kColdStartS;
+}
+
+const std::vector<double> &
+requestLatencyBucketsS()
+{
+    return kRequestLatencyS;
+}
+
+const std::vector<double> &
+coldWaitBucketsS()
+{
+    return kColdWaitS;
 }
 
 const std::vector<double> &

@@ -115,11 +115,30 @@ class MetricsRegistry
  */
 MetricsRegistry mergeRegistries(const std::vector<MetricsRegistry> &parts);
 
+/**
+ * Interpolated quantile estimate from a fixed-bucket histogram.
+ *
+ * Walks the cumulative counts to the bucket holding the q-th ranked
+ * observation and interpolates linearly inside it. The first bucket
+ * interpolates from 0 (or from min when it is tighter); the overflow
+ * bucket is pinned between the last bound and max. Returns 0.0 for an
+ * empty histogram. @p q is clamped to [0, 1]. The result is a pure
+ * function of the histogram contents, so it is safe to render into
+ * deterministic output.
+ */
+double histogramQuantile(const Histogram &h, double q);
+
 /** @name Standard bucket boundaries (documented in docs/observability.md)
  *  @{ */
 
 /** Cold-start latency, seconds (creation startup time). */
 const std::vector<double> &coldStartBucketsS();
+
+/** End-to-end request latency under open-loop load, seconds. */
+const std::vector<double> &requestLatencyBucketsS();
+
+/** Time an admitted request waits before dispatch, seconds. */
+const std::vector<double> &coldWaitBucketsS();
 
 /** Live instances co-resident on one host at placement time. */
 const std::vector<double> &instancesPerHostBuckets();

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Timing-wheel level assignment and idle-skip scheduling (see
+ * timing_wheel.hpp for the protocol).
+ */
+
+#include "sim/timing_wheel.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace eaao::sim {
+
+namespace {
+
+/** Portable count-trailing-zeros for a non-zero mask. */
+unsigned
+ctz64(std::uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_ctzll(v));
+#else
+    unsigned n = 0;
+    while (!(v & 1)) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+} // namespace
+
+bool
+TimingWheel::insert(const WheelEntry &e)
+{
+    const std::int64_t tick = tickOf(e.when);
+    const std::int64_t delta = tick - frontier_;
+    if (delta <= 0)
+        return false; // due (or overdue): caller's heap owns it
+    unsigned level = 0;
+    while (level < kLevels
+           && delta >= (std::int64_t(1) << (kSlotBits * (level + 1))))
+        ++level;
+    if (level >= kLevels)
+        return false; // beyond level 3's span: far-future heap overflow
+    const std::uint32_t s =
+        static_cast<std::uint32_t>(tick >> (kSlotBits * level)) & kSlotMask;
+    buckets_[level][s].push_back(e);
+    occ_[level] |= std::uint64_t(1) << s;
+    ++count_;
+    return true;
+}
+
+std::int64_t
+TimingWheel::nextActionTick() const
+{
+    assert(count_ > 0);
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+
+    // Level 0 buckets hold entries of the current 64-tick span
+    // [frontier, frontier + 63]; the slot's distance ahead of the
+    // frontier's own slot recovers the absolute due tick.
+    {
+        const std::uint32_t base = frontier_ & kSlotMask;
+        std::uint64_t m = occ_[0];
+        while (m) {
+            const std::uint32_t s = ctz64(m);
+            m &= m - 1;
+            const std::int64_t t =
+                frontier_
+                + static_cast<std::int64_t>((s - base) & kSlotMask);
+            if (t < best)
+                best = t;
+        }
+    }
+
+    // A level >= 1 bucket flushes when the frontier reaches the start
+    // of the 64^level-tick window its slot addresses: the first
+    // window index >= frontier's that is congruent to the slot.
+    for (unsigned level = 1; level < kLevels; ++level) {
+        std::uint64_t m = occ_[level];
+        if (!m)
+            continue;
+        const unsigned shift = kSlotBits * level;
+        const std::int64_t base = frontier_ >> shift;
+        while (m) {
+            const std::uint32_t s = ctz64(m);
+            m &= m - 1;
+            std::int64_t widx =
+                base + static_cast<std::int64_t>((s - base) & kSlotMask);
+            std::int64_t t = widx << shift;
+            if (t < frontier_) // this window already began: next lap
+                t = (widx + kSlots) << shift;
+            if (t < best)
+                best = t;
+        }
+    }
+    return best;
+}
+
+void
+TimingWheel::reset(std::int64_t frontier)
+{
+    for (unsigned level = 0; level < kLevels; ++level) {
+        for (std::uint32_t s = 0; s < kSlots; ++s)
+            buckets_[level][s].clear();
+        occ_[level] = 0;
+    }
+    count_ = 0;
+    frontier_ = frontier;
+}
+
+void
+TimingWheel::restoreEntry(const WheelEntry &e, std::uint8_t level,
+                          std::uint8_t wslot)
+{
+    assert(level < kLevels && wslot < kSlots);
+    buckets_[level][wslot].push_back(e);
+    occ_[level] |= std::uint64_t(1) << wslot;
+    ++count_;
+}
+
+} // namespace eaao::sim

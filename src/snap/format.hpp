@@ -38,8 +38,13 @@ namespace eaao::snap {
 /** Magic bytes at offset 0 of every snapshot image. */
 inline constexpr char kMagic[8] = {'E', 'A', 'A', 'O', 'S', 'N', 'A', 'P'};
 
-/** Highest format version this binary reads and writes. */
-inline constexpr std::uint32_t kFormatVersion = 1;
+/**
+ * Highest format version this binary reads and writes. Version 2
+ * added the event queue's timing-wheel state (frontier + parked
+ * entries with bucket placement) and the lanes' open-loop arrival
+ * cursors to the per-lane sections.
+ */
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /** Section identifiers (id 0x100 + lane for per-lane sections). */
 inline constexpr std::uint32_t kSectionMeta = 1;

@@ -179,6 +179,49 @@ getF64Vec(SectionReader &in, std::vector<double> &v)
 }
 
 void
+putHistogram(SectionWriter &out, const obs::Histogram &h)
+{
+    putF64Vec(out, h.bounds);
+    putU64Vec(out, h.counts);
+    out.putU64(h.count);
+    out.putF64(h.sum);
+    out.putF64(h.min);
+    out.putF64(h.max);
+}
+
+bool
+getHistogram(SectionReader &in, obs::Histogram &h)
+{
+    if (!getF64Vec(in, h.bounds) || !getU64Vec(in, h.counts) ||
+        !in.getU64(h.count) || !in.getF64(h.sum) || !in.getF64(h.min) ||
+        !in.getF64(h.max))
+        return false;
+    return h.counts.empty() || h.counts.size() == h.bounds.size() + 1;
+}
+
+void
+putRng(SectionWriter &out, const sim::RngState &rng)
+{
+    for (int i = 0; i < 4; ++i)
+        out.putU64(rng.s[i]);
+    out.putF64(rng.cached_normal);
+    out.putU8(rng.has_cached_normal ? 1 : 0);
+}
+
+bool
+getRng(SectionReader &in, sim::RngState &rng)
+{
+    std::uint8_t has_cached = 0;
+    for (int i = 0; i < 4; ++i)
+        if (!in.getU64(rng.s[i]))
+            return false;
+    if (!in.getF64(rng.cached_normal) || !in.getU8(has_cached))
+        return false;
+    rng.has_cached_normal = has_cached != 0;
+    return true;
+}
+
+void
 putStringVec(SectionWriter &out, const std::vector<std::string> &v)
 {
     out.putU64(v.size());
@@ -249,27 +292,32 @@ putOp(SectionWriter &out, const ShardOp &op)
     out.putI64(op.dur_step.ns());
     out.putU32(op.dur_mod);
     out.putU32(op.spend_every);
+    out.putF64(op.rate);
+    out.putF64(op.burst);
+    out.putI64(op.span.ns());
 }
 
 bool
 getOp(SectionReader &in, ShardOp &op)
 {
     std::uint8_t kind = 0;
-    std::int64_t at = 0, dur = 0, gap = 0, dur_step = 0;
+    std::int64_t at = 0, dur = 0, gap = 0, dur_step = 0, span = 0;
     if (!in.getU8(kind) || !in.getI64(at) || !in.getU32(op.step) ||
         !in.getU32(op.sub) || !in.getU32(op.service) ||
         !in.getU32(op.account) || !in.getU32(op.a) || !in.getI64(dur) ||
         !in.getU64(op.n) || !in.getU32(op.gap_every) || !in.getI64(gap) ||
         !in.getI64(dur_step) || !in.getU32(op.dur_mod) ||
-        !in.getU32(op.spend_every))
+        !in.getU32(op.spend_every) || !in.getF64(op.rate) ||
+        !in.getF64(op.burst) || !in.getI64(span))
         return false;
-    if (kind > static_cast<std::uint8_t>(ShardOp::Kind::SpendProbe))
+    if (kind > static_cast<std::uint8_t>(ShardOp::Kind::OpenLoop))
         return false;
     op.kind = static_cast<ShardOp::Kind>(kind);
     op.at = sim::SimTime::fromNanos(at);
     op.dur = sim::Duration::nanos(dur);
     op.gap = sim::Duration::nanos(gap);
     op.dur_step = sim::Duration::nanos(dur_step);
+    op.span = sim::Duration::nanos(span);
     return true;
 }
 
@@ -301,6 +349,16 @@ putEventQueueImage(SectionWriter &out, const sim::EventQueueImage &img)
     putEntries(img.heap);
     putEntries(img.staging);
     putU32Vec(out, img.free_list);
+    out.putI64(img.wheel_frontier);
+    out.putU64(img.wheel.size());
+    for (const auto &w : img.wheel) {
+        out.putI64(w.when_ns);
+        out.putU64(w.seq);
+        out.putU32(w.slot);
+        out.putU32(w.gen);
+        out.putU8(w.level);
+        out.putU8(w.wslot);
+    }
 }
 
 bool
@@ -334,8 +392,22 @@ getEventQueueImage(SectionReader &in, sim::EventQueueImage &img)
             }
             return true;
         };
-    return getEntries(img.heap) && getEntries(img.staging) &&
-           getU32Vec(in, img.free_list);
+    if (!getEntries(img.heap) || !getEntries(img.staging) ||
+        !getU32Vec(in, img.free_list))
+        return false;
+    std::uint64_t wheel_n = 0;
+    if (!in.getI64(img.wheel_frontier) || !in.getU64(wheel_n))
+        return false;
+    img.wheel.clear();
+    for (std::uint64_t i = 0; i < wheel_n; ++i) {
+        sim::EventQueueImage::WheelEntryImage w;
+        if (!in.getI64(w.when_ns) || !in.getU64(w.seq) ||
+            !in.getU32(w.slot) || !in.getU32(w.gen) || !in.getU8(w.level) ||
+            !in.getU8(w.wslot))
+            return false;
+        img.wheel.push_back(w);
+    }
+    return true;
 }
 
 } // namespace
@@ -394,6 +466,8 @@ Snapshotter::configFingerprint(const faas::ShardedConfig &cfg)
     mixF(o.creation_slowdown_factor);
     mixF(o.startup_billable_s_gen1);
     mixF(o.startup_billable_s_gen2);
+    mixU(o.admission_depth);
+    mixU(static_cast<std::uint64_t>(o.shed_policy));
     mixU(o.isolate_accounts ? 1 : 0);
     mixU(o.reference_scan ? 1 : 0);
     mixU(o.fault_injection);
@@ -437,11 +511,7 @@ Snapshotter::captureLane(const faas::ShardedPlatform::Lane &lane,
 
     const faas::Orchestrator &orch = *lane.orch;
 
-    const sim::RngState rng = orch.rng_.saveState();
-    for (int i = 0; i < 4; ++i)
-        out.putU64(rng.s[i]);
-    out.putF64(rng.cached_normal);
-    out.putU8(rng.has_cached_normal ? 1 : 0);
+    putRng(out, orch.rng_.saveState());
 
     out.putU64(orch.routing_.nextSeq());
 
@@ -476,7 +546,23 @@ Snapshotter::captureLane(const faas::ShardedPlatform::Lane &lane,
         putU64Vec(out, svc.idle);
         out.putU64(svc.helper_seed);
         out.putU64(svc.requests_served);
+        const faas::AdmissionQueue &aq = orch.admission_[svc.id];
+        out.putU64(aq.dispatch_event);
+        out.putU64(aq.q.size());
+        for (const faas::QueuedRequest &qr : aq.q) {
+            out.putI64(qr.enqueued_at.ns());
+            out.putI64(qr.service_time.ns());
+        }
     }
+
+    putHistogram(out, orch.slo_.latency_s);
+    putHistogram(out, orch.slo_.cold_wait_s);
+    out.putU64(orch.slo_.admitted);
+    out.putU64(orch.slo_.served_warm);
+    out.putU64(orch.slo_.queued);
+    out.putU64(orch.slo_.dispatched);
+    out.putU64(orch.slo_.rejected);
+    out.putU64(orch.slo_.shed);
 
     // The instance table dominates the image (every instance ever
     // created); encode its fixed-width records through one grow()
@@ -541,6 +627,22 @@ Snapshotter::captureLane(const faas::ShardedPlatform::Lane &lane,
     putStringVec(out, lane.spend);
     out.putU64(lane.routed_count);
     out.putF64(lane.spend_checksum);
+
+    // Open-loop arrival cursors. Capture happens at a window barrier,
+    // where generation has drained every materialized arrival, so the
+    // cursor state below IS the stream's entire forward state.
+    out.putU64(lane.open_loops.size());
+    for (const auto &s : lane.open_loops) {
+        out.putU64(s.op_index);
+        putRng(out, s.cursor.rngState());
+        out.putI64(s.cursor.origin().ns());
+        out.putI64(s.cursor.next().ns());
+        putRng(out, s.service_rng.saveState());
+        out.putI64(s.end.ns());
+        out.putI64(s.gen_until.ns());
+        out.putI64(s.next_churn.ns());
+        out.putU64(s.generated);
+    }
 }
 
 void
@@ -668,13 +770,8 @@ Snapshotter::restoreLane(SectionReader &in,
     faas::Orchestrator &orch = *lane.orch;
 
     sim::RngState rng;
-    std::uint8_t has_cached = 0;
-    for (int i = 0; i < 4; ++i)
-        if (!in.getU64(rng.s[i]))
-            return bail("lane rng state");
-    if (!in.getF64(rng.cached_normal) || !in.getU8(has_cached))
+    if (!getRng(in, rng))
         return bail("lane rng state");
-    rng.has_cached_normal = has_cached != 0;
 
     std::uint64_t routing_next_seq = 0;
     if (!in.getU64(routing_next_seq))
@@ -696,6 +793,7 @@ Snapshotter::restoreLane(SectionReader &in,
     if (!in.getU64(n))
         return bail("lane service table");
     std::vector<faas::ServiceRecord> services;
+    std::vector<faas::AdmissionQueue> admission;
     for (std::uint64_t i = 0; i < n; ++i) {
         faas::ServiceRecord svc;
         std::uint8_t env = 0, size = 0;
@@ -729,8 +827,29 @@ Snapshotter::restoreLane(SectionReader &in,
         if (!getU64Vec(in, svc.active) || !getU64Vec(in, svc.idle) ||
             !in.getU64(svc.helper_seed) || !in.getU64(svc.requests_served))
             return bail("lane service table");
+        faas::AdmissionQueue aq;
+        std::uint64_t queued = 0;
+        if (!in.getU64(aq.dispatch_event) || !in.getU64(queued))
+            return bail("lane admission queue");
+        for (std::uint64_t q = 0; q < queued; ++q) {
+            std::int64_t at = 0, st = 0;
+            if (!in.getI64(at) || !in.getI64(st))
+                return bail("lane admission queue");
+            aq.q.push_back(
+                faas::QueuedRequest{sim::SimTime::fromNanos(at),
+                                    sim::Duration::nanos(st)});
+        }
+        admission.push_back(std::move(aq));
         services.push_back(std::move(svc));
     }
+
+    faas::SloStats slo;
+    if (!getHistogram(in, slo.latency_s) ||
+        !getHistogram(in, slo.cold_wait_s) || !in.getU64(slo.admitted) ||
+        !in.getU64(slo.served_warm) || !in.getU64(slo.queued) ||
+        !in.getU64(slo.dispatched) || !in.getU64(slo.rejected) ||
+        !in.getU64(slo.shed))
+        return bail("lane slo stats");
 
     if (!in.getU64(n))
         return bail("lane instance table");
@@ -849,6 +968,45 @@ Snapshotter::restoreLane(SectionReader &in,
         !getStringVec(in, spend) || !in.getU64(routed_count) ||
         !in.getF64(spend_checksum))
         return bail("lane log buffers");
+
+    std::uint64_t open_loop_count = 0;
+    if (!in.getU64(open_loop_count))
+        return bail("lane open-loop streams");
+    std::vector<faas::ShardedPlatform::Lane::OpenLoopStream> open_loops;
+    for (std::uint64_t i = 0; i < open_loop_count; ++i) {
+        faas::ShardedPlatform::Lane::OpenLoopStream s;
+        std::uint64_t op_index = 0;
+        sim::RngState cursor_rng, service_rng;
+        std::int64_t origin = 0, next = 0, end = 0, gen_until = 0,
+                     next_churn = 0;
+        if (!in.getU64(op_index) || !getRng(in, cursor_rng) ||
+            !in.getI64(origin) || !in.getI64(next) ||
+            !getRng(in, service_rng) || !in.getI64(end) ||
+            !in.getI64(gen_until) || !in.getI64(next_churn) ||
+            !in.getU64(s.generated))
+            return bail("lane open-loop streams");
+        if (op_index >= ops.size() ||
+            ops[op_index].kind != ShardOp::Kind::OpenLoop ||
+            ops[op_index].rate <= 0.0) {
+            error = "corrupt snapshot: open-loop stream references a "
+                    "non-open-loop op";
+            return false;
+        }
+        s.op_index = static_cast<std::size_t>(op_index);
+        // Rebuild the cursor from its defining op, then overwrite the
+        // draw state (the throwaway seed never surfaces).
+        s.cursor = faas::ArrivalCursor(
+            faas::openLoopSpec(ops[op_index]), sim::Rng(1),
+            sim::SimTime::fromNanos(origin));
+        s.cursor.restore(cursor_rng, sim::SimTime::fromNanos(origin),
+                         sim::SimTime::fromNanos(next));
+        s.service_rng.restoreState(service_rng);
+        s.end = sim::SimTime::fromNanos(end);
+        s.gen_until = sim::SimTime::fromNanos(gen_until);
+        s.next_churn = sim::SimTime::fromNanos(next_churn);
+        open_loops.push_back(std::move(s));
+    }
+
     if (!in.atEnd()) {
         error = "corrupt snapshot: trailing bytes in lane section";
         return false;
@@ -861,6 +1019,8 @@ Snapshotter::restoreLane(SectionReader &in,
     orch.accounts_ = std::move(accounts);
     orch.services_ = std::move(services);
     orch.instances_ = std::move(instances);
+    orch.admission_ = std::move(admission);
+    orch.slo_ = std::move(slo);
     orch.routing_.resetForRestore(routing_next_seq);
     orch.rebuildDerivedState();
 
@@ -895,6 +1055,7 @@ Snapshotter::restoreLane(SectionReader &in,
     lane.spend = std::move(spend);
     lane.routed_count = routed_count;
     lane.spend_checksum = spend_checksum;
+    lane.open_loops = std::move(open_loops);
     return true;
 }
 

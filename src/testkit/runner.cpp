@@ -10,6 +10,8 @@
 
 #include "faas/platform.hpp"
 #include "faas/sharded.hpp"
+#include "faas/workload.hpp"
+#include "obs/metrics.hpp"
 #include "snap/snapshotter.hpp"
 
 namespace eaao::testkit {
@@ -52,6 +54,44 @@ fmtUsd(double v)
     return buf;
 }
 
+/**
+ * Decode an OpenLoop step's raw payloads into an ArrivalSpec. Every
+ * (a, b) pair maps to a valid spec, so shrinker payload halving stays
+ * total: family and service-time come from `a`, span/burst/churn from
+ * `b`. Spans are kept short (30..180 s) so fuzz scenarios stay fast.
+ */
+faas::ArrivalSpec
+openLoopSpecOf(const ScenarioStep &st)
+{
+    faas::ArrivalSpec spec;
+    spec.kind = static_cast<faas::ArrivalKind>(st.a % 3);
+    spec.rate_rps = 20.0 + st.a % 181;
+    spec.mean_service_time = sim::Duration::millis(50 + st.a % 250);
+    spec.span = sim::Duration::seconds(30 + st.b % 151);
+    spec.burst_factor = 1.5 + st.b % 4;
+    spec.churn_every = st.b % 7 == 0 ? sim::Duration::seconds(15)
+                                     : sim::Duration();
+    return spec;
+}
+
+/** Conditional SLO log section (empty when nothing was admitted). */
+std::string
+renderSlo(const faas::SloStats &slo)
+{
+    if (slo.admitted == 0)
+        return {};
+    std::ostringstream out;
+    out << "slo admitted=" << slo.admitted
+        << " served_warm=" << slo.served_warm << " queued=" << slo.queued
+        << " dispatched=" << slo.dispatched << " rejected=" << slo.rejected
+        << " shed=" << slo.shed << "\n";
+    out << "slo_latency_s p50=" << fmtUsd(obs::histogramQuantile(
+                                        slo.latency_s, 0.50))
+        << " p99=" << fmtUsd(obs::histogramQuantile(slo.latency_s, 0.99))
+        << "\n";
+    return out.str();
+}
+
 } // namespace
 
 std::string
@@ -78,6 +118,7 @@ ScenarioLog::render() const
     for (const double v : final_spend_usd)
         out << " " << fmtUsd(v);
     out << "\n";
+    out << slo; // empty unless an OpenLoop step admitted traffic
     out << "instances " << instance_count << "\n";
     out << "events scheduled=" << events_scheduled
         << " processed=" << events_processed
@@ -213,6 +254,20 @@ runScenario(const Scenario &scenario, const RunOptions &opts)
                 log.spend.push_back(line.str());
             }
             break;
+        case ScenarioStep::Kind::OpenLoop: {
+            const faas::ArrivalSpec spec = openLoopSpecOf(st);
+            // Engine streams fork from the scenario seed + step label,
+            // so the draw sequence is a scenario property shared by
+            // every oracle arm (reference / threads / obs).
+            faas::ArrivalEngine engine(
+                platform, svc, spec,
+                sim::Rng(cfg.seed).fork(0x4f4c0000ULL + step_no));
+            engine.start();
+            // The step blocks through the whole span plus a short
+            // tail so in-window cold-start dispatches settle.
+            platform.advance(spec.span + sim::Duration::seconds(5));
+            break;
+        }
         }
         noteCreated(trace_mark);
         if (opts.step_hook) {
@@ -233,6 +288,7 @@ runScenario(const Scenario &scenario, const RunOptions &opts)
 
     for (const faas::AccountId id : accounts)
         log.final_spend_usd.push_back(platform.accountSpendUsd(id));
+    log.slo = renderSlo(platform.orchestrator().sloStats());
     log.trace = trace.events();
     log.instance_count = platform.orchestrator().instanceCount();
     log.events_scheduled = platform.clock().scheduled();
@@ -363,6 +419,21 @@ runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
                 ops.push_back(op);
             }
             break;
+        case ScenarioStep::Kind::OpenLoop: {
+            const faas::ArrivalSpec spec = openLoopSpecOf(st);
+            op.kind = faas::ShardOp::Kind::OpenLoop;
+            op.a = st.a % 3; // ArrivalKind, mirroring openLoopSpecOf
+            op.rate = spec.rate_rps;
+            op.burst = spec.burst_factor;
+            op.dur = spec.mean_service_time;
+            op.span = spec.span;
+            op.gap = spec.churn_every;
+            ops.push_back(op);
+            // Mirror the serial runner's blocking shape: later steps
+            // start after the stream span and its settling tail.
+            t += spec.span + sim::Duration::seconds(5);
+            break;
+        }
         }
         ++step_no;
     }

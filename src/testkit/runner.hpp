@@ -76,6 +76,13 @@ struct ScenarioLog
     std::vector<double> final_spend_usd; //!< per account, after drain
     std::uint64_t instance_count = 0;
 
+    /**
+     * Open-loop SLO accounting (Orchestrator::sloStats), rendered only
+     * when at least one request went through admitRequest so scenarios
+     * without OpenLoop steps keep their historical log bytes.
+     */
+    std::string slo;
+
     std::uint64_t events_scheduled = 0;
     std::uint64_t events_processed = 0;
     std::uint64_t events_cancelled = 0;

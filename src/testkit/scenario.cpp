@@ -18,9 +18,9 @@ namespace {
 
 /** Replay-file tokens, indexed by ScenarioStep::Kind. */
 constexpr const char *kKindTokens[kStepKindCount] = {
-    "connect",   "disconnect", "route",           "burst",
-    "advance",   "restart",    "set_concurrency", "set_quota",
-    "redeploy",  "spend_probe",
+    "connect",   "disconnect",  "route",           "burst",
+    "advance",   "restart",     "set_concurrency", "set_quota",
+    "redeploy",  "spend_probe", "open_loop",
 };
 
 /** Profile names, indexed by Scenario::profile. */
@@ -441,7 +441,7 @@ generateScenario(std::uint64_t base_seed, std::uint64_t index,
                 st.b = static_cast<std::uint32_t>(
                     rng.uniformInt(1, 500)); // ms
             }
-        } else if (w < 80) {
+        } else if (w < 76) {
             st.kind = ScenarioStep::Kind::Advance;
             // Idle-gap buckets chosen to straddle the reap window:
             // short gaps (< idle_hold = 2 min), gaps just around the
@@ -464,6 +464,15 @@ generateScenario(std::uint64_t base_seed, std::uint64_t index,
             else
                 st.a = 30'000 * static_cast<std::uint32_t>(
                                     rng.uniformInt(1, 4));
+        } else if (w < 80) {
+            // Open-loop arrival stream: raw payloads, decoded by the
+            // runner into the full ArrivalSpec (family, rate, span,
+            // burstiness, churn) so admission backpressure and the
+            // cold-start queue see fuzzed traffic in every oracle.
+            st.kind = ScenarioStep::Kind::OpenLoop;
+            st.target = svc();
+            st.a = static_cast<std::uint32_t>(rng.uniformInt(1u << 30));
+            st.b = static_cast<std::uint32_t>(rng.uniformInt(1u << 30));
         } else if (w < 85) {
             st.kind = ScenarioStep::Kind::Restart;
             st.a = static_cast<std::uint32_t>(rng.uniformInt(1u << 16));

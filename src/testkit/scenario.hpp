@@ -59,6 +59,11 @@ struct ScenarioStep
         SetQuota,       //!< quota of account `target` := `a`
         Redeploy,       //!< redeploy service `target`
         SpendProbe,     //!< record every account's spend
+        OpenLoop,       //!< open-loop arrival stream at `target` (the
+                        //!< runner derives the whole ArrivalSpec —
+                        //!< family, rate, burstiness, span, churn —
+                        //!< from the raw `a`/`b` payloads, so every
+                        //!< u32 pair is valid and shrinker-halvable)
     };
 
     Kind kind = Kind::Advance;
@@ -68,7 +73,7 @@ struct ScenarioStep
 };
 
 /** Number of ScenarioStep kinds (parse/render tables). */
-inline constexpr std::size_t kStepKindCount = 10;
+inline constexpr std::size_t kStepKindCount = 11;
 
 /** Render a step kind as its replay-file token. */
 const char *toString(ScenarioStep::Kind kind);

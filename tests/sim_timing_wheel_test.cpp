@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Timing-wheel fast-path tests: the wheel-backed EventQueue must be
+ * observationally identical to the pure-heap kernel — same pop order,
+ * same cancel verdicts, same counters — across schedule/cancel/advance
+ * mixes spanning every wheel level, cascade boundaries and the
+ * far-future heap overflow, and its parked state must round-trip
+ * bit-exactly through EventQueueImage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/timing_wheel.hpp"
+
+namespace eaao::sim {
+namespace {
+
+constexpr std::int64_t kTickNs = std::int64_t(1) << TimingWheel::kTickBits;
+
+/**
+ * Both kernels share the slab/seq logic, so a lock-step driver gets
+ * identical EventIds from both and can replay every operation 1:1.
+ */
+struct QueuePair
+{
+    EventQueue wheel{SimTime(), /*use_wheel=*/true};
+    EventQueue heap{SimTime(), /*use_wheel=*/false};
+    std::vector<std::pair<int, std::int64_t>> wheel_trace;
+    std::vector<std::pair<int, std::int64_t>> heap_trace;
+    int tag = 0;
+
+    EventId
+    schedule(Duration d)
+    {
+        const int t = tag++;
+        const EventId a = wheel.scheduleAfter(d, [this, t] {
+            wheel_trace.emplace_back(t, wheel.now().ns());
+        });
+        const EventId b = heap.scheduleAfter(d, [this, t] {
+            heap_trace.emplace_back(t, heap.now().ns());
+        });
+        EXPECT_EQ(a, b); // identical slab state => identical handles
+        return a;
+    }
+
+    void
+    cancel(EventId id)
+    {
+        EXPECT_EQ(wheel.cancel(id), heap.cancel(id));
+    }
+
+    void
+    advance(Duration d)
+    {
+        wheel.runUntil(wheel.now() + d);
+        heap.runUntil(heap.now() + d);
+        EXPECT_EQ(wheel.now(), heap.now());
+    }
+
+    void
+    finish()
+    {
+        wheel.run();
+        heap.run();
+        EXPECT_EQ(wheel_trace, heap_trace);
+        EXPECT_EQ(wheel.pending(), heap.pending());
+        EXPECT_EQ(wheel.processed(), heap.processed());
+        EXPECT_EQ(wheel.scheduled(), heap.scheduled());
+        EXPECT_EQ(wheel.cancelled(), heap.cancelled());
+    }
+};
+
+TEST(TimingWheel, PropertyMatchesPureHeapOverRandomOps)
+{
+    // 10k mixed ops whose delays span level 0 (sub-tick) through the
+    // far-future heap overflow (> level 3's ~4.9 h), interleaved with
+    // horizon advances that cross cascade boundaries.
+    Rng rng(0x77eel);
+    QueuePair q;
+    std::vector<EventId> cancellable;
+
+    for (int op = 0; op < 10000; ++op) {
+        const std::uint64_t kind = rng.uniformInt(std::uint64_t{10});
+        if (kind < 6) { // schedule with a level-spanning delay mix
+            const std::uint64_t band = rng.uniformInt(std::uint64_t{10});
+            Duration d;
+            if (band < 3) { // level 0: within a few ticks
+                d = Duration::nanos(static_cast<std::int64_t>(
+                    rng.uniformInt(std::uint64_t{4 * kTickNs})));
+            } else if (band < 6) { // levels 1-2: ms to seconds
+                d = Duration::millis(static_cast<std::int64_t>(
+                    rng.uniformInt(std::uint64_t{5000})));
+            } else if (band < 8) { // level 3: minutes
+                d = Duration::seconds(static_cast<std::int64_t>(
+                    rng.uniformInt(std::uint64_t{3000})));
+            } else if (band < 9) { // deep level 3: hours
+                d = Duration::minutes(static_cast<std::int64_t>(
+                    rng.uniformInt(std::uint64_t{280})));
+            } else { // beyond the wheel: heap overflow
+                d = Duration::hours(5 + static_cast<std::int64_t>(
+                                            rng.uniformInt(std::uint64_t{8})));
+            }
+            const EventId id = q.schedule(d);
+            if (rng.uniformInt(std::uint64_t{2}) == 0)
+                cancellable.push_back(id);
+        } else if (kind < 8) { // cancel a remembered handle
+            if (!cancellable.empty()) {
+                const std::uint64_t pick = rng.uniformInt(
+                    static_cast<std::uint64_t>(cancellable.size()));
+                const EventId id = cancellable[pick];
+                cancellable.erase(cancellable.begin() +
+                                  static_cast<std::ptrdiff_t>(pick));
+                q.cancel(id);
+            }
+        } else { // advance across tick and cascade boundaries
+            q.advance(Duration::millis(static_cast<std::int64_t>(
+                rng.uniformInt(std::uint64_t{2000}))));
+        }
+        ASSERT_EQ(q.wheel.pending(), q.heap.pending()) << "op " << op;
+    }
+    q.finish();
+    EXPECT_EQ(q.wheel.pending(), 0u);
+}
+
+TEST(TimingWheel, CascadeBoundaryDelaysPopInOrder)
+{
+    // Delays pinned to exact level spans (64^k ticks) and one tick to
+    // either side, from several misaligned start offsets: the cascade
+    // windows land exactly on these seams.
+    for (const std::int64_t start_off :
+         {std::int64_t{0}, kTickNs - 1, 63 * kTickNs, 4096 * kTickNs + 17}) {
+        QueuePair q;
+        q.advance(Duration::nanos(start_off));
+        for (const std::int64_t ticks :
+             {std::int64_t{1}, std::int64_t{63}, std::int64_t{64},
+              std::int64_t{65}, std::int64_t{64 * 64 - 1},
+              std::int64_t{64 * 64}, std::int64_t{64 * 64 + 1},
+              std::int64_t{64 * 64 * 64 - 1}, std::int64_t{64 * 64 * 64},
+              std::int64_t{64 * 64 * 64 + 1},
+              std::int64_t{64LL * 64 * 64 * 64 - 1},
+              std::int64_t{64LL * 64 * 64 * 64},
+              std::int64_t{64LL * 64 * 64 * 64 + 1}}) {
+            q.schedule(Duration::nanos(ticks * kTickNs));
+            q.schedule(Duration::nanos(ticks * kTickNs - 1));
+            q.schedule(Duration::nanos(ticks * kTickNs + 1));
+        }
+        // Step the horizon in uneven strides so cascades fire mid-run.
+        for (int i = 0; i < 40; ++i)
+            q.advance(Duration::nanos((std::int64_t(1) << (i % 24)) * 777));
+        q.finish();
+    }
+}
+
+TEST(TimingWheel, FarFutureOverflowFiresInOrder)
+{
+    // Events beyond level 3's span never enter the wheel; they must
+    // still interleave correctly with near-future wheel traffic.
+    QueuePair q;
+    for (int i = 0; i < 50; ++i) {
+        q.schedule(Duration::hours(6) + Duration::nanos(i * 131));
+        q.schedule(Duration::millis(i * 37));
+        q.schedule(Duration::minutes(i));
+    }
+    q.advance(Duration::hours(1));
+    q.finish();
+    EXPECT_EQ(q.wheel.pending(), 0u);
+}
+
+TEST(TimingWheel, StaleHandleAfterSlotReuseIsRefused)
+{
+    // Cancel an entry parked deep in the wheel, reuse its slab slot
+    // for a nearer event, and probe the stale handle: the generation
+    // tag must refuse it and the reused slot must fire exactly once.
+    EventQueue eq;
+    const EventId old_id = eq.scheduleAfter(Duration::minutes(10), [] {});
+    ASSERT_TRUE(eq.cancel(old_id));
+
+    int fired = 0;
+    const EventId new_id =
+        eq.scheduleAfter(Duration::millis(5), [&] { ++fired; });
+    ASSERT_NE(old_id, new_id);
+    EXPECT_FALSE(eq.cancel(old_id)); // stale generation -> refused
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.cancel(old_id));
+    EXPECT_FALSE(eq.cancel(new_id)); // already fired
+}
+
+TEST(TimingWheel, CancelledParkedEntriesDieAtCascade)
+{
+    // A burst of parked-then-cancelled timers (the reap pattern) must
+    // not fire, not linger in pending(), and not disturb survivors.
+    EventQueue eq;
+    std::vector<EventId> doomed;
+    int fired = 0;
+    for (int i = 0; i < 200; ++i) {
+        doomed.push_back(eq.scheduleAfter(
+            Duration::millis(10 + i), [&] { ++fired; }));
+        eq.scheduleAfter(Duration::millis(10 + i), [&] { ++fired; });
+    }
+    for (const EventId id : doomed)
+        ASSERT_TRUE(eq.cancel(id));
+    EXPECT_EQ(eq.pending(), 200u);
+    eq.run();
+    EXPECT_EQ(fired, 200);
+    EXPECT_EQ(eq.cancelled(), 200u);
+}
+
+/** Field-by-field image equality, wheel placement included. */
+void
+expectImagesEqual(const EventQueueImage &a, const EventQueueImage &b)
+{
+    EXPECT_EQ(a.now_ns, b.now_ns);
+    EXPECT_EQ(a.next_seq, b.next_seq);
+    EXPECT_EQ(a.processed, b.processed);
+    EXPECT_EQ(a.scheduled, b.scheduled);
+    EXPECT_EQ(a.cancelled, b.cancelled);
+    ASSERT_EQ(a.slots.size(), b.slots.size());
+    for (std::size_t i = 0; i < a.slots.size(); ++i) {
+        EXPECT_EQ(a.slots[i].gen, b.slots[i].gen) << "slot " << i;
+        EXPECT_EQ(a.slots[i].live, b.slots[i].live) << "slot " << i;
+        EXPECT_EQ(a.slots[i].kind, b.slots[i].kind) << "slot " << i;
+        EXPECT_EQ(a.slots[i].arg, b.slots[i].arg) << "slot " << i;
+    }
+    const auto entries_equal = [](const EventQueueImage::EntryImage &x,
+                                  const EventQueueImage::EntryImage &y) {
+        return x.when_ns == y.when_ns && x.seq == y.seq && x.slot == y.slot
+               && x.gen == y.gen;
+    };
+    ASSERT_EQ(a.heap.size(), b.heap.size());
+    for (std::size_t i = 0; i < a.heap.size(); ++i)
+        EXPECT_TRUE(entries_equal(a.heap[i], b.heap[i])) << "heap " << i;
+    ASSERT_EQ(a.staging.size(), b.staging.size());
+    for (std::size_t i = 0; i < a.staging.size(); ++i)
+        EXPECT_TRUE(entries_equal(a.staging[i], b.staging[i]))
+            << "staging " << i;
+    EXPECT_EQ(a.free_list, b.free_list);
+    EXPECT_EQ(a.wheel_frontier, b.wheel_frontier);
+    ASSERT_EQ(a.wheel.size(), b.wheel.size());
+    for (std::size_t i = 0; i < a.wheel.size(); ++i) {
+        EXPECT_EQ(a.wheel[i].when_ns, b.wheel[i].when_ns) << "wheel " << i;
+        EXPECT_EQ(a.wheel[i].seq, b.wheel[i].seq) << "wheel " << i;
+        EXPECT_EQ(a.wheel[i].slot, b.wheel[i].slot) << "wheel " << i;
+        EXPECT_EQ(a.wheel[i].gen, b.wheel[i].gen) << "wheel " << i;
+        EXPECT_EQ(a.wheel[i].level, b.wheel[i].level) << "wheel " << i;
+        EXPECT_EQ(a.wheel[i].wslot, b.wheel[i].wslot) << "wheel " << i;
+    }
+}
+
+TEST(TimingWheel, SnapshotRoundTripIsBitExactWithPostRestoreCancels)
+{
+    // Park tagged events across every level (and the overflow heap),
+    // advance far enough that cascades have moved entries between
+    // levels, then capture. Restore must reproduce the image
+    // bit-exactly — bucket placement included — and handles issued
+    // before the capture must stay cancellable in the restored queue.
+    EventQueue original;
+    std::vector<std::pair<std::uint64_t, std::int64_t>> original_trace;
+    const auto cb_for = [&original,
+                         &original_trace](std::uint64_t arg) {
+        return [&original, &original_trace, arg] {
+            original_trace.emplace_back(arg, original.now().ns());
+        };
+    };
+    std::vector<EventId> ids;
+    std::uint64_t arg = 0;
+    for (const std::int64_t ticks :
+         {std::int64_t{1}, std::int64_t{7}, std::int64_t{64},
+          std::int64_t{100}, std::int64_t{64 * 64 + 9},
+          std::int64_t{64 * 64 * 64 + 5}, std::int64_t{64LL * 64 * 64 * 64},
+          std::int64_t{64LL * 64 * 64 * 64 + 99}}) {
+        for (int rep = 0; rep < 4; ++rep) {
+            ids.push_back(original.scheduleAt(
+                original.now()
+                    + Duration::nanos(ticks * kTickNs + rep * 101),
+                EventTag{1, arg}, cb_for(arg)));
+            ++arg;
+        }
+    }
+    // Cross several cascade boundaries so parked entries have moved.
+    original.runUntil(SimTime() + Duration::nanos(70 * kTickNs + 1234));
+
+    EventQueueImage img;
+    ASSERT_TRUE(original.exportImage(img));
+    EXPECT_GT(img.wheel.size(), 0u);
+    original_trace.clear(); // compare post-capture firings only
+
+    EventQueue restored;
+    std::vector<std::pair<std::uint64_t, std::int64_t>> restored_trace;
+    restored.importImage(img, [&restored, &restored_trace](
+                                  std::uint32_t kind, std::uint64_t a) {
+        EXPECT_EQ(kind, 1u);
+        return EventQueue::Callback([&restored, &restored_trace, a] {
+            restored_trace.emplace_back(a, restored.now().ns());
+        });
+    });
+
+    EventQueueImage img2;
+    ASSERT_TRUE(restored.exportImage(img2));
+    expectImagesEqual(img, img2);
+
+    // Post-restore cancels through pre-capture handles, applied to
+    // both queues; the remaining schedules must replay identically.
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+        const bool orig_ok = original.cancel(ids[i]);
+        EXPECT_EQ(orig_ok, restored.cancel(ids[i])) << "id index " << i;
+    }
+    original.run();
+    restored.run();
+    EXPECT_EQ(original_trace.size(), restored_trace.size());
+    EXPECT_EQ(original_trace, restored_trace);
+    EXPECT_EQ(original.processed(), restored.processed());
+    EXPECT_EQ(original.cancelled(), restored.cancelled());
+}
+
+TEST(TimingWheel, WheelImageRestoresIntoPureHeapQueue)
+{
+    // A wheel-bearing image must stay runnable when restored into a
+    // pure-heap kernel (the parked entries just live in the heap).
+    EventQueue original;
+    std::vector<std::uint64_t> original_fired;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        original.scheduleAfter(
+            Duration::millis(static_cast<std::int64_t>(1 + i * 97)),
+            EventTag{1, i},
+            [&original_fired, i] { original_fired.push_back(i); });
+    }
+    original.runUntil(SimTime() + Duration::millis(40));
+
+    EventQueueImage img;
+    ASSERT_TRUE(original.exportImage(img));
+    EXPECT_GT(img.wheel.size(), 0u);
+    original_fired.clear(); // compare post-capture firings only
+
+    EventQueue heap_only(SimTime(), /*use_wheel=*/false);
+    std::vector<std::uint64_t> restored_fired;
+    heap_only.importImage(img, [&restored_fired](std::uint32_t,
+                                                 std::uint64_t a) {
+        return EventQueue::Callback(
+            [&restored_fired, a] { restored_fired.push_back(a); });
+    });
+    original.run();
+    heap_only.run();
+    EXPECT_EQ(original_fired, restored_fired);
+}
+
+} // namespace
+} // namespace eaao::sim

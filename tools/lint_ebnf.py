@@ -25,7 +25,7 @@ import sys
 DEFAULT_FILES = ["docs/scenario-dsl.md"]
 
 # Grammar roots: referenced by prose, not by other rules.
-START_SYMBOLS = {"file", "trigger-line", "or-expr"}
+START_SYMBOLS = {"file", "trigger-line", "or-expr", "stream-line"}
 
 RULE_NAME = re.compile(r"^[a-z][a-z0-9-]*$")
 IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_-]*")
