@@ -14,8 +14,8 @@ namespace eaao::campaign {
 namespace {
 
 const char *const kKnownSections[] = {
-    "campaign", "platform", "tenants", "script",   "workload",
-    "attack",   "verify",   "triggers", "outputs",
+    "campaign", "platform", "tenants",  "script",  "workload",
+    "attack",   "verify",   "triggers", "outputs", "timetravel",
 };
 
 std::string

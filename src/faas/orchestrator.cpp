@@ -408,6 +408,32 @@ Orchestrator::armDispatch(ServiceRecord &svc)
 }
 
 void
+Orchestrator::faultRearmDispatchTimers()
+{
+    // Planted fault 6: the "restored" dispatch timers are re-armed
+    // from the base startup estimate as if their cold starts began
+    // right now — the creation-slowdown term and the wait already
+    // served both evaporate. Only ShardedPlatform::appendOps (the
+    // time-travel fork path) calls this, so straight replays of the
+    // same script are unperturbed and only the fork oracles can see
+    // the divergence. See docs/testing.md.
+    for (ServiceRecord &svc : services_) {
+        AdmissionQueue &aq = admission_[svc.id];
+        if (aq.dispatch_event == 0)
+            continue;
+        eq_.cancel(aq.dispatch_event);
+        const double base = svc.env == ExecEnv::Gen1
+                                ? cfg_.startup_billable_s_gen1
+                                : cfg_.startup_billable_s_gen2;
+        const ServiceId sid = svc.id;
+        aq.dispatch_event = eq_.scheduleAfter(
+            sim::Duration::fromSecondsF(base),
+            sim::EventTag{kEventTagDispatch, sid},
+            [this, sid] { dispatchQueued(sid); });
+    }
+}
+
+void
 Orchestrator::dispatchQueued(ServiceId service)
 {
     AdmissionQueue &aq = admission_[service];

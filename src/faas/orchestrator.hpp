@@ -150,6 +150,16 @@ struct OrchestratorConfig
      * (snap::Snapshotter; see docs/checkpoint.md): the first restored
      * lane with a non-empty capacity-delta touch list loses its vcpus
      * delta column. The snapshot oracle is the one that must catch it.
+     *
+     * Mode 6 lives in the time-travel fork path
+     * (ShardedPlatform::appendOps; see docs/testing.md): when a
+     * forked suffix is appended to a restored run, every armed
+     * admission dispatch timer is re-armed from its service's *stale
+     * base* startup estimate — dropping the creation-slowdown term
+     * and the wait the queue head has already accrued. Straight
+     * replays of the same script never call appendOps, so only the
+     * fork oracles (prefix-consistency / fork-determinism) can catch
+     * it.
      */
     std::uint32_t fault_injection = 0;
 };
@@ -410,6 +420,17 @@ class Orchestrator
     static constexpr std::uint32_t kEventTagComplete = 1;
     static constexpr std::uint32_t kEventTagReap = 2;
     static constexpr std::uint32_t kEventTagDispatch = 3;
+
+    /**
+     * Planted fault 6 (OrchestratorConfig::fault_injection): cancel
+     * and re-arm every armed admission dispatch timer from its
+     * service's stale *base* startup estimate — no creation-slowdown
+     * term, no credit for the wait the queue head has already served.
+     * Called by ShardedPlatform::appendOps when a time-travel fork
+     * appends a suffix to a restored run; a no-op for services with
+     * no timer armed. See docs/testing.md (mutation self-test).
+     */
+    void faultRearmDispatchTimers();
 
   private:
     friend class eaao::snap::Snapshotter;

@@ -122,6 +122,19 @@ ShardedPlatform::laneOfService(ServiceId service) const
     return svc_map_[service].first;
 }
 
+std::uint32_t
+ShardedPlatform::laneForOp(const ShardOp &op) const
+{
+    switch (op.kind) {
+    case ShardOp::Kind::SetQuota:
+    case ShardOp::Kind::Restart:
+    case ShardOp::Kind::SpendProbe:
+        return laneOfAccount(op.account);
+    default:
+        return laneOfService(op.service);
+    }
+}
+
 const Orchestrator &
 ShardedPlatform::laneOrchestrator(std::uint32_t lane) const
 {
@@ -176,20 +189,9 @@ ShardedPlatform::beginRun(std::vector<ShardOp> ops, sim::SimTime horizon)
     // Partition the script onto lanes, preserving the script order
     // (which must be time-sorted) per lane.
     for (const ShardOp &op : ops) {
-        std::uint32_t lane = 0;
-        switch (op.kind) {
-        case ShardOp::Kind::SetQuota:
-        case ShardOp::Kind::Restart:
-        case ShardOp::Kind::SpendProbe:
-            lane = laneOfAccount(op.account);
-            break;
-        default:
-            lane = laneOfService(op.service);
-            break;
-        }
-        Lane &l = *lanes_[lane];
+        Lane &l = *lanes_[laneForOp(op)];
         EAAO_ASSERT(l.ops.empty() || l.ops.back().at <= op.at,
-                    "ops not time-sorted on lane ", lane);
+                    "ops not time-sorted on lane");
         l.ops.push_back(op);
     }
 
@@ -200,6 +202,38 @@ ShardedPlatform::beginRun(std::vector<ShardOp> ops, sim::SimTime horizon)
     next_wend_ = final_now_ + cfg_.window;
     running_ = true;
     pending_fold_ = false;
+}
+
+void
+ShardedPlatform::appendOps(std::vector<ShardOp> ops, sim::SimTime horizon)
+{
+    EAAO_ASSERT(running_, "appendOps without an in-flight run");
+    // With a fold pending (the pre-fold capture point) the lanes have
+    // already run to next_wend_; an op at or before that barrier
+    // would land in a window whose exchange is already decided.
+    const sim::SimTime barrier = pending_fold_ ? next_wend_ : final_now_;
+    for (const ShardOp &op : ops) {
+        EAAO_ASSERT(op.at > barrier,
+                    "appended op not after the fork barrier");
+        Lane &l = *lanes_[laneForOp(op)];
+        EAAO_ASSERT(l.ops.empty() || l.ops.back().at <= op.at,
+                    "appended ops not time-sorted on lane");
+        // l.storm aliases l.ops; push_back may reallocate, so carry
+        // it across as an index (the snapshotter does the same).
+        const bool had_storm = l.storm != nullptr;
+        const std::size_t storm_index =
+            had_storm ? static_cast<std::size_t>(l.storm - l.ops.data())
+                      : 0;
+        l.ops.push_back(op);
+        if (had_storm)
+            l.storm = l.ops.data() + storm_index;
+    }
+    if (run_horizon_ < horizon)
+        run_horizon_ = horizon;
+    if (cfg_.orchestrator.fault_injection == 6) {
+        for (auto &lane : lanes_)
+            lane->orch->faultRearmDispatchTimers();
+    }
 }
 
 void

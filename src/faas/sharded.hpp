@@ -188,6 +188,9 @@ class ShardedPlatform
     std::uint32_t laneOfAccount(AccountId account) const;
     std::uint32_t laneOfService(ServiceId service) const;
 
+    /** Lane an op partitions onto (account lane for account-keyed ops). */
+    std::uint32_t laneForOp(const ShardOp &op) const;
+
     /**
      * Execute @p ops (timestamps non-decreasing per lane) through the
      * window loop, running barriers until at least @p horizon and
@@ -221,6 +224,20 @@ class ShardedPlatform
      * continues exactly where the captured run stood.
      */
     void resumeRun();
+
+    /**
+     * Append more script to an in-flight run — the time-travel fork
+     * path (docs/testing.md): a restored run gets a divergent suffix
+     * before resumeRun(). Ops partition onto lanes after the script
+     * already loaded, so each op must not precede its lane's current
+     * tail, and every op must land strictly after the barrier the
+     * image was captured at (appending at-or-before the pending fold
+     * would change which window folds it). @p horizon extends the run
+     * horizon when later than the captured one. Under planted fault 6
+     * every lane re-arms its admission dispatch timers from the stale
+     * base startup estimate (Orchestrator::faultRearmDispatchTimers).
+     */
+    void appendOps(std::vector<ShardOp> ops, sim::SimTime horizon);
 
     /**
      * Canonical text log: per-lane traces, routed/restart/spend lines,

@@ -466,8 +466,171 @@ checkInvariants(const Scenario &scenario, const InvariantOptions &opts)
         checkShards(scenario, opts, out);
     if (opts.check_snapshot)
         checkSnapshot(scenario, opts, out);
+    if (opts.check_timetravel && scenario.has_timetravel) {
+        const std::vector<Violation> tt = checkTimeTravelForks(scenario, opts);
+        out.insert(out.end(), tt.begin(), tt.end());
+    }
     if (opts.check_verify)
         checkVerify(scenario, out);
+    return out;
+}
+
+bool
+primeTimeTravel(const Scenario &scenario,
+                const InvariantOptions & /*opts*/, TimeTravelPrime &out,
+                std::string &error)
+{
+    // The prime is the (1, 1) canonical universe: its barrier renders
+    // are what every prefix arm must reproduce, whatever its grouping.
+    obs::TrialSet set(true);
+    ShardedRunOptions ro;
+    ro.obs = &set;
+    if (!runScenarioToBarrier(scenario, ro, out.prime, error))
+        return false;
+    out.metrics = mergedSetMetrics(set);
+    out.trace = setTraceJson(set);
+    return true;
+}
+
+std::vector<Violation>
+checkTimeTravelForks(const Scenario &scenario, const InvariantOptions &opts,
+                     const TimeTravelPrime *primed)
+{
+    std::vector<Violation> out;
+
+    TimeTravelPrime local;
+    if (primed == nullptr) {
+        std::string error;
+        if (!primeTimeTravel(scenario, opts, local, error)) {
+            out.push_back({"prefix", "prime failed: " + error});
+            return out;
+        }
+        primed = &local;
+    }
+
+    struct Arm
+    {
+        std::uint32_t shards;
+        unsigned threads;
+    };
+
+    // Prefix-consistency: restoring the image *without resuming* must
+    // reproduce the capture platform's barrier log, merged metrics
+    // JSON, and Chrome trace JSON at every (shards, threads).
+    const Arm prefix_arms[] = {
+        {1, 1},
+        {2, 1},
+        {opts.shard_arm, opts.threads},
+    };
+    for (const Arm &arm : prefix_arms) {
+        obs::TrialSet set(true);
+        ShardedRunOptions ro;
+        ro.shards = arm.shards;
+        ro.threads = arm.threads;
+        ro.obs = &set;
+        std::string log;
+        std::string error;
+        if (!restoreScenarioBarrier(scenario, ro, primed->prime, log,
+                                    error)) {
+            std::ostringstream detail;
+            detail << "restore (shards=" << arm.shards
+                   << " threads=" << arm.threads << ") failed: " << error;
+            out.push_back({"prefix", detail.str()});
+            return out;
+        }
+        const auto report = [&](const char *what, const std::string &a,
+                                const std::string &b) {
+            std::ostringstream detail;
+            detail << "shards=" << arm.shards << " threads=" << arm.threads
+                   << " " << what << ": " << firstDiff(a, b);
+            out.push_back({"prefix", detail.str()});
+        };
+        if (log != primed->prime.prefix_log) {
+            report("log", primed->prime.prefix_log, log);
+            return out;
+        }
+        const std::string metrics = mergedSetMetrics(set);
+        if (metrics != primed->metrics) {
+            report("merged metrics", primed->metrics, metrics);
+            return out;
+        }
+        const std::string trace = setTraceJson(set);
+        if (trace != primed->trace) {
+            report("chrome trace", primed->trace, trace);
+            return out;
+        }
+    }
+
+    // The differential baseline: a straight run of the composed
+    // scenario, which never goes near the fork path (compileScript
+    // places the suffix at the same fork wall the fork arm uses, so
+    // both arms execute the same op list from the same virtual times).
+    obs::TrialSet straight_set(true);
+    ShardedRunOptions straight_ro;
+    straight_ro.obs = &straight_set;
+    const std::string straight_log =
+        runScenarioSharded(scenario, straight_ro);
+    const std::string straight_metrics = mergedSetMetrics(straight_set);
+    const std::string straight_trace = setTraceJson(straight_set);
+
+    // Fork arms: (1, 1) twice — fork-determinism — plus the big
+    // grouping; every arm must equal the straight run byte for byte.
+    // This is the only oracle that executes ShardedPlatform::appendOps,
+    // so it alone can catch planted fault 6.
+    const Arm fork_arms[] = {
+        {1, 1},
+        {1, 1},
+        {opts.shard_arm, opts.threads},
+    };
+    std::string first_fork_log;
+    for (std::size_t i = 0; i < std::size(fork_arms); ++i) {
+        const Arm &arm = fork_arms[i];
+        obs::TrialSet set(true);
+        ShardedRunOptions ro;
+        ro.shards = arm.shards;
+        ro.threads = arm.threads;
+        ro.obs = &set;
+        std::string log;
+        std::string error;
+        if (!runScenarioForked(scenario, ro, primed->prime, log, error)) {
+            std::ostringstream detail;
+            detail << "fork (shards=" << arm.shards
+                   << " threads=" << arm.threads << ") failed: " << error;
+            out.push_back({"fork", detail.str()});
+            return out;
+        }
+        if (i == 0) {
+            first_fork_log = log;
+        } else if (i == 1 && log != first_fork_log) {
+            out.push_back(
+                {"fork", "fork-determinism: the same suffix replayed "
+                         "twice from the image diverged: " +
+                             firstDiff(first_fork_log, log)});
+            return out;
+        }
+        const auto report = [&](const char *what, const std::string &a,
+                                const std::string &b) {
+            std::ostringstream detail;
+            detail << "shards=" << arm.shards << " threads=" << arm.threads
+                   << " forked vs straight " << what << ": "
+                   << firstDiff(a, b);
+            out.push_back({"fork", detail.str()});
+        };
+        if (log != straight_log) {
+            report("log", straight_log, log);
+            return out;
+        }
+        const std::string metrics = mergedSetMetrics(set);
+        if (metrics != straight_metrics) {
+            report("merged metrics", straight_metrics, metrics);
+            return out;
+        }
+        const std::string trace = setTraceJson(set);
+        if (trace != straight_trace) {
+            report("chrome trace", straight_trace, trace);
+            return out;
+        }
+    }
     return out;
 }
 

@@ -30,6 +30,16 @@
  *    canonical log, merged metrics JSON, and Chrome trace JSON
  *    byte-identical to the uninterrupted run. This is the oracle that
  *    catches the checkpoint path's planted fault (fault_injection 5).
+ *  - prefix (time-travel scenarios): restoring the primed barrier
+ *    image into a fresh platform at any (shards, threads) grouping
+ *    and rendering it *without resuming* must reproduce the capture
+ *    platform's log, merged metrics JSON, and Chrome trace JSON byte
+ *    for byte — every fork agrees on everything up to the barrier.
+ *  - fork (time-travel scenarios): replaying the same suffix from the
+ *    image twice must be byte-identical (fork-determinism), at every
+ *    grouping, and must equal a straight run of the composed scenario
+ *    (the differential that catches the fork-path planted fault,
+ *    fault_injection 6).
  */
 
 #ifndef EAAO_TESTKIT_INVARIANTS_HPP
@@ -38,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "testkit/runner.hpp"
 #include "testkit/scenario.hpp"
 
 namespace eaao::testkit {
@@ -46,7 +57,8 @@ namespace eaao::testkit {
 struct Violation
 {
     std::string oracle; //!< "reference", "threads", "obs", "events",
-                        //!< "verify", "shards", "snapshot"
+                        //!< "verify", "shards", "snapshot", "prefix",
+                        //!< "fork"
     std::string detail; //!< first point of divergence
 };
 
@@ -62,6 +74,9 @@ struct InvariantOptions
     bool check_events = true;
     bool check_shards = true;
     bool check_snapshot = true;
+
+    /** Fork oracles; engaged only on `[timetravel]` scenarios. */
+    bool check_timetravel = true;
 
     /** Largest shard count of the shard-equality arms ({1, 2, this}).
      *  tools/fuzz_scenarios --shards overrides it. */
@@ -81,6 +96,39 @@ struct InvariantOptions
  */
 std::vector<Violation> checkInvariants(const Scenario &scenario,
                                        const InvariantOptions &opts = {});
+
+/**
+ * A primed time-travel prefix plus its barrier-state observability
+ * renders — the reusable half of the fork oracles. The fuzz driver
+ * primes once per explored image and shares it across every fork
+ * (and the suffix-only shrinker shares it across every candidate,
+ * since suffix edits never touch the prefix the image hashes).
+ */
+struct TimeTravelPrime
+{
+    BarrierPrime prime;
+    std::string metrics; //!< merged metrics JSON at the barrier
+    std::string trace;   //!< Chrome trace JSON at the barrier
+};
+
+/**
+ * Run @p scenario's prefix to its barrier once and capture image +
+ * barrier renders. False (with a one-line reason) when the scenario
+ * has no `[timetravel]` metadata or the barrier is unreachable.
+ */
+bool primeTimeTravel(const Scenario &scenario, const InvariantOptions &opts,
+                     TimeTravelPrime &out, std::string &error);
+
+/**
+ * The time-travel fork oracles (prefix-consistency, fork-determinism,
+ * and the fork-vs-straight differential) on a `[timetravel]`
+ * scenario. Pass @p primed to reuse a prime across forks or shrink
+ * candidates; null primes internally. checkInvariants runs this
+ * automatically for time-travel scenarios.
+ */
+std::vector<Violation>
+checkTimeTravelForks(const Scenario &scenario, const InvariantOptions &opts,
+                     const TimeTravelPrime *primed = nullptr);
 
 } // namespace eaao::testkit
 

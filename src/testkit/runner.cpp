@@ -5,7 +5,9 @@
 
 #include "testkit/runner.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <numeric>
 #include <sstream>
 
 #include "faas/platform.hpp"
@@ -72,6 +74,58 @@ openLoopSpecOf(const ScenarioStep &st)
     spec.churn_every = st.b % 7 == 0 ? sim::Duration::seconds(15)
                                      : sim::Duration();
     return spec;
+}
+
+/**
+ * Virtual time of a time-travel scenario's fork point: just past the
+ * captured window barrier (the sharded platform's 30 s exchange
+ * window). Suffix steps are compiled strictly after it — an op landing
+ * exactly on the barrier would fold into the captured window on the
+ * straight path but run post-restore on the forked path, and the two
+ * arms must stay byte-identical.
+ */
+sim::SimTime
+forkWallOf(const Scenario &sc)
+{
+    return sim::SimTime() + faas::ShardedConfig{}.window * (sc.tt_barrier + 1) +
+           sim::Duration::millis(1);
+}
+
+/** First suffix step of a time-travel scenario (= step count otherwise). */
+std::size_t
+prefixSplitOf(const Scenario &sc)
+{
+    return sc.has_timetravel
+               ? std::min<std::size_t>(sc.tt_prefix_steps, sc.steps.size())
+               : sc.steps.size();
+}
+
+/**
+ * Create the scenario's accounts and services on @p platform (serial
+ * or sharded — identical API and identical dense-id assignment).
+ */
+template <typename PlatformT>
+void
+setupTenants(PlatformT &platform, const Scenario &scenario,
+             std::vector<faas::AccountId> &accounts,
+             std::vector<faas::ServiceId> &services)
+{
+    accounts.reserve(scenario.accounts.size());
+    for (const ScenarioAccount &a : scenario.accounts) {
+        std::optional<std::uint32_t> shard;
+        if (a.shard >= 0) // pins survive fleet shrinking via modulo
+            shard = static_cast<std::uint32_t>(a.shard) %
+                    platform.fleet().shardCount();
+        accounts.push_back(platform.createAccount(shard, a.quota));
+    }
+    services.reserve(scenario.services.size());
+    for (const ScenarioService &s : scenario.services) {
+        services.push_back(platform.deployService(
+            accounts[s.account % accounts.size()], // parse() validates; the
+                                                   // shrinker may not
+            s.env == 1 ? faas::ExecEnv::Gen2 : faas::ExecEnv::Gen1,
+            sizeOf(s.size)));
+    }
 }
 
 /** Conditional SLO log section (empty when nothing was admitted). */
@@ -148,24 +202,8 @@ runScenario(const Scenario &scenario, const RunOptions &opts)
     platform.orchestrator().attachTrace(&trace);
 
     std::vector<faas::AccountId> accounts;
-    accounts.reserve(scenario.accounts.size());
-    for (const ScenarioAccount &a : scenario.accounts) {
-        std::optional<std::uint32_t> shard;
-        if (a.shard >= 0) // pins survive fleet shrinking via modulo
-            shard = static_cast<std::uint32_t>(a.shard) %
-                    platform.fleet().shardCount();
-        accounts.push_back(platform.createAccount(shard, a.quota));
-    }
-
     std::vector<faas::ServiceId> services;
-    services.reserve(scenario.services.size());
-    for (const ScenarioService &s : scenario.services) {
-        services.push_back(platform.deployService(
-            accounts[s.account % accounts.size()], // parse() validates; the
-                                                   // shrinker may not
-            s.env == 1 ? faas::ExecEnv::Gen2 : faas::ExecEnv::Gen1,
-            sizeOf(s.size)));
-    }
+    setupTenants(platform, scenario, accounts, services);
 
     ScenarioLog log;
     // Instances ever created through any path, in creation order; the
@@ -178,8 +216,22 @@ runScenario(const Scenario &scenario, const RunOptions &opts)
         }
     };
 
+    // Time-travel scenarios advance to the fork wall between prefix
+    // and suffix, mirroring the sharded compile's cursor jump, so the
+    // serial oracles see one deterministic composed run.
+    const auto barrierAdvance = [&](std::uint32_t step_no) {
+        if (!scenario.has_timetravel ||
+            step_no != scenario.tt_prefix_steps) {
+            return;
+        }
+        const sim::SimTime wall = forkWallOf(scenario);
+        if (platform.clock().now() < wall)
+            platform.advance(wall - platform.clock().now());
+    };
+
     std::uint32_t step_no = 0;
     for (const ScenarioStep &st : scenario.steps) {
+        barrierAdvance(step_no);
         const std::size_t trace_mark = trace.events().size();
         const faas::ServiceId svc =
             services[st.target % services.size()];
@@ -281,6 +333,7 @@ runScenario(const Scenario &scenario, const RunOptions &opts)
         }
         ++step_no;
     }
+    barrierAdvance(step_no); // all-prefix scenarios still reach the wall
 
     // Drain: everything idle passes idle_max (15 min), so all reaps
     // fire or are cancelled and billing settles.
@@ -318,44 +371,27 @@ shardedConfigOf(const Scenario &scenario, const ShardedRunOptions &opts)
     return cfg;
 }
 
-} // namespace
-
-std::string
-runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
+/**
+ * Compile steps [first, last) of @p scenario into timestamped ops,
+ * advancing the virtual-time cursor @p t and mirroring the serial
+ * runner's shape: Advance moves the cursor, Burst expands into routes
+ * 2 ms apart (advancing the cursor with them), everything else
+ * happens at the cursor. Step labels are absolute step indices — the
+ * per-service open-loop streams seed from the label, so a suffix
+ * compiled on its own (the fork path) draws exactly the streams the
+ * same steps draw in one straight pass.
+ */
+void
+compileOps(const Scenario &scenario, std::size_t first, std::size_t last,
+           const std::vector<faas::AccountId> &accounts,
+           const std::vector<faas::ServiceId> &services, sim::SimTime &t,
+           std::vector<faas::ShardOp> &ops)
 {
-    const faas::ShardedConfig cfg = shardedConfigOf(scenario, opts);
-    faas::ShardedPlatform platform(cfg, opts.obs);
-
-    std::vector<faas::AccountId> accounts;
-    accounts.reserve(scenario.accounts.size());
-    for (const ScenarioAccount &a : scenario.accounts) {
-        std::optional<std::uint32_t> shard;
-        if (a.shard >= 0) // pins survive fleet shrinking via modulo
-            shard = static_cast<std::uint32_t>(a.shard) %
-                    platform.fleet().shardCount();
-        accounts.push_back(platform.createAccount(shard, a.quota));
-    }
-
-    std::vector<faas::ServiceId> services;
-    services.reserve(scenario.services.size());
-    for (const ScenarioService &s : scenario.services) {
-        services.push_back(platform.deployService(
-            accounts[s.account % accounts.size()],
-            s.env == 1 ? faas::ExecEnv::Gen2 : faas::ExecEnv::Gen1,
-            sizeOf(s.size)));
-    }
-
-    // Compile the step script into timestamped ops, mirroring the
-    // serial runner's virtual-time shape: Advance moves the cursor,
-    // Burst expands into routes 2 ms apart (advancing the cursor with
-    // them), everything else happens at the cursor.
-    std::vector<faas::ShardOp> ops;
-    sim::SimTime t; // epoch
-    std::uint32_t step_no = 0;
-    for (const ScenarioStep &st : scenario.steps) {
+    for (std::size_t i = first; i < last; ++i) {
+        const ScenarioStep &st = scenario.steps[i];
         faas::ShardOp op;
         op.at = t;
-        op.step = step_no;
+        op.step = static_cast<std::uint32_t>(i);
         op.service = services[st.target % services.size()];
         switch (st.kind) {
         case ScenarioStep::Kind::Connect:
@@ -374,9 +410,9 @@ runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
             break;
         case ScenarioStep::Kind::Burst: {
             const std::uint32_t n = st.a == 0 ? 1 : st.a;
-            for (std::uint32_t i = 0; i < n; ++i) {
+            for (std::uint32_t j = 0; j < n; ++j) {
                 op.at = t;
-                op.sub = i;
+                op.sub = j;
                 op.kind = faas::ShardOp::Kind::Route;
                 op.dur = sim::Duration::millis(st.b == 0 ? 1 : st.b);
                 ops.push_back(op);
@@ -435,8 +471,46 @@ runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
             break;
         }
         }
-        ++step_no;
     }
+}
+
+/**
+ * Compile the whole composed script: prefix from the epoch, then —
+ * for a time-travel scenario — the cursor jumps to the fork wall and
+ * the suffix compiles after it. One rule for both the straight arm
+ * and the fork arm, so their op lists agree byte for byte.
+ */
+sim::SimTime
+compileScript(const Scenario &scenario,
+              const std::vector<faas::AccountId> &accounts,
+              const std::vector<faas::ServiceId> &services,
+              std::vector<faas::ShardOp> &ops)
+{
+    sim::SimTime t;
+    const std::size_t split = prefixSplitOf(scenario);
+    compileOps(scenario, 0, split, accounts, services, t, ops);
+    if (scenario.has_timetravel) {
+        t = std::max(t, forkWallOf(scenario));
+        compileOps(scenario, split, scenario.steps.size(), accounts,
+                   services, t, ops);
+    }
+    return t;
+}
+
+} // namespace
+
+std::string
+runScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts)
+{
+    const faas::ShardedConfig cfg = shardedConfigOf(scenario, opts);
+    faas::ShardedPlatform platform(cfg, opts.obs);
+
+    std::vector<faas::AccountId> accounts;
+    std::vector<faas::ServiceId> services;
+    setupTenants(platform, scenario, accounts, services);
+
+    std::vector<faas::ShardOp> ops;
+    const sim::SimTime t = compileScript(scenario, accounts, services, ops);
 
     const sim::SimTime horizon = t + sim::Duration::minutes(20);
     if (opts.snapshot_out == nullptr) {
@@ -470,6 +544,98 @@ resumeScenarioSharded(const Scenario &scenario, const ShardedRunOptions &opts,
     faas::ShardedPlatform platform(cfg, opts.obs);
     if (!snap::Snapshotter::restore(image, platform, error))
         return false;
+    platform.resumeRun();
+    log = platform.renderLog();
+    return true;
+}
+
+bool
+runScenarioToBarrier(const Scenario &scenario, const ShardedRunOptions &opts,
+                     BarrierPrime &out, std::string &error)
+{
+    if (!scenario.has_timetravel) {
+        error = "scenario carries no [timetravel] metadata";
+        return false;
+    }
+    const faas::ShardedConfig cfg = shardedConfigOf(scenario, opts);
+    faas::ShardedPlatform platform(cfg, opts.obs);
+
+    std::vector<faas::AccountId> accounts;
+    std::vector<faas::ServiceId> services;
+    setupTenants(platform, scenario, accounts, services);
+
+    // Prefix only: the suffix never exists on the primed platform —
+    // forks append their own. The prefix horizon still carries the
+    // 20-minute drain, so every barrier a fuzz driver picks (well
+    // under 40 windows) is reachable even for an empty prefix.
+    std::vector<faas::ShardOp> ops;
+    sim::SimTime t;
+    const std::size_t split = prefixSplitOf(scenario);
+    compileOps(scenario, 0, split, accounts, services, t, ops);
+    out.fork_origin = std::max(t, forkWallOf(scenario));
+    out.suffix_label = static_cast<std::uint32_t>(split);
+
+    platform.beginRun(std::move(ops), t + sim::Duration::minutes(20));
+    std::uint32_t window = 0;
+    while (platform.running()) {
+        platform.advanceWindow();
+        if (window >= scenario.tt_barrier) {
+            // Pre-fold capture, exactly like the snapshot oracle; the
+            // half-run platform is abandoned — forks restore from the
+            // image, parsed once here for the restore fast path.
+            out.image = snap::Snapshotter::capture(platform);
+            out.prefix_log = platform.renderLog();
+            return out.reader.parse(out.image, error, opts.threads);
+        }
+        platform.completeWindow();
+        ++window;
+    }
+    std::ostringstream msg;
+    msg << "barrier window " << scenario.tt_barrier
+        << " not reached: the prefix run ended after " << window
+        << " windows";
+    error = msg.str();
+    return false;
+}
+
+bool
+restoreScenarioBarrier(const Scenario &scenario,
+                       const ShardedRunOptions &opts,
+                       const BarrierPrime &prime, std::string &log,
+                       std::string &error)
+{
+    const faas::ShardedConfig cfg = shardedConfigOf(scenario, opts);
+    faas::ShardedPlatform platform(cfg, opts.obs);
+    if (!snap::Snapshotter::restore(prime.reader, platform, error))
+        return false;
+    log = platform.renderLog();
+    return true;
+}
+
+bool
+runScenarioForked(const Scenario &scenario, const ShardedRunOptions &opts,
+                  const BarrierPrime &prime, std::string &log,
+                  std::string &error)
+{
+    const faas::ShardedConfig cfg = shardedConfigOf(scenario, opts);
+    faas::ShardedPlatform platform(cfg, opts.obs);
+    if (!snap::Snapshotter::restore(prime.reader, platform, error))
+        return false;
+
+    // The image restored the tenant maps, and both createAccount and
+    // deployService hand out dense ids in creation order — so the
+    // global ids are the indices and the suffix can be compiled
+    // without touching the platform.
+    std::vector<faas::AccountId> accounts(scenario.accounts.size());
+    std::iota(accounts.begin(), accounts.end(), faas::AccountId{0});
+    std::vector<faas::ServiceId> services(scenario.services.size());
+    std::iota(services.begin(), services.end(), faas::ServiceId{0});
+
+    std::vector<faas::ShardOp> ops;
+    sim::SimTime t = prime.fork_origin;
+    compileOps(scenario, prime.suffix_label, scenario.steps.size(), accounts,
+               services, t, ops);
+    platform.appendOps(std::move(ops), t + sim::Duration::minutes(20));
     platform.resumeRun();
     log = platform.renderLog();
     return true;

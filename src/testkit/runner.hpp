@@ -22,6 +22,8 @@
 #include "faas/trace.hpp"
 #include "obs/export.hpp"
 #include "obs/observer.hpp"
+#include "sim/time.hpp"
+#include "snap/format.hpp"
 #include "testkit/scenario.hpp"
 
 namespace eaao::testkit {
@@ -153,6 +155,60 @@ bool resumeScenarioSharded(const Scenario &scenario,
                            const ShardedRunOptions &opts,
                            const std::vector<std::uint8_t> &image,
                            std::string &log, std::string &error);
+
+/**
+ * One primed time-travel prefix: everything a fork needs to branch
+ * from the captured barrier without re-running the prefix. The image
+ * is parsed once into `reader` (the `--forked-storms` fast path —
+ * SectionViews point into `image`, so don't copy or mutate the
+ * struct after priming) and the compile cursor/step label pick up
+ * exactly where a straight run of the composed scenario would stand.
+ */
+struct BarrierPrime
+{
+    std::vector<std::uint8_t> image;  //!< eaao-snap bytes, pre-fold
+    snap::SnapshotReader reader;      //!< parsed view of `image`
+    std::string prefix_log;           //!< renderLog() at the barrier
+    sim::SimTime fork_origin;         //!< suffix compile start time
+    std::uint32_t suffix_label = 0;   //!< first suffix step label
+};
+
+/**
+ * Execute @p scenario's time-travel *prefix* (steps [0,
+ * tt_prefix_steps)) up to window barrier tt_barrier and capture the
+ * pre-fold image — the expensive prime done once per explored image.
+ * The scenario must carry `[timetravel]` metadata. Returns false
+ * (with a one-line reason) when the prefix run ends before the
+ * barrier is reached; the platform is abandoned either way.
+ */
+bool runScenarioToBarrier(const Scenario &scenario,
+                          const ShardedRunOptions &opts, BarrierPrime &out,
+                          std::string &error);
+
+/**
+ * Restore @p prime's image into a fresh platform at @p opts's
+ * grouping and render its log *without resuming* — the
+ * prefix-consistency oracle's probe: the result must be
+ * byte-identical to prime.prefix_log at every (shards, threads).
+ */
+bool restoreScenarioBarrier(const Scenario &scenario,
+                            const ShardedRunOptions &opts,
+                            const BarrierPrime &prime, std::string &log,
+                            std::string &error);
+
+/**
+ * The fork arm: restore @p prime's image, append @p scenario's
+ * suffix (steps [tt_prefix_steps, end) compiled from
+ * prime.fork_origin) via ShardedPlatform::appendOps, and resume to
+ * completion. On success @p log is the completed run's canonical log
+ * — byte-identical to runScenarioSharded of the same composed
+ * scenario unless a restore-path fault (e.g. planted fault 6)
+ * perturbs the forked run.
+ */
+bool runScenarioForked(const Scenario &scenario,
+                       const ShardedRunOptions &opts,
+                       const BarrierPrime &prime, std::string &log,
+                       std::string &error);
 
 } // namespace eaao::testkit
 

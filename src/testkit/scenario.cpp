@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "campaign/specfile.hpp"
+#include "snap/format.hpp"
 #include "support/logging.hpp"
 
 namespace eaao::testkit {
@@ -50,6 +51,10 @@ parseKind(const std::string &token, ScenarioStep::Kind &out)
     }
     return false;
 }
+
+void drawSteps(sim::Rng &rng, std::uint32_t n_accounts,
+               std::uint32_t n_services, std::uint32_t n_steps,
+               const GeneratorOptions &opts, std::vector<ScenarioStep> &out);
 
 } // namespace
 
@@ -92,6 +97,15 @@ Scenario::serialize() const
     for (const ScenarioStep &s : steps) {
         out << toString(s.kind) << " " << s.target << " " << s.a
             << " " << s.b << "\n";
+    }
+    if (has_timetravel) {
+        char digest[32];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(tt_prefix_digest));
+        out << "\n[timetravel]\n";
+        out << "barrier = " << tt_barrier << "\n";
+        out << "prefix_steps = " << tt_prefix_steps << "\n";
+        out << "prefix_digest = " << digest << "\n";
     }
     return out.str();
 }
@@ -224,6 +238,64 @@ parseV2(const std::string &text, Scenario &out, std::string &error)
             if (!parseKind(token, s.kind))
                 return fail("unknown step kind '" + token + "'");
             out.steps.push_back(s);
+        }
+    }
+
+    if (const campaign::SpecSection *tt = file.section("timetravel")) {
+        std::size_t digest_line = 0;
+        bool saw_barrier = false, saw_steps = false, saw_digest = false;
+        for (const campaign::SpecLine &l : tt->lines) {
+            line_no = l.line_no;
+            if (!l.isKeyValue())
+                return fail("expected key = value in [timetravel]");
+            std::istringstream ls(l.value);
+            if (l.key == "barrier") {
+                if (!(ls >> out.tt_barrier))
+                    return fail("bad barrier");
+                saw_barrier = true;
+            } else if (l.key == "prefix_steps") {
+                if (!(ls >> out.tt_prefix_steps))
+                    return fail("bad prefix_steps");
+                saw_steps = true;
+            } else if (l.key == "prefix_digest") {
+                if (!(ls >> std::hex >> out.tt_prefix_digest))
+                    return fail("bad prefix_digest (want 16 hex digits)");
+                digest_line = l.line_no;
+                saw_digest = true;
+            } else {
+                return fail("unknown [timetravel] key '" + l.key + "'");
+            }
+        }
+        line_no = tt->lines.empty() ? 0 : tt->lines.front().line_no;
+        if (!saw_barrier || !saw_steps || !saw_digest)
+            return fail("[timetravel] needs barrier, prefix_steps "
+                        "and prefix_digest");
+        out.has_timetravel = true;
+        if (out.tt_prefix_steps > out.steps.size()) {
+            std::ostringstream msg;
+            msg << "prefix_steps " << out.tt_prefix_steps
+                << " exceeds the " << out.steps.size()
+                << "-step script";
+            return fail(msg.str());
+        }
+        // The digest pins the snapshot image this suffix was shrunk
+        // against. A replay whose prefix drifted (hand edit, stale
+        // file) would silently prime a different image — reject it.
+        const std::uint64_t want = timeTravelPrefixDigest(out);
+        if (want != out.tt_prefix_digest) {
+            line_no = digest_line;
+            std::ostringstream msg;
+            char a[32], b[32];
+            std::snprintf(a, sizeof a, "%016llx",
+                          static_cast<unsigned long long>(
+                              out.tt_prefix_digest));
+            std::snprintf(b, sizeof b, "%016llx",
+                          static_cast<unsigned long long>(want));
+            msg << "prefix digest mismatch: file says " << a
+                << " but the replayed prefix hashes to " << b
+                << " (the [timetravel] snapshot reference does not "
+                   "cover this prefix)";
+            return fail(msg.str());
         }
     }
 
@@ -402,6 +474,22 @@ generateScenario(std::uint64_t base_seed, std::uint64_t index,
 
     const auto n_steps = static_cast<std::uint32_t>(
         rng.uniformInt(opts.min_steps, opts.max_steps));
+    drawSteps(rng, n_accounts, n_services, n_steps, opts, sc.steps);
+    return sc;
+}
+
+namespace {
+
+/**
+ * The weighted step-kind draw shared by generateScenario and
+ * generateSuffixSteps: @p n_steps steps against a topology of
+ * @p n_accounts x @p n_services, appended to @p out.
+ */
+void
+drawSteps(sim::Rng &rng, std::uint32_t n_accounts, std::uint32_t n_services,
+          std::uint32_t n_steps, const GeneratorOptions &opts,
+          std::vector<ScenarioStep> &out)
+{
     const auto svc = [&] {
         return static_cast<std::uint32_t>(rng.uniformInt(n_services));
     };
@@ -434,7 +522,7 @@ generateScenario(std::uint64_t base_seed, std::uint64_t index,
             // different shards (lanes) are active in the same exchange
             // window.
             if (n_services > 1 && rng.bernoulli(0.3)) {
-                sc.steps.push_back(st);
+                out.push_back(st);
                 st.target = svc();
                 st.a = static_cast<std::uint32_t>(
                     rng.uniformInt(2, opts.max_burst));
@@ -491,9 +579,57 @@ generateScenario(std::uint64_t base_seed, std::uint64_t index,
         } else {
             st.kind = ScenarioStep::Kind::SpendProbe;
         }
-        sc.steps.push_back(st);
+        out.push_back(st);
     }
+}
+
+/** Salt of the per-fork suffix stream (see generateSuffixSteps). */
+constexpr std::uint64_t kSuffixForkSalt = 0x5F0BB000ULL;
+
+} // namespace
+
+std::uint64_t
+timeTravelPrefixDigest(const Scenario &sc)
+{
+    Scenario prefix = sc;
+    prefix.has_timetravel = false;
+    prefix.tt_barrier = 0;
+    prefix.tt_prefix_steps = 0;
+    prefix.tt_prefix_digest = 0;
+    if (prefix.steps.size() > sc.tt_prefix_steps)
+        prefix.steps.resize(sc.tt_prefix_steps);
+    const std::string text = prefix.serialize();
+    return snap::fnv1a(reinterpret_cast<const std::uint8_t *>(text.data()),
+                       text.size());
+}
+
+Scenario
+composeTimeTravel(const Scenario &prefix, std::vector<ScenarioStep> suffix,
+                  std::uint32_t barrier)
+{
+    Scenario sc = prefix;
+    sc.has_timetravel = true;
+    sc.tt_barrier = barrier;
+    sc.tt_prefix_steps = static_cast<std::uint32_t>(prefix.steps.size());
+    sc.steps.insert(sc.steps.end(), suffix.begin(), suffix.end());
+    sc.tt_prefix_digest = timeTravelPrefixDigest(sc);
     return sc;
+}
+
+std::vector<ScenarioStep>
+generateSuffixSteps(std::uint64_t base_seed, std::uint64_t index,
+                    std::uint64_t fork, const Scenario &prefix,
+                    std::uint32_t max_steps, const GeneratorOptions &opts)
+{
+    sim::Rng rng =
+        sim::Rng(base_seed).fork(index).fork(kSuffixForkSalt + fork);
+    std::vector<ScenarioStep> out;
+    const auto n = static_cast<std::uint32_t>(
+        rng.uniformInt(1, max_steps > 0 ? max_steps : 1));
+    drawSteps(rng, static_cast<std::uint32_t>(prefix.accounts.size()),
+              static_cast<std::uint32_t>(prefix.services.size()), n, opts,
+              out);
+    return out;
 }
 
 } // namespace eaao::testkit

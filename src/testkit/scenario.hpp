@@ -92,6 +92,24 @@ struct Scenario
     std::vector<ScenarioService> services;
     std::vector<ScenarioStep> steps;
 
+    /**
+     * @name Time-travel fork metadata (`[timetravel]` replay section)
+     *
+     * When set, steps [0, tt_prefix_steps) are the *prefix*: the part
+     * of the script the fork fuzzer primed once and captured as an
+     * `eaao-snap` image at window barrier tt_barrier. The remaining
+     * steps are the *suffix*, compiled strictly after the barrier and
+     * replayable straight from the image (docs/testing.md). The digest
+     * pins the prefix: parse() recomputes it and rejects a replay
+     * whose prefix no longer matches the image the repro came from.
+     * @{
+     */
+    bool has_timetravel = false;
+    std::uint32_t tt_barrier = 0;       //!< capture window index
+    std::uint32_t tt_prefix_steps = 0;  //!< steps [0, K) form the prefix
+    std::uint64_t tt_prefix_digest = 0; //!< FNV-1a 64 of the prefix replay
+    /** @} */
+
     /** Serialize to the replay-file text format (see docs/testing.md). */
     std::string serialize() const;
 
@@ -131,6 +149,43 @@ struct GeneratorOptions
  */
 Scenario generateScenario(std::uint64_t base_seed, std::uint64_t index,
                           const GeneratorOptions &opts = {});
+
+/**
+ * The digest parse() checks a `[timetravel]` section against: FNV-1a
+ * 64 of the canonical serialization of @p sc restricted to its first
+ * tt_prefix_steps steps, with the `[timetravel]` section itself
+ * stripped — i.e. the replay file of the prefix the image was
+ * captured from.
+ */
+std::uint64_t timeTravelPrefixDigest(const Scenario &sc);
+
+/**
+ * Compose @p prefix and @p suffix into one time-travel scenario:
+ * steps = prefix.steps + suffix, with the `[timetravel]` metadata
+ * (barrier, prefix length, prefix digest) filled in. The prefix's
+ * platform shape and tenant topology carry over unchanged — a fork
+ * restores the primed image, so it cannot differ in anything the
+ * snapshot config fingerprint covers.
+ */
+Scenario composeTimeTravel(const Scenario &prefix,
+                           std::vector<ScenarioStep> suffix,
+                           std::uint32_t barrier);
+
+/**
+ * Draw divergent-suffix script @p fork for scenario @p index of the
+ * campaign seeded by @p base_seed. Like generateScenario, a pure
+ * function of its arguments: the stream is
+ * Rng(base_seed).fork(index).fork(kSuffixForkSalt + fork), so every
+ * fork of one primed image explores an independent branch and any
+ * fork can be re-drawn for replay without re-running the campaign.
+ * Draws 1..max(1, @p max_steps) steps against @p prefix's topology.
+ */
+std::vector<ScenarioStep> generateSuffixSteps(std::uint64_t base_seed,
+                                              std::uint64_t index,
+                                              std::uint64_t fork,
+                                              const Scenario &prefix,
+                                              std::uint32_t max_steps = 8,
+                                              const GeneratorOptions &opts = {});
 
 } // namespace eaao::testkit
 

@@ -40,15 +40,22 @@ struct Budget
     }
 };
 
-/** ddmin-style chunked step removal: halves first, single steps last. */
+/**
+ * ddmin-style chunked step removal: halves first, single steps last.
+ * Steps below @p first are pinned (the time-travel prefix a barrier
+ * image was primed from) and never removed.
+ */
 bool
-shrinkSteps(Scenario &sc, Budget &budget)
+shrinkSteps(Scenario &sc, Budget &budget, std::size_t first)
 {
+    if (sc.steps.size() <= first)
+        return false;
     bool progressed = false;
-    std::size_t chunk = std::max<std::size_t>(1, sc.steps.size() / 2);
+    std::size_t chunk =
+        std::max<std::size_t>(1, (sc.steps.size() - first) / 2);
     while (chunk >= 1 && !budget.exhausted()) {
         bool removed_any = false;
-        for (std::size_t start = 0;
+        for (std::size_t start = first;
              start < sc.steps.size() && !budget.exhausted();) {
             Scenario candidate = sc;
             const std::size_t end =
@@ -139,12 +146,16 @@ shrinkAccounts(Scenario &sc, Budget &budget)
     return progressed;
 }
 
-/** Halve step payloads toward 1 (smaller bursts, shorter gaps). */
+/**
+ * Halve step payloads toward 1 (smaller bursts, shorter gaps). Steps
+ * below @p first are pinned, like shrinkSteps.
+ */
 bool
-shrinkPayloads(Scenario &sc, Budget &budget)
+shrinkPayloads(Scenario &sc, Budget &budget, std::size_t first)
 {
     bool progressed = false;
-    for (std::size_t i = 0; i < sc.steps.size() && !budget.exhausted(); ++i) {
+    for (std::size_t i = first; i < sc.steps.size() && !budget.exhausted();
+         ++i) {
         for (const bool field_a : {true, false}) {
             const std::uint32_t v = field_a ? sc.steps[i].a : sc.steps[i].b;
             if (v <= 1)
@@ -185,16 +196,28 @@ shrink(const Scenario &failing, const FailurePredicate &still_fails,
     Budget budget{still_fails, 0, 0, max_attempts};
     Scenario current = failing;
 
+    // Time-travel scenarios shrink suffix-only: the prefix is the
+    // snapshot reference a barrier image hashes, so it is pinned and
+    // the topology passes are off the table (see shrink.hpp).
+    const bool suffix_only = failing.has_timetravel;
+    const std::size_t first =
+        suffix_only ? std::min<std::size_t>(failing.tt_prefix_steps,
+                                            failing.steps.size())
+                    : 0;
+
     // Fixpoint over all passes: structure removal first (biggest wins),
     // payload and fleet reduction after.
     bool progressed = true;
     while (progressed && !budget.exhausted()) {
         progressed = false;
-        progressed |= shrinkSteps(current, budget);
-        progressed |= shrinkServices(current, budget);
-        progressed |= shrinkAccounts(current, budget);
-        progressed |= shrinkPayloads(current, budget);
-        progressed |= shrinkHosts(current, budget);
+        progressed |= shrinkSteps(current, budget, first);
+        if (!suffix_only) {
+            progressed |= shrinkServices(current, budget);
+            progressed |= shrinkAccounts(current, budget);
+        }
+        progressed |= shrinkPayloads(current, budget, first);
+        if (!suffix_only)
+            progressed |= shrinkHosts(current, budget);
     }
     return ShrinkResult{current, budget.attempts, budget.successes};
 }

@@ -9,6 +9,14 @@
  * persists, until a full pass over all edits makes no progress. The
  * result is a minimal-ish scenario whose replay file is small enough to
  * read, commit to tests/corpus/, and attach to a bug report.
+ *
+ * Time-travel scenarios (`[timetravel]` metadata) shrink suffix-only:
+ * the prefix steps are the snapshot reference the barrier image was
+ * primed from, so the ddmin and payload passes only touch steps at or
+ * past tt_prefix_steps, and the topology passes (services, accounts,
+ * hosts) are skipped entirely — any of them would invalidate the image
+ * binding and the committed prefix digest. A cached BarrierPrime
+ * therefore stays valid across every candidate the shrinker tries.
  */
 
 #ifndef EAAO_TESTKIT_SHRINK_HPP

@@ -226,6 +226,80 @@ TEST(ActivityProbe, SeesCoLocatedExecution)
     }
 }
 
+/**
+ * Checkpoint/restore round-trip of one arrival stream: cut the stream
+ * mid-flight at a window boundary, restore the saved (rng, origin,
+ * next) triple into a fresh cursor, and the resumed stream must be
+ * byte-identical to the uncut reference over 10k+ draws. Also cuts
+ * exactly ON the pre-drawn next instant — generateUntil's strict
+ * less-than leaves it pending, so the restored cursor must still
+ * emit it first.
+ */
+void
+expectCursorRoundTrip(ArrivalKind kind)
+{
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate_rps = 40.0;
+    spec.burst_factor = 3.0;
+    spec.span = sim::Duration::minutes(10); // diurnal cycle length
+    const sim::SimTime origin =
+        sim::SimTime() + sim::Duration::seconds(17);
+    const auto stream = [&] {
+        return sim::Rng(7).fork(static_cast<std::uint64_t>(kind));
+    };
+
+    // Uncut reference: at 40 rps, 300 s of stream is 10k+ draws.
+    ArrivalCursor ref(spec, stream(), origin);
+    std::vector<sim::SimTime> want;
+    sim::SimTime horizon = origin;
+    while (want.size() < 10000) {
+        horizon = horizon + sim::Duration::seconds(30);
+        ref.generateUntil(horizon, want);
+    }
+    ASSERT_GE(want.size(), 10000u);
+
+    // Cut at an arbitrary mid-stream boundary, restore, resume.
+    ArrivalCursor cut(spec, stream(), origin);
+    std::vector<sim::SimTime> got;
+    cut.generateUntil(origin + sim::Duration::seconds(97), got);
+    ASSERT_FALSE(got.empty());
+    ArrivalCursor resumed(spec, sim::Rng(1), origin);
+    resumed.restore(cut.rngState(), cut.origin(), cut.next());
+    EXPECT_EQ(resumed.next(), cut.next());
+    resumed.generateUntil(horizon, got);
+    EXPECT_EQ(got, want);
+
+    // Cut landing exactly on the pre-drawn next arrival instant.
+    ArrivalCursor edge(spec, stream(), origin);
+    std::vector<sim::SimTime> got_edge;
+    edge.generateUntil(origin + sim::Duration::seconds(53), got_edge);
+    const sim::SimTime pending = edge.next();
+    const std::size_t before = got_edge.size();
+    edge.generateUntil(pending, got_edge); // strict <: emits nothing
+    EXPECT_EQ(got_edge.size(), before);
+    ArrivalCursor resumed_edge(spec, sim::Rng(2), origin);
+    resumed_edge.restore(edge.rngState(), edge.origin(), edge.next());
+    EXPECT_EQ(resumed_edge.next(), pending);
+    resumed_edge.generateUntil(horizon, got_edge);
+    EXPECT_EQ(got_edge, want);
+}
+
+TEST(ArrivalCursor, PoissonRestoreRoundTripsMidStream)
+{
+    expectCursorRoundTrip(ArrivalKind::Poisson);
+}
+
+TEST(ArrivalCursor, DiurnalRestoreRoundTripsMidStream)
+{
+    expectCursorRoundTrip(ArrivalKind::Diurnal);
+}
+
+TEST(ArrivalCursor, ParetoRestoreRoundTripsMidStream)
+{
+    expectCursorRoundTrip(ArrivalKind::Pareto);
+}
+
 TEST(ActivityProbe, WatchProducesTimeline)
 {
     Platform p(smallConfig(11));

@@ -172,6 +172,71 @@ TEST(TimingWheel, FarFutureOverflowFiresInOrder)
     EXPECT_EQ(q.wheel.pending(), 0u);
 }
 
+TEST(TimingWheel, LongHorizonBeyondLevelThreeMatchesHeap)
+{
+    // A multi-hour virtual horizon: events pinned around level 3's
+    // span edge (64^4 ticks, ~4.9 h) and far beyond it into the
+    // overflow heap, mixed with near-future wheel traffic. Overflow
+    // entries enter the wheel only when the frontier catches up, and
+    // every pop must still match the pure-heap kernel's total
+    // (when, seq) order across the whole 14-hour run.
+    constexpr std::int64_t kL3Ticks = 64LL * 64 * 64 * 64;
+    QueuePair q;
+    for (std::int64_t i = 0; i < 80; ++i) {
+        q.schedule(Duration::nanos((kL3Ticks - 40 + i) * kTickNs + i * 13));
+        q.schedule(Duration::hours(5 + i % 9) + Duration::minutes(i) +
+                   Duration::nanos(i * 131));
+        q.schedule(Duration::millis(i * 997));
+    }
+    // Uneven multi-hour strides so overflow adoption, cascades and
+    // quiet gaps all fire mid-run rather than in one final drain.
+    for (int i = 0; i < 24; ++i)
+        q.advance(Duration::minutes(40) + Duration::nanos(i * 7919));
+    q.finish();
+    EXPECT_EQ(q.wheel.pending(), 0u);
+    EXPECT_GT(q.wheel.now(), SimTime() + Duration::hours(14));
+}
+
+TEST(TimingWheel, QuietGapSkipsAcrossFullLevelThreeCascade)
+{
+    // One entry parked deep in level 3 and nothing else: stepping with
+    // advanceOne must cross the quiet gap in O(levels) actions —
+    // nextActionTick() goes straight to each cascade seam (L3 flush,
+    // then L2, L1, and the final L0 dump) instead of visiting every
+    // intermediate tick — and the entry must surface exactly once.
+    TimingWheel w;
+    const std::int64_t due_tick = 64LL * 64 * 64 * 50 + 1234;
+    WheelEntry e;
+    e.when = SimTime() + Duration::nanos(due_tick * kTickNs + 77);
+    e.seq = 42;
+    e.slot = 3;
+    e.gen = 7;
+    ASSERT_TRUE(w.insert(e));
+    ASSERT_EQ(w.size(), 1u);
+
+    std::vector<WheelEntry> popped;
+    const auto sink = [&popped](const WheelEntry &x) {
+        popped.push_back(x);
+    };
+    int actions = 0;
+    while (w.advanceOne(due_tick, sink))
+        ++actions;
+    ASSERT_EQ(popped.size(), 1u);
+    EXPECT_EQ(popped[0].when, e.when);
+    EXPECT_EQ(popped[0].seq, e.seq);
+    EXPECT_EQ(popped[0].slot, e.slot);
+    EXPECT_EQ(popped[0].gen, e.gen);
+    // One flush per level the entry ripples down plus the L0 dump.
+    EXPECT_LE(actions, static_cast<int>(TimingWheel::kLevels) + 1);
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.frontier(), due_tick + 1);
+
+    // The now-empty wheel crosses the rest of the horizon in zero
+    // actions: the quiet gap is skipped, not walked.
+    EXPECT_FALSE(w.advanceOne(due_tick + 4 * TimingWheel::kSlots, sink));
+    EXPECT_EQ(w.frontier(), due_tick + 4 * TimingWheel::kSlots + 1);
+}
+
 TEST(TimingWheel, StaleHandleAfterSlotReuseIsRefused)
 {
     // Cancel an entry parked deep in the wheel, reuse its slab slot

@@ -18,6 +18,7 @@
 #include "testkit/invariants.hpp"
 #include "testkit/runner.hpp"
 #include "testkit/scenario.hpp"
+#include "testkit/shrink.hpp"
 
 #ifndef EAAO_CORPUS_DIR
 #error "EAAO_CORPUS_DIR must point at tests/corpus"
@@ -76,6 +77,44 @@ TEST(Corpus, EveryFileReplaysGreen)
         const std::vector<Violation> violations = checkInvariants(sc, opts);
         for (const Violation &v : violations)
             ADD_FAILURE() << "[" << v.oracle << "] " << v.detail;
+    }
+}
+
+TEST(Corpus, ShrinkIsFixedPointOnMutationMinima)
+{
+    // Every committed mutation minimum is already minimal: re-planting
+    // its fault and re-running the shrinker must change nothing — the
+    // serialized bytes are a fixed point. A failure here means either
+    // the shrinker got smarter (re-minimize the corpus file) or a
+    // shrink pass regressed into accepting non-failing candidates.
+    const struct
+    {
+        const char *file;
+        std::uint32_t fault;
+    } minima[] = {
+        {"mutation-routing-min.scenario", 1},
+        {"mutation-window-min.scenario", 4},
+        {"mutation-snapshot-min.scenario", 5},
+        {"mutation-timetravel-min.scenario", 6},
+    };
+    for (const auto &m : minima) {
+        SCOPED_TRACE(m.file);
+        Scenario sc =
+            load(std::filesystem::path(EAAO_CORPUS_DIR) / m.file);
+        sc.fault = m.fault;
+
+        InvariantOptions opts;
+        opts.threads = 2;
+        opts.thread_trials = 2;
+        opts.shard_arm = 2;
+        const FailurePredicate still_fails =
+            [&opts](const Scenario &candidate) {
+                return !checkInvariants(candidate, opts).empty();
+            };
+        ASSERT_TRUE(still_fails(sc)) << "fault " << m.fault
+                                     << " no longer bites its minimum";
+        const ShrinkResult shrunk = shrink(sc, still_fails);
+        EXPECT_EQ(shrunk.scenario.serialize(), sc.serialize());
     }
 }
 

@@ -15,12 +15,22 @@
  *                  [--max-scenarios N] [--threads N] [--shards N]
  *                  [--verify-every N] [--snapshot-every N]
  *                  [--inject-fault K] [--out DIR] [--replay FILE]
+ *                  [--fork-at B] [--forks N] [--fork-budget M]
  *
  * Scenario i is a pure function of (seed, i): a campaign is
  * reproducible from its seed regardless of thread count or budget.
  * `--inject-fault K` forces OrchestratorConfig::fault_injection = K
  * into every scenario — the mutation self-test of docs/testing.md: the
  * fuzzer must catch the planted bug and shrink it to a small replay.
+ *
+ * `--fork-at B` switches to time-travel mode: scenario i becomes the
+ * *prefix*, primed once to window barrier B (runScenarioToBarrier),
+ * and `--forks N` divergent suffixes of up to `--fork-budget M` steps
+ * each are branched from that single image and checked under the fork
+ * oracles (prefix-consistency, fork-determinism, fork-vs-straight).
+ * Failures shrink suffix-only — the prefix is the snapshot reference
+ * — and the replay file carries `[timetravel]` metadata so
+ * `--replay` re-primes and re-forks it. Fault 6 lives on this path.
  */
 
 #include <chrono>
@@ -54,6 +64,9 @@ struct Args
     std::uint32_t inject_fault = 0;
     std::string out_dir = ".";
     std::string replay_path;
+    std::uint32_t fork_at = ~0u;   //!< barrier window; ~0u = classic mode
+    std::uint32_t forks = 4;       //!< suffixes branched per prefix image
+    std::uint32_t fork_budget = 8; //!< max steps per generated suffix
 };
 
 [[noreturn]] void
@@ -64,7 +77,8 @@ usage(const char *argv0)
         "usage: %s [--seed S] [--time-budget SECONDS] [--max-scenarios N]\n"
         "          [--threads N] [--shards N] [--verify-every N]\n"
         "          [--snapshot-every N] [--inject-fault K]\n"
-        "          [--out DIR] [--replay FILE]\n",
+        "          [--out DIR] [--replay FILE]\n"
+        "          [--fork-at B] [--forks N] [--fork-budget M]\n",
         argv0);
     std::exit(2);
 }
@@ -103,11 +117,24 @@ parseArgs(int argc, char **argv)
             args.out_dir = value(i);
         else if (std::strcmp(arg, "--replay") == 0)
             args.replay_path = value(i);
+        else if (std::strcmp(arg, "--fork-at") == 0)
+            args.fork_at = static_cast<std::uint32_t>(
+                std::strtoul(value(i), nullptr, 10));
+        else if (std::strcmp(arg, "--forks") == 0)
+            args.forks = static_cast<std::uint32_t>(
+                std::strtoul(value(i), nullptr, 10));
+        else if (std::strcmp(arg, "--fork-budget") == 0)
+            args.fork_budget = static_cast<std::uint32_t>(
+                std::strtoul(value(i), nullptr, 10));
         else
             usage(argv[0]);
     }
     if (args.threads == 0)
         args.threads = 1;
+    if (args.forks == 0)
+        args.forks = 1;
+    if (args.fork_budget == 0)
+        args.fork_budget = 1;
     return args;
 }
 
@@ -211,6 +238,114 @@ reportFailure(const Args &args, const testkit::Scenario &failing,
     return 1;
 }
 
+/**
+ * Shrink a failing time-travel fork suffix-only (the cached prime
+ * stays valid across every candidate — suffix edits never touch the
+ * prefix the image hashes) and write the reproducer replay file.
+ */
+int
+reportForkFailure(const Args &args, const testkit::Scenario &failing,
+                  std::uint64_t index, std::uint32_t fork,
+                  const testkit::TimeTravelPrime &prime,
+                  const std::vector<testkit::Violation> &violations)
+{
+    std::printf("scenario %llu fork %u FAILED (%zu violation(s)):\n%s",
+                static_cast<unsigned long long>(index), fork,
+                violations.size(), describe(violations).c_str());
+
+    const testkit::InvariantOptions opts = oracleOptions(args, index);
+    const testkit::FailurePredicate still_fails =
+        [&opts, &prime](const testkit::Scenario &candidate) {
+            return !testkit::checkTimeTravelForks(candidate, opts, &prime)
+                        .empty();
+        };
+    std::printf("shrinking (suffix-only)...\n");
+    const testkit::ShrinkResult shrunk =
+        testkit::shrink(failing, still_fails);
+    std::printf("shrunk to %zu suffix step(s) after %u attempts\n",
+                shrunk.scenario.steps.size() -
+                    shrunk.scenario.tt_prefix_steps,
+                shrunk.attempts);
+
+    std::ostringstream path;
+    path << args.out_dir << "/repro-seed" << args.seed << "-" << index
+         << "-fork" << fork << ".scenario";
+    std::ofstream out(path.str());
+    out << shrunk.scenario.serialize();
+    out.close();
+    std::printf("reproducer written to %s\n", path.str().c_str());
+    std::printf("replay with: fuzz_scenarios --replay %s\n",
+                path.str().c_str());
+    return 1;
+}
+
+/**
+ * Time-travel mode: prime each prefix to the barrier once, then
+ * branch --forks divergent suffixes from the one image — the
+ * `--forked-storms` fast path under the fork oracles.
+ */
+int
+fuzzForks(const Args &args)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(args.time_budget_s));
+
+    std::uint64_t index = 0;
+    std::uint64_t forks_checked = 0;
+    while (index < args.max_scenarios && Clock::now() < deadline) {
+        testkit::Scenario prefix =
+            testkit::generateScenario(args.seed, index);
+        if (args.inject_fault != 0)
+            prefix.fault = args.inject_fault;
+
+        const testkit::InvariantOptions opts = oracleOptions(args, index);
+
+        // Prime once per index on the composed-empty-suffix scenario;
+        // every fork of this index branches from the same image.
+        const testkit::Scenario primed_sc =
+            testkit::composeTimeTravel(prefix, {}, args.fork_at);
+        testkit::TimeTravelPrime prime;
+        std::string error;
+        if (!testkit::primeTimeTravel(primed_sc, opts, prime, error)) {
+            std::printf("scenario %llu FAILED: prime to barrier %u: %s\n",
+                        static_cast<unsigned long long>(index), args.fork_at,
+                        error.c_str());
+            return 1;
+        }
+
+        for (std::uint32_t fork = 0; fork < args.forks; ++fork) {
+            const testkit::Scenario sc = testkit::composeTimeTravel(
+                prefix,
+                testkit::generateSuffixSteps(args.seed, index, fork, prefix,
+                                             args.fork_budget),
+                args.fork_at);
+            const std::vector<testkit::Violation> violations =
+                testkit::checkTimeTravelForks(sc, opts, &prime);
+            if (!violations.empty())
+                return reportForkFailure(args, sc, index, fork, prime,
+                                         violations);
+            ++forks_checked;
+            if (Clock::now() >= deadline)
+                break;
+        }
+
+        ++index;
+        if (index % 16 == 0) {
+            std::printf("primed %llu prefixes, checked %llu forks...\n",
+                        static_cast<unsigned long long>(index),
+                        static_cast<unsigned long long>(forks_checked));
+            std::fflush(stdout);
+        }
+    }
+    std::printf("primed %llu prefixes, checked %llu forks: zero invariant "
+                "violations\n",
+                static_cast<unsigned long long>(index),
+                static_cast<unsigned long long>(forks_checked));
+    return 0;
+}
+
 int
 fuzz(const Args &args)
 {
@@ -278,5 +413,7 @@ main(int argc, char **argv)
     const Args args = parseArgs(argc, argv);
     if (!args.replay_path.empty())
         return replay(args);
+    if (args.fork_at != ~0u)
+        return fuzzForks(args);
     return fuzz(args);
 }
